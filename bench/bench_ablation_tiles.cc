@@ -1,0 +1,174 @@
+// Ablation AB2 — packed (tiled) matrices (§5) vs sparse representation:
+// elementwise addition and multiplication at growing matrix sizes,
+// comparing (a) the sparse DIABLO-style join plan, (b) tiled with coGroup
+// merge, and (c) tiled with the fused shuffle-free zip merge.
+
+#include <cstdio>
+#include <random>
+
+#include "runtime/array.h"
+#include "tiles/tiles.h"
+#include "workloads/harness.h"
+#include "workloads/workloads.h"
+
+using diablo::runtime::BinOp;
+using diablo::runtime::Dataset;
+using diablo::runtime::Engine;
+using diablo::runtime::Value;
+
+int main() {
+  diablo::tiles::TileConfig config{8, 8};
+  std::printf("AB2: tiled vs sparse matrix addition — shuffled MB and "
+              "simulated seconds\n");
+  std::printf("  %6s | %22s | %22s | %22s\n", "n", "sparse join",
+              "tiled coGroup", "tiled zip merge");
+  for (int64_t n : {32, 64, 96, 128, 192}) {
+    std::mt19937_64 rng(static_cast<uint64_t>(n));
+    Value a_bag = diablo::bench::RandomMatrix(n, n, rng);
+    Value b_bag = diablo::bench::RandomMatrix(n, n, rng);
+
+    // (a) Sparse: join + map (the Figure 3.H hand-written shape).
+    Engine sparse_engine;
+    Dataset a = sparse_engine.Parallelize(a_bag.bag());
+    Dataset b = sparse_engine.Parallelize(b_bag.bag());
+    auto joined = sparse_engine.Join(a, b, "add.join");
+    if (!joined.ok()) return 1;
+    auto summed = sparse_engine.Map(
+        *joined, [](const Value& row) -> diablo::StatusOr<Value> {
+          const Value& pr = row.tuple()[1];
+          return Value::MakePair(row.tuple()[0],
+                                 Value::MakeDouble(pr.tuple()[0].ToDouble() +
+                                                   pr.tuple()[1].ToDouble()));
+        });
+    if (!summed.ok()) return 1;
+    double sparse_mb = static_cast<double>(
+                           sparse_engine.metrics().total_shuffle_bytes()) /
+                       (1024 * 1024);
+    double sparse_s = sparse_engine.metrics().SimulatedSeconds(
+        sparse_engine.config().cluster);
+
+    // Pack once (amortized in a tiled pipeline; not charged below).
+    Engine pack_engine;
+    auto at = diablo::tiles::Pack(
+        pack_engine, pack_engine.Parallelize(a_bag.bag()), config);
+    auto bt = diablo::tiles::Pack(
+        pack_engine, pack_engine.Parallelize(b_bag.bag()), config);
+    if (!at.ok() || !bt.ok()) return 1;
+
+    // (b) Tiled with coGroup.
+    Engine cg_engine;
+    if (!diablo::tiles::CoGroupMergeAdd(cg_engine, *at, *bt).ok()) return 1;
+    double cg_mb =
+        static_cast<double>(cg_engine.metrics().total_shuffle_bytes()) /
+        (1024 * 1024);
+    double cg_s =
+        cg_engine.metrics().SimulatedSeconds(cg_engine.config().cluster);
+
+    // (c) Tiled with the fused zip merge (§5's zipPartitions).
+    Engine zip_engine;
+    if (!diablo::tiles::ZipMergeAdd(zip_engine, *at, *bt).ok()) return 1;
+    double zip_mb =
+        static_cast<double>(zip_engine.metrics().total_shuffle_bytes()) /
+        (1024 * 1024);
+    double zip_s =
+        zip_engine.metrics().SimulatedSeconds(zip_engine.config().cluster);
+
+    std::printf("  %6lld | %9.2f MB %8.4f s | %9.2f MB %8.4f s | "
+                "%9.2f MB %8.4f s\n",
+                static_cast<long long>(n), sparse_mb, sparse_s, cg_mb, cg_s,
+                zip_mb, zip_s);
+  }
+
+  std::printf("\nAB2b: multiplication — sparse join plan vs tiled multiply\n");
+  std::printf("  %6s | %22s | %22s\n", "n", "sparse join+reduce",
+              "tiled join+reduce");
+  for (int64_t n : {16, 32, 48, 64}) {
+    std::mt19937_64 rng(static_cast<uint64_t>(n) + 99);
+    Value a_bag = diablo::bench::RandomMatrix(n, n, rng);
+    Value b_bag = diablo::bench::RandomMatrix(n, n, rng);
+    diablo::Bindings inputs{{"M", a_bag},
+                            {"N", b_bag},
+                            {"n", Value::MakeInt(n)},
+                            {"m", Value::MakeInt(n)}};
+    auto sparse = diablo::bench::MeasureHandwritten(
+        diablo::bench::GetProgram("matrix_multiplication"), inputs, {});
+    if (!sparse.ok()) return 1;
+
+    Engine tiled_engine;
+    auto at = diablo::tiles::Pack(
+        tiled_engine, tiled_engine.Parallelize(a_bag.bag()), config);
+    auto bt = diablo::tiles::Pack(
+        tiled_engine, tiled_engine.Parallelize(b_bag.bag()), config);
+    if (!at.ok() || !bt.ok()) return 1;
+    tiled_engine.metrics().Clear();
+    if (!diablo::tiles::TiledMatMul(tiled_engine, *at, *bt, config).ok()) {
+      return 1;
+    }
+    double tiled_mb =
+        static_cast<double>(tiled_engine.metrics().total_shuffle_bytes()) /
+        (1024 * 1024);
+    double tiled_s = tiled_engine.metrics().SimulatedSeconds(
+        tiled_engine.config().cluster);
+    std::printf("  %6lld | %9.2f MB %8.4f s | %9.2f MB %8.4f s\n",
+                static_cast<long long>(n),
+                static_cast<double>(sparse->shuffle_bytes) / (1024 * 1024),
+                sparse->simulated_seconds, tiled_mb, tiled_s);
+  }
+  // AB2c: the same *translated loop program* executed with sparse vs
+  // tiled array storage (diablo::RunOptions::tiled_arrays) — §5's claim
+  // that packed arrays need no change to the program. The winning shape
+  // is repeated small updates into a large stored matrix: the sparse ⊳
+  // re-shuffles all of R on every step, while the tiled path only packs
+  // the small delta and zip-merges in place.
+  std::printf("\nAB2c: translated band-accumulate program (8 rows into an "
+              "n x n matrix, 4 steps),\n      sparse vs tiled storage\n");
+  std::printf("  %6s | %22s | %22s\n", "n", "sparse arrays",
+              "tiled arrays (zip merge)");
+  const char* kAccumulate = R"(
+    var R: matrix[double] = matrix();
+    for i = 0, n - 1 do
+      for j = 0, n - 1 do
+        R[i,j] += M[i,j];
+    var k: int = 0;
+    while (k < 4) {
+      k += 1;
+      for i = 0, 7 do
+        for j = 0, n - 1 do
+          R[i,j] += N[i,j];
+    }
+  )";
+  auto compiled = diablo::Compile(kAccumulate);
+  if (!compiled.ok()) return 1;
+  for (int64_t n : {32, 64, 96, 128}) {
+    std::mt19937_64 rng(static_cast<uint64_t>(n) + 5);
+    diablo::Bindings inputs{{"M", diablo::bench::RandomMatrix(n, n, rng)},
+                            {"N", diablo::bench::RandomMatrix(n, n, rng)},
+                            {"n", Value::MakeInt(n)}};
+    Engine sparse_engine;
+    if (!diablo::Run(*compiled, &sparse_engine, inputs).ok()) return 1;
+    Engine tiled_engine;
+    diablo::RunOptions options;
+    options.tiled_arrays = {"R"};
+    options.tile_config = config;
+    if (!diablo::Run(*compiled, &tiled_engine, inputs, options).ok()) {
+      return 1;
+    }
+    std::printf(
+        "  %6lld | %9.2f MB %8.4f s | %9.2f MB %8.4f s\n",
+        static_cast<long long>(n),
+        static_cast<double>(sparse_engine.metrics().total_shuffle_bytes()) /
+            (1024 * 1024),
+        sparse_engine.metrics().SimulatedSeconds(
+            sparse_engine.config().cluster),
+        static_cast<double>(tiled_engine.metrics().total_shuffle_bytes()) /
+            (1024 * 1024),
+        tiled_engine.metrics().SimulatedSeconds(
+            tiled_engine.config().cluster));
+  }
+
+  std::printf(
+      "\nTiles shuffle whole blocks instead of single elements: fewer,\n"
+      "larger shuffle records, and the co-partitioned merge removes the\n"
+      "shuffle entirely — §5's motivation.\n");
+  return 0;
+}

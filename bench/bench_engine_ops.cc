@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks for the engine substrate: per-operator
+// throughput of the narrow and wide operators the generated plans are
+// built from. These are host wall-clock numbers (single machine), useful
+// for tracking engine regressions; the paper-facing numbers come from the
+// cluster cost model in the other binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/engine.h"
+#include "runtime/operators.h"
+
+namespace {
+
+using diablo::runtime::BinOp;
+using diablo::runtime::Dataset;
+using diablo::runtime::Engine;
+using diablo::runtime::Value;
+using diablo::runtime::ValueVec;
+
+Dataset KeyedData(Engine& engine, int64_t n, int64_t keys) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(Value::MakeInt(i % keys),
+                                   Value::MakeDouble(i * 0.5)));
+  }
+  return engine.Parallelize(std::move(rows));
+}
+
+void BM_Map(benchmark::State& state) {
+  Engine engine;
+  Dataset ds = KeyedData(engine, state.range(0), 100);
+  for (auto _ : state) {
+    auto out = engine.Map(ds, [](const Value& v) -> diablo::StatusOr<Value> {
+      return Value::MakeDouble(v.tuple()[1].ToDouble() * 2);
+    });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Map)->Arg(10000)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  Engine engine;
+  Dataset ds = KeyedData(engine, state.range(0), 100);
+  for (auto _ : state) {
+    auto out = engine.Filter(ds, [](const Value& v) -> diablo::StatusOr<bool> {
+      return v.tuple()[1].ToDouble() < 100;
+    });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(10000)->Arg(100000);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  Engine engine;
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.ReduceByKey(ds, BinOp::kAdd);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKey)
+    ->Args({10000, 10})
+    ->Args({10000, 1000})
+    ->Args({100000, 100});
+
+void BM_GroupByKey(benchmark::State& state) {
+  Engine engine;
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.GroupByKey(ds);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByKey)->Args({10000, 10})->Args({100000, 100});
+
+void BM_Join(benchmark::State& state) {
+  Engine engine;
+  Dataset left = KeyedData(engine, state.range(0), state.range(0) / 4);
+  Dataset right = KeyedData(engine, state.range(0), state.range(0) / 4);
+  for (auto _ : state) {
+    auto out = engine.Join(left, right);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_Join)->Arg(10000)->Arg(50000);
+
+void BM_ValueHash(benchmark::State& state) {
+  Value v = Value::MakeTuple({Value::MakeInt(42),
+                              Value::MakeString("key-string"),
+                              Value::MakeDouble(3.14)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Hash());
+  }
+}
+BENCHMARK(BM_ValueHash);
+
+void BM_ValueCopy(benchmark::State& state) {
+  ValueVec elems;
+  for (int i = 0; i < 1000; ++i) elems.push_back(Value::MakeInt(i));
+  Value bag = Value::MakeBag(std::move(elems));
+  for (auto _ : state) {
+    Value copy = bag;  // O(1) shared copy
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ValueCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+// Figure 3, panel J: PageRank (one step, as in the paper) on RMAT graphs
+// of growing scale, DIABLO-translated vs hand-written.
+//
+// Expected shape (paper §6): DIABLO is noticeably slower — its generated
+// plan performs a triple join (graph x ranks x out-degree vector) per
+// step where the hand-written code performs one join, plus the merge of
+// the rank vector.
+
+#include "workloads/harness.h"
+
+int main() {
+  // Sizes are RMAT scales: 2^n vertices, 10 * 2^n edges.
+  diablo::bench::RunFigurePanel("Figure 3.J", "pagerank", {6, 7, 8, 9, 10});
+  return 0;
+}

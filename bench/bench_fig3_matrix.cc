@@ -1,0 +1,16 @@
+// Figure 3, panels H–I: Matrix Addition and Matrix Multiplication,
+// DIABLO-translated vs hand-written (Appendix B), on square random
+// matrices of growing dimension.
+//
+// Expected shape (paper §6): comparable performance — the generated
+// matrix-addition plan is the same join, and the generated multiplication
+// is the same join + reduceByKey as the hand-written code.
+
+#include "workloads/harness.h"
+
+int main() {
+  using diablo::bench::RunFigurePanel;
+  RunFigurePanel("Figure 3.H", "matrix_addition", {24, 48, 72, 96, 128});
+  RunFigurePanel("Figure 3.I", "matrix_multiplication", {12, 20, 28, 40, 56});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 3, panels K–L: KMeans clustering and Matrix Factorization (one
+// step each, as in the paper), DIABLO-translated vs hand-written.
+//
+// Expected shape (paper §6): these are the programs where DIABLO loses
+// clearly. KMeans: the hand-written code broadcasts the centroids and
+// shuffles only constant-size partial sums, while DIABLO correlates
+// points and centroids with distributed joins. Factorization: the
+// generated plan chains many joins where the hand-written version fuses
+// the update algebra.
+
+#include "workloads/harness.h"
+
+int main() {
+  using diablo::bench::RunFigurePanel;
+  RunFigurePanel("Figure 3.K", "kmeans", {1000, 2000, 4000, 8000, 16000});
+  RunFigurePanel("Figure 3.L", "matrix_factorization", {16, 24, 32, 48, 64});
+  return 0;
+}

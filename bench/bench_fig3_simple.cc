@@ -1,0 +1,23 @@
+// Figure 3, panels A–G: the flat data-analysis programs — Conditional
+// Sum, Equal, String Match, Word Count, Histogram, Linear Regression and
+// Group By — DIABLO-translated vs hand-written, over growing inputs.
+//
+// Expected shape (paper §6): the DIABLO line tracks the hand-written line
+// closely on all of these, because the generated plans contain the same
+// single aggregation/shuffle as the hand-written Spark code.
+
+#include "workloads/harness.h"
+
+int main() {
+  using diablo::bench::RunFigurePanel;
+  const std::vector<int64_t> sizes = {25000, 50000, 100000, 200000, 400000};
+  RunFigurePanel("Figure 3.A", "conditional_sum", sizes);
+  RunFigurePanel("Figure 3.B", "equal", sizes);
+  RunFigurePanel("Figure 3.C", "string_match", sizes);
+  RunFigurePanel("Figure 3.D", "word_count", sizes);
+  RunFigurePanel("Figure 3.E", "histogram",
+                 {12500, 25000, 50000, 100000, 200000});
+  RunFigurePanel("Figure 3.F", "linear_regression", sizes);
+  RunFigurePanel("Figure 3.G", "group_by", sizes);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef DIABLO_BENCH_WORKLOADS_HARNESS_H_
+#define DIABLO_BENCH_WORKLOADS_HARNESS_H_
+
+#include <functional>
+#include <string>
+
+#include "diablo/diablo.h"
+#include "runtime/engine.h"
+#include "workloads/programs.h"
+
+namespace diablo::bench {
+
+/// What one measured run reports.
+struct RunStats {
+  /// Simulated distributed run time under the engine's cluster model.
+  double simulated_seconds = 0;
+  /// Real wall-clock seconds on the host (single machine; informational).
+  double wall_seconds = 0;
+  int64_t shuffles = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t work_units = 0;
+  /// Primary output, for cross-validation between systems.
+  runtime::Value output;
+};
+
+/// Runs `body` against a fresh engine with `config`, returning cost-model
+/// stats. `body` returns the primary output value.
+StatusOr<RunStats> Measure(
+    const runtime::EngineConfig& config,
+    const std::function<StatusOr<runtime::Value>(runtime::Engine&)>& body);
+
+/// Runs a DIABLO-compiled benchmark program and reports its stats. The
+/// output value is the first scalar output, or the collected first array
+/// output.
+StatusOr<RunStats> RunDiablo(const ProgramSpec& spec, const Bindings& inputs,
+                             const runtime::EngineConfig& config,
+                             const CompileOptions& options = {});
+
+/// Hand-written engine implementation (Appendix B Spark code transcribed
+/// to the engine API) for each Figure-3 program, by spec name. Returns an
+/// error for programs without a hand-written counterpart.
+StatusOr<runtime::Value> RunHandwritten(const std::string& name,
+                                        runtime::Engine& engine,
+                                        const Bindings& inputs);
+
+/// Measure() wrapper around RunHandwritten.
+StatusOr<RunStats> MeasureHandwritten(const ProgramSpec& spec,
+                                      const Bindings& inputs,
+                                      const runtime::EngineConfig& config);
+
+/// Formats bytes as a human-readable MB figure.
+std::string Mb(int64_t bytes);
+
+/// Runs one Figure-3 panel: for each size, generate inputs, run the
+/// hand-written and the DIABLO-translated versions, cross-check their
+/// outputs, and print one series row (input MB, simulated seconds of
+/// each, shuffle stages of each). This is the two-line plot of each
+/// Figure 3 panel in textual form.
+void RunFigurePanel(const std::string& panel, const std::string& program,
+                    const std::vector<int64_t>& sizes,
+                    const runtime::EngineConfig& config = {});
+
+}  // namespace diablo::bench
+
+#endif  // DIABLO_BENCH_WORKLOADS_HARNESS_H_

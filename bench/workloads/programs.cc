@@ -1,0 +1,400 @@
+#include "workloads/programs.h"
+
+#include <cstdlib>
+
+#include "workloads/workloads.h"
+
+namespace diablo::bench {
+
+namespace {
+
+using runtime::Value;
+
+// Loop-language sources, following Appendix B of the paper.
+
+constexpr const char kConditionalSum[] = R"(
+var sum: double = 0.0;
+for v in V do
+  if (v < 100.0)
+    sum += v;
+)";
+
+constexpr const char kEqual[] = R"(
+var eq: bool = true;
+for v in V do
+  eq := eq && v == x;
+)";
+
+constexpr const char kStringMatch[] = R"(
+var c: bool = false;
+for w in words do
+  c := c || (w == "key1" || w == "key2" || w == "key3");
+)";
+
+constexpr const char kWordCount[] = R"(
+var C: map[string,int] = map();
+for w in words do
+  C[w] += 1;
+)";
+
+constexpr const char kHistogram[] = R"(
+var R: map[int,int] = map();
+var G: map[int,int] = map();
+var B: map[int,int] = map();
+for p in P do {
+  R[p.red] += 1;
+  G[p.green] += 1;
+  B[p.blue] += 1;
+}
+)";
+
+constexpr const char kLinearRegression[] = R"(
+var sum_x: double = 0.0;
+var sum_y: double = 0.0;
+var x_bar: double = 0.0;
+var y_bar: double = 0.0;
+var xx_bar: double = 0.0;
+var yy_bar: double = 0.0;
+var xy_bar: double = 0.0;
+var slope: double = 0.0;
+var intercept: double = 0.0;
+for p in P do {
+  sum_x += p._1;
+  sum_y += p._2;
+}
+x_bar := sum_x / n;
+y_bar := sum_y / n;
+for p in P do {
+  xx_bar += (p._1 - x_bar) * (p._1 - x_bar);
+  yy_bar += (p._2 - y_bar) * (p._2 - y_bar);
+  xy_bar += (p._1 - x_bar) * (p._2 - y_bar);
+}
+slope := xy_bar / xx_bar;
+intercept := y_bar - slope * x_bar;
+)";
+
+constexpr const char kGroupBy[] = R"(
+var C: map[int,double] = map();
+for v in V do
+  C[v._1] += v._2;
+)";
+
+constexpr const char kMatrixAddition[] = R"(
+var R: matrix[double] = matrix();
+for i = 0, n - 1 do
+  for j = 0, m - 1 do
+    R[i,j] := M[i,j] + N[i,j];
+)";
+
+constexpr const char kMatrixMultiplication[] = R"(
+var R: matrix[double] = matrix();
+for i = 0, n - 1 do
+  for j = 0, n - 1 do {
+    R[i,j] := 0.0;
+    for k = 0, m - 1 do
+      R[i,j] += M[i,k] * N[k,j];
+  }
+)";
+
+constexpr const char kPageRank[] = R"(
+var P: vector[double] = vector();
+var C: vector[int] = vector();
+var b: double = 0.85;
+for i = 0, N - 1 do {
+  C[i] := 0;
+  P[i] := 1.0 / N;
+}
+for i = 0, N - 1 do
+  for j = 0, N - 1 do
+    if (E[i,j])
+      C[i] += 1;
+var k: int = 0;
+while (k < num_steps) {
+  var Q: matrix[double] = matrix();
+  k += 1;
+  for i = 0, N - 1 do
+    for j = 0, N - 1 do
+      if (E[i,j])
+        Q[i,j] := P[i];
+  for i = 0, N - 1 do
+    P[i] := (1.0 - b) / N;
+  for i = 0, N - 1 do
+    for j = 0, N - 1 do
+      P[i] += b * Q[j,i] / C[j];
+}
+)";
+
+constexpr const char kKMeans[] = R"(
+var closest: vector[(double,int)] = vector();
+var sums: vector[(double,double,int)] = vector();
+var C2: vector[(double,double)] = vector();
+for i = 0, N - 1 do {
+  for j = 0, K - 1 do
+    closest[i] argmin= (
+      (P[i]._1 - C[j]._1) * (P[i]._1 - C[j]._1) +
+      (P[i]._2 - C[j]._2) * (P[i]._2 - C[j]._2), j);
+  sums[closest[i]._2] += (P[i]._1, P[i]._2, 1);
+}
+for j = 0, K - 1 do
+  C2[j] := (sums[j]._1 / sums[j]._3, sums[j]._2 / sums[j]._3);
+)";
+
+constexpr const char kMatrixFactorization[] = R"(
+var pq: matrix[double] = matrix();
+var err: matrix[double] = matrix();
+for i = 0, n - 1 do
+  for j = 0, m - 1 do {
+    for k = 0, d - 1 do
+      pq[i,j] += P0[i,k] * Q0[k,j];
+    err[i,j] := R[i,j] - pq[i,j];
+    for k = 0, d - 1 do {
+      P[i,k] += a * (2.0 * err[i,j] * Q0[k,j] - b * P0[i,k]);
+      Q[k,j] += a * (2.0 * err[i,j] * P0[i,k] - b * Q0[k,j]);
+    }
+  }
+)";
+
+// Table-1-only programs.
+
+constexpr const char kAverage[] = R"(
+var sum: double = 0.0;
+var cnt: int = 0;
+var avg: double = 0.0;
+for v in V do {
+  sum += v;
+  cnt += 1;
+}
+avg := sum / cnt;
+)";
+
+constexpr const char kConditionalCount[] = R"(
+var cnt: int = 0;
+for v in V do
+  if (v < 100.0)
+    cnt += 1;
+)";
+
+constexpr const char kCount[] = R"(
+var cnt: int = 0;
+for v in V do
+  cnt += 1;
+)";
+
+constexpr const char kSum[] = R"(
+var sum: double = 0.0;
+for v in V do
+  sum += v;
+)";
+
+constexpr const char kEqualFrequency[] = R"(
+var C: map[string,int] = map();
+for w in words do
+  C[w] += 1;
+var mx: int = -1000000;
+var mn: int = 1000000;
+for c in C do {
+  mx max= c;
+  mn min= c;
+}
+var eqf: bool = false;
+eqf := mx == mn;
+)";
+
+constexpr const char kPca[] = R"(
+var sx: double = 0.0;
+var sy: double = 0.0;
+var mx: double = 0.0;
+var my: double = 0.0;
+var cxx: double = 0.0;
+var cxy: double = 0.0;
+var cyy: double = 0.0;
+for p in P do {
+  sx += p._1;
+  sy += p._2;
+}
+mx := sx / n;
+my := sy / n;
+for p in P do {
+  cxx += (p._1 - mx) * (p._1 - mx);
+  cxy += (p._1 - mx) * (p._2 - my);
+  cyy += (p._2 - my) * (p._2 - my);
+}
+)";
+
+std::vector<ProgramSpec> BuildPrograms() {
+  std::vector<ProgramSpec> specs;
+
+  specs.push_back(
+      {"conditional_sum", kConditionalSum,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"V", RandomDoubleVector(n, 200.0, rng)}};
+       },
+       {"sum"},
+       {}});
+
+  specs.push_back(
+      {"equal", kEqual,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         (void)rng;
+         ValueVec rows;
+         for (int64_t i = 0; i < n; ++i) {
+           rows.push_back(Value::MakePair(Value::MakeInt(i),
+                                          Value::MakeString("key1")));
+         }
+         return {{"V", Value::MakeBag(std::move(rows))},
+                 {"x", Value::MakeString("key1")}};
+       },
+       {"eq"},
+       {}});
+
+  specs.push_back(
+      {"string_match", kStringMatch,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"words", RandomStringVector(n, 1000, rng)}};
+       },
+       {"c"},
+       {}});
+
+  specs.push_back(
+      {"word_count", kWordCount,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"words", RandomStringVector(n, 1000, rng)}};
+       },
+       {},
+       {"C"}});
+
+  specs.push_back(
+      {"histogram", kHistogram,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"P", RandomPixelVector(n, rng)}};
+       },
+       {},
+       {"R", "G", "B"}});
+
+  specs.push_back(
+      {"linear_regression", kLinearRegression,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"P", RegressionPoints(n, rng)},
+                 {"n", Value::MakeDouble(static_cast<double>(n))}};
+       },
+       {"slope", "intercept"},
+       {}});
+
+  specs.push_back(
+      {"group_by", kGroupBy,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"V", GroupByPairs(n, rng)}};
+       },
+       {},
+       {"C"}});
+
+  specs.push_back(
+      {"matrix_addition", kMatrixAddition,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"M", RandomMatrix(n, n, rng)},
+                 {"N", RandomMatrix(n, n, rng)},
+                 {"n", Value::MakeInt(n)},
+                 {"m", Value::MakeInt(n)}};
+       },
+       {},
+       {"R"}});
+
+  specs.push_back(
+      {"matrix_multiplication", kMatrixMultiplication,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         return {{"M", RandomMatrix(n, n, rng)},
+                 {"N", RandomMatrix(n, n, rng)},
+                 {"n", Value::MakeInt(n)},
+                 {"m", Value::MakeInt(n)}};
+       },
+       {},
+       {"R"},
+       1e-5});
+
+  specs.push_back(
+      {"pagerank", kPageRank,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         // n is interpreted as the RMAT scale (2^n vertices).
+         int scale = static_cast<int>(n);
+         return {{"E", RmatGraph(scale, 10, rng)},
+                 {"N", Value::MakeInt(int64_t{1} << scale)},
+                 {"num_steps", Value::MakeInt(1)}};
+       },
+       {},
+       {"P"},
+       1e-6});
+
+  specs.push_back(
+      {"kmeans", kKMeans,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         constexpr int kGrid = 4;
+         return {{"P", GridPoints(n, kGrid, rng)},
+                 {"C", GridCentroids(kGrid)},
+                 {"N", Value::MakeInt(n)},
+                 {"K", Value::MakeInt(kGrid * kGrid)}};
+       },
+       {},
+       {"C2"},
+       1e-6});
+
+  specs.push_back(
+      {"matrix_factorization", kMatrixFactorization,
+       [](int64_t n, std::mt19937_64& rng) -> Bindings {
+         constexpr int64_t kRank = 2;
+         Value p = FactorMatrix(n, kRank, rng);
+         Value q = FactorMatrix(kRank, n, rng);
+         return {{"R", SparseRandomMatrix(n, n, 0.1, rng)},
+                 {"P0", p},
+                 {"Q0", q},
+                 {"P", p},
+                 {"Q", q},
+                 {"n", Value::MakeInt(n)},
+                 {"m", Value::MakeInt(n)},
+                 {"d", Value::MakeInt(kRank)},
+                 {"a", Value::MakeDouble(0.002)},
+                 {"b", Value::MakeDouble(0.02)}};
+       },
+       {},
+       {"P", "Q"},
+       1e-6});
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ProgramSpec>& BenchmarkPrograms() {
+  static const auto* kPrograms = new std::vector<ProgramSpec>(BuildPrograms());
+  return *kPrograms;
+}
+
+const ProgramSpec& GetProgram(const std::string& name) {
+  for (const ProgramSpec& spec : BenchmarkPrograms()) {
+    if (spec.name == name) return spec;
+  }
+  std::abort();
+}
+
+const std::vector<Table1Entry>& Table1Programs() {
+  static const auto* kEntries = new std::vector<Table1Entry>{
+      {"average", kAverage},
+      {"conditional_count", kConditionalCount},
+      {"conditional_sum", kConditionalSum},
+      {"count", kCount},
+      {"equal", kEqual},
+      {"equal_frequency", kEqualFrequency},
+      {"string_match", kStringMatch},
+      {"sum", kSum},
+      {"word_count", kWordCount},
+      {"histogram", kHistogram},
+      {"matrix_multiplication", kMatrixMultiplication},
+      {"linear_regression", kLinearRegression},
+      {"kmeans", kKMeans},
+      {"pca", kPca},
+      {"pagerank", kPageRank},
+      {"matrix_factorization", kMatrixFactorization},
+  };
+  return *kEntries;
+}
+
+}  // namespace diablo::bench

@@ -1,0 +1,50 @@
+#ifndef DIABLO_BENCH_WORKLOADS_PROGRAMS_H_
+#define DIABLO_BENCH_WORKLOADS_PROGRAMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "diablo/diablo.h"
+
+namespace diablo::bench {
+
+/// One benchmark program from the paper's evaluation (§6, Appendix B):
+/// its loop-language source, an input generator parameterized by scale,
+/// and the output variables to validate.
+struct ProgramSpec {
+  std::string name;
+  std::string source;
+  /// Builds the host bindings for a run of size `n` (program-specific
+  /// meaning: element count, matrix dimension, vertex count, ...).
+  std::function<Bindings(int64_t n, std::mt19937_64& rng)> make_inputs;
+  std::vector<std::string> scalar_outputs;
+  std::vector<std::string> array_outputs;
+  /// Numeric tolerance when comparing against the reference interpreter
+  /// (floating-point reductions reassociate).
+  double tolerance = 1e-6;
+};
+
+/// The 12 programs of Figure 3 / Table 2, in paper order:
+/// conditional_sum, equal, string_match, word_count, histogram,
+/// linear_regression, group_by, matrix_addition, matrix_multiplication,
+/// pagerank, kmeans, matrix_factorization.
+const std::vector<ProgramSpec>& BenchmarkPrograms();
+
+/// Looks up a benchmark program by name; aborts if absent.
+const ProgramSpec& GetProgram(const std::string& name);
+
+/// The 16 programs of Table 1 (translation-time comparison): the 12
+/// above plus average, conditional_count, count, sum, equal_frequency,
+/// pca. Only name and source are needed for compile timing.
+struct Table1Entry {
+  std::string name;
+  std::string source;
+};
+const std::vector<Table1Entry>& Table1Programs();
+
+}  // namespace diablo::bench
+
+#endif  // DIABLO_BENCH_WORKLOADS_PROGRAMS_H_

@@ -1,0 +1,164 @@
+#include "workloads/workloads.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace diablo::bench {
+
+namespace {
+
+Value IV(int64_t v) { return Value::MakeInt(v); }
+Value DV(double v) { return Value::MakeDouble(v); }
+
+double UniformDouble(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(rng);
+}
+
+}  // namespace
+
+Value RandomDoubleVector(int64_t n, double hi, std::mt19937_64& rng) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(IV(i), DV(UniformDouble(rng, 0, hi))));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+Value RandomStringVector(int64_t n, int distinct, std::mt19937_64& rng) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t id = static_cast<int64_t>(rng() % static_cast<uint64_t>(distinct));
+    rows.push_back(
+        Value::MakePair(IV(i), Value::MakeString(StrCat("key", id))));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+Value RandomPixelVector(int64_t n, std::mt19937_64& rng) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(
+        IV(i), Value::MakeRecord({{"red", IV(static_cast<int64_t>(rng() % 256))},
+                                  {"green", IV(static_cast<int64_t>(rng() % 256))},
+                                  {"blue", IV(static_cast<int64_t>(rng() % 256))}})));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+Value RegressionPoints(int64_t n, std::mt19937_64& rng) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double x = UniformDouble(rng, 0, 1000);
+    double dx = UniformDouble(rng, 0, 10);
+    rows.push_back(Value::MakePair(
+        IV(i), Value::MakeTuple({DV(x + dx), DV(x - dx)})));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+Value GroupByPairs(int64_t n, std::mt19937_64& rng) {
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  int64_t keys = std::max<int64_t>(1, n / 10);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(
+        IV(i),
+        Value::MakeTuple({IV(static_cast<int64_t>(rng() % static_cast<uint64_t>(keys))),
+                          DV(UniformDouble(rng, 0, 10))})));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+Value RandomMatrix(int64_t rows, int64_t cols, std::mt19937_64& rng) {
+  ValueVec out;
+  out.reserve(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out.push_back(Value::MakePair(Value::MakeTuple({IV(i), IV(j)}),
+                                    DV(UniformDouble(rng, 0, 10))));
+    }
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+Value SparseRandomMatrix(int64_t rows, int64_t cols, double density,
+                         std::mt19937_64& rng) {
+  ValueVec out;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (UniformDouble(rng, 0, 1) >= density) continue;
+      out.push_back(Value::MakePair(
+          Value::MakeTuple({IV(i), IV(j)}),
+          DV(static_cast<double>(1 + static_cast<int64_t>(rng() % 5)))));
+    }
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+Value RmatGraph(int scale, int edges_per_vertex, std::mt19937_64& rng) {
+  const int64_t vertices = int64_t{1} << scale;
+  const int64_t edges = vertices * edges_per_vertex;
+  // Kronecker quadrant probabilities a=0.30, b=0.25, c=0.25, d=0.20.
+  std::set<std::pair<int64_t, int64_t>> seen;
+  ValueVec out;
+  std::uniform_real_distribution<double> uniform(0, 1);
+  for (int64_t e = 0; e < edges; ++e) {
+    int64_t i = 0, j = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double p = uniform(rng);
+      int quadrant = p < 0.30 ? 0 : (p < 0.55 ? 1 : (p < 0.80 ? 2 : 3));
+      i = (i << 1) | (quadrant >> 1);
+      j = (j << 1) | (quadrant & 1);
+    }
+    if (!seen.emplace(i, j).second) continue;
+    out.push_back(Value::MakePair(Value::MakeTuple({IV(i), IV(j)}),
+                                  Value::MakeBool(true)));
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+Value GridPoints(int64_t n, int grid, std::mt19937_64& rng) {
+  ValueVec out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t p = 0; p < n; ++p) {
+    int64_t i = static_cast<int64_t>(rng() % static_cast<uint64_t>(grid));
+    int64_t j = static_cast<int64_t>(rng() % static_cast<uint64_t>(grid));
+    double x = static_cast<double>(i) * 2 + 1 + UniformDouble(rng, 0, 1);
+    double y = static_cast<double>(j) * 2 + 1 + UniformDouble(rng, 0, 1);
+    out.push_back(
+        Value::MakePair(IV(p), Value::MakeTuple({DV(x), DV(y)})));
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+Value GridCentroids(int grid) {
+  ValueVec out;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      out.push_back(Value::MakePair(
+          IV(static_cast<int64_t>(i) * grid + j),
+          Value::MakeTuple({DV(i * 2 + 1.2), DV(j * 2 + 1.2)})));
+    }
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+Value FactorMatrix(int64_t rows, int64_t cols, std::mt19937_64& rng) {
+  ValueVec out;
+  out.reserve(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out.push_back(Value::MakePair(Value::MakeTuple({IV(i), IV(j)}),
+                                    DV(UniformDouble(rng, 0, 1))));
+    }
+  }
+  return Value::MakeBag(std::move(out));
+}
+
+}  // namespace diablo::bench

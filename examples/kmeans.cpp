@@ -1,0 +1,71 @@
+// KMeans clustering (Figure 3.K): iterates the paper's one-step KMeans
+// program, feeding each step's centroids into the next, and shows the
+// centroids converging to the latent grid centers.
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "diablo/diablo.h"
+#include "workloads/programs.h"
+#include "workloads/workloads.h"
+
+using diablo::runtime::Value;
+
+namespace {
+
+/// Mean distance from each centroid to its latent grid center
+/// (i*2 + 1.5, j*2 + 1.5).
+double MeanError(const Value& centroids, int grid) {
+  double total = 0;
+  int count = 0;
+  for (const Value& row : centroids.bag()) {
+    int64_t id = row.tuple()[0].AsInt();
+    double cx = static_cast<double>(id / grid) * 2 + 1.5;
+    double cy = static_cast<double>(id % grid) * 2 + 1.5;
+    double dx = row.tuple()[1].tuple()[0].ToDouble() - cx;
+    double dy = row.tuple()[1].tuple()[1].ToDouble() - cy;
+    total += std::sqrt(dx * dx + dy * dy);
+    ++count;
+  }
+  return count == 0 ? 0 : total / count;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kGrid = 4;
+  constexpr int kSteps = 5;
+  const auto& spec = diablo::bench::GetProgram("kmeans");
+  std::mt19937_64 rng(7);
+  diablo::Bindings inputs = spec.make_inputs(/*points=*/2000, rng);
+
+  auto program = diablo::Compile(spec.source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  Value centroids = inputs.at("C");
+  std::printf("step  mean-centroid-error\n");
+  std::printf("  0   %.4f   (paper's initial (i*2+1.2, j*2+1.2))\n",
+              MeanError(centroids, kGrid));
+  for (int step = 1; step <= kSteps; ++step) {
+    inputs["C"] = centroids;
+    diablo::runtime::Engine engine;
+    auto run = diablo::Run(*program, &engine, inputs);
+    if (!run.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    centroids = *run->Array("C2");
+    std::printf(" %2d   %.4f\n", step, MeanError(centroids, kGrid));
+  }
+  std::printf(
+      "\nEach step ran the translated loop program as distributed joins +\n"
+      "an argmin reduceByKey + a tuple-sum reduceByKey — the join-heavy\n"
+      "plan the paper describes for DIABLO KMeans.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Matrix factorization by gradient descent (§3.2, Figure 3.L): iterates
+// the paper's one-step program, feeding P/Q back in, and reports the
+// reconstruction error |R - P×Q| decreasing over the provided entries.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <random>
+
+#include "diablo/diablo.h"
+#include "workloads/programs.h"
+
+using diablo::runtime::Value;
+
+namespace {
+
+/// Root-mean-square error of P×Q against R's provided entries.
+double Rmse(const Value& r, const Value& p, const Value& q, int64_t rank) {
+  std::map<std::pair<int64_t, int64_t>, double> pv, qv;
+  for (const Value& row : p.bag()) {
+    pv[{row.tuple()[0].tuple()[0].AsInt(),
+        row.tuple()[0].tuple()[1].AsInt()}] = row.tuple()[1].ToDouble();
+  }
+  for (const Value& row : q.bag()) {
+    qv[{row.tuple()[0].tuple()[0].AsInt(),
+        row.tuple()[0].tuple()[1].AsInt()}] = row.tuple()[1].ToDouble();
+  }
+  double total = 0;
+  int64_t count = 0;
+  for (const Value& row : r.bag()) {
+    int64_t i = row.tuple()[0].tuple()[0].AsInt();
+    int64_t j = row.tuple()[0].tuple()[1].AsInt();
+    double pq = 0;
+    for (int64_t k = 0; k < rank; ++k) pq += pv[{i, k}] * qv[{k, j}];
+    double err = row.tuple()[1].ToDouble() - pq;
+    total += err * err;
+    ++count;
+  }
+  return count == 0 ? 0 : std::sqrt(total / static_cast<double>(count));
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSteps = 8;
+  constexpr int64_t kRank = 2;
+  const auto& spec = diablo::bench::GetProgram("matrix_factorization");
+  std::mt19937_64 rng(5);
+  diablo::Bindings inputs = spec.make_inputs(/*n=*/24, rng);
+  // A slightly larger learning rate converges visibly in a few steps.
+  inputs["a"] = Value::MakeDouble(0.01);
+
+  auto program = diablo::Compile(spec.source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  Value p = inputs.at("P0"), q = inputs.at("Q0");
+  std::printf("step  rmse(R, PxQ)\n");
+  std::printf("  0   %.4f\n", Rmse(inputs.at("R"), p, q, kRank));
+  for (int step = 1; step <= kSteps; ++step) {
+    inputs["P0"] = p;
+    inputs["Q0"] = q;
+    inputs["P"] = p;
+    inputs["Q"] = q;
+    diablo::runtime::Engine engine;
+    auto run = diablo::Run(*program, &engine, inputs);
+    if (!run.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    p = *run->Array("P");
+    q = *run->Array("Q");
+    std::printf(" %2d   %.4f\n", step, Rmse(inputs.at("R"), p, q, kRank));
+  }
+  std::printf(
+      "\nEach step executed the restriction-conforming program of §3.2\n"
+      "(pq and err as matrices) as distributed joins and reduceByKeys.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// PageRank (Figure 3.J): the paper's loop-based PageRank translated by
+// DIABLO, compared against the hand-written Spark-style implementation on
+// the same RMAT graph. Prints the top-ranked vertices and the plan costs
+// of both versions.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "diablo/diablo.h"
+#include "workloads/harness.h"
+#include "workloads/programs.h"
+#include "workloads/workloads.h"
+
+using diablo::runtime::Value;
+
+int main() {
+  const auto& spec = diablo::bench::GetProgram("pagerank");
+  std::mt19937_64 rng(2020);
+  // RMAT graph with 2^8 = 256 vertices and ~2560 edges.
+  diablo::Bindings inputs = spec.make_inputs(/*scale=*/8, rng);
+  inputs["num_steps"] = Value::MakeInt(3);
+
+  std::printf("=== DIABLO source ===\n%s\n", spec.source.c_str());
+
+  diablo::runtime::EngineConfig config;
+  auto diablo_stats = diablo::bench::RunDiablo(spec, inputs, config);
+  if (!diablo_stats.ok()) {
+    std::fprintf(stderr, "DIABLO failed: %s\n",
+                 diablo_stats.status().ToString().c_str());
+    return 1;
+  }
+  auto hw_stats = diablo::bench::MeasureHandwritten(spec, inputs, config);
+  if (!hw_stats.ok()) {
+    std::fprintf(stderr, "hand-written failed: %s\n",
+                 hw_stats.status().ToString().c_str());
+    return 1;
+  }
+
+  // Top 5 vertices by rank.
+  std::vector<std::pair<double, int64_t>> ranked;
+  for (const Value& row : diablo_stats->output.bag()) {
+    ranked.emplace_back(row.tuple()[1].ToDouble(), row.tuple()[0].AsInt());
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("top vertices by rank (3 steps):\n");
+  for (size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    std::printf("  v%-4lld rank %.5f\n",
+                static_cast<long long>(ranked[i].second), ranked[i].first);
+  }
+
+  std::printf("\n                    %12s %12s\n", "DIABLO", "hand-written");
+  std::printf("shuffled stages:    %12lld %12lld\n",
+              static_cast<long long>(diablo_stats->shuffles),
+              static_cast<long long>(hw_stats->shuffles));
+  std::printf("shuffled bytes:     %12lld %12lld\n",
+              static_cast<long long>(diablo_stats->shuffle_bytes),
+              static_cast<long long>(hw_stats->shuffle_bytes));
+  std::printf("simulated seconds:  %12.4f %12.4f\n",
+              diablo_stats->simulated_seconds, hw_stats->simulated_seconds);
+  std::printf(
+      "\nDIABLO's generated plan uses a triple join (graph x ranks x "
+      "out-degrees)\nper step where the hand-written code uses one join — "
+      "the gap the paper\nreports in Figure 3.J.\n");
+  return 0;
+}

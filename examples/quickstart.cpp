@@ -1,0 +1,92 @@
+// Quickstart: compile an array-based loop program and run it on the
+// distributed engine.
+//
+//   $ ./quickstart
+//
+// The program is written exactly like the paper's listings: a sequential
+// loop over a collection with an incremental update. DIABLO translates it
+// to a distributed data-parallel plan (a filter + total reduction here)
+// and executes it on the partitioned engine.
+
+#include <cstdio>
+#include <random>
+
+#include "diablo/diablo.h"
+
+using diablo::runtime::Value;
+using diablo::runtime::ValueVec;
+
+int main() {
+  // ---------------------------------------------------------------------
+  // 1. A loop-based program: conditional sum (Figure 3.A).
+  // ---------------------------------------------------------------------
+  const char* kConditionalSum = R"(
+    var sum: double = 0.0;
+    for v in V do
+      if (v < 100.0)
+        sum += v;
+  )";
+
+  // Host-side input: a sparse vector {(i, value)} with 100k random rows.
+  std::mt19937_64 rng(1);
+  ValueVec rows;
+  for (int i = 0; i < 100000; ++i) {
+    rows.push_back(Value::MakePair(
+        Value::MakeInt(i),
+        Value::MakeDouble(static_cast<double>(rng() % 200))));
+  }
+  diablo::Bindings inputs{{"V", Value::MakeBag(rows)}};
+
+  // Compile: parse -> Definition 3.1 checks -> Figure 2 translation ->
+  // normalization -> optimization.
+  auto program = diablo::Compile(kConditionalSum);
+  if (!program.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== translated target code ===\n%s\n",
+              program->TargetToString().c_str());
+
+  // Run on the engine (8 partitions by default).
+  diablo::runtime::Engine engine;
+  auto run = diablo::Run(*program, &engine, inputs);
+  if (!run.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("conditional sum = %.1f\n", run->Scalar("sum")->ToDouble());
+
+  // ---------------------------------------------------------------------
+  // 2. A keyed aggregation: word count (Figure 3.D).
+  // ---------------------------------------------------------------------
+  const char* kWordCount = R"(
+    var C: map[string,int] = map();
+    for w in words do
+      C[w] += 1;
+  )";
+  ValueVec words;
+  const char* kWords[] = {"spark", "flink", "hadoop", "spark", "spark"};
+  for (size_t i = 0; i < 5; ++i) {
+    words.push_back(Value::MakePair(Value::MakeInt(static_cast<int64_t>(i)),
+                                    Value::MakeString(kWords[i])));
+  }
+  diablo::runtime::Engine engine2;
+  auto wc = diablo::CompileAndRun(kWordCount, &engine2,
+                                  {{"words", Value::MakeBag(words)}});
+  if (!wc.ok()) {
+    std::fprintf(stderr, "error: %s\n", wc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("word counts: %s\n", wc->Array("C")->ToString().c_str());
+
+  // The engine tracked every stage; ask the cost model what this would
+  // cost on a simulated 4-worker cluster.
+  std::printf("\n=== engine stages (word count) ===\n%s",
+              engine2.metrics().Report().c_str());
+  std::printf("simulated cluster time: %.3f ms\n",
+              engine2.metrics().SimulatedSeconds(
+                  engine2.config().cluster) * 1e3);
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef DIABLO_ALGEBRA_LOCAL_H_
+#define DIABLO_ALGEBRA_LOCAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "comp/comp.h"
+#include "runtime/value.h"
+
+namespace diablo::algebra {
+
+/// Local evaluation of monoid comprehensions by the formal semantics of
+/// paper §3.3: qualifiers are processed left to right over a list of
+/// variable environments — a generator flatMaps the environments over its
+/// domain, a condition filters them, a let extends them, and a group-by
+/// partitions them by key and lifts every previously bound variable to
+/// the bag of its values in the group.
+///
+/// This is a *third*, independent implementation of the language's
+/// semantics (besides the sequential reference interpreter and the
+/// distributed planner), used to cross-validate both: for every program,
+///   reference == local algebra == distributed plan.
+/// It is also a practical single-process backend — the paper's "Scala
+/// collections" target.
+
+/// A variable environment: name -> value bindings, innermost last.
+using Env = std::vector<std::pair<std::string, runtime::Value>>;
+
+/// Evaluates a comprehension to a bag under `env` plus the global
+/// variables in `globals` (arrays are bag values of (key,value) pairs).
+StatusOr<runtime::Value> EvalComprehension(
+    const comp::CompPtr& comp, const Env& env,
+    const std::map<std::string, runtime::Value>& globals);
+
+/// Evaluates a comprehension-calculus expression locally. Nested
+/// comprehensions recurse; Range produces a bag of ints; Merge applies
+/// the local array merge.
+StatusOr<runtime::Value> EvalExpr(
+    const comp::CExprPtr& e, const Env& env,
+    const std::map<std::string, runtime::Value>& globals);
+
+/// Executes translated target code entirely locally: scalars and arrays
+/// live in one process, assignments evaluate comprehensions with
+/// EvalComprehension, while-loops run on the driver.
+class LocalExecutor {
+ public:
+  using Bindings = std::map<std::string, runtime::Value>;
+
+  /// Runs a target program with host inputs (bag values bind arrays).
+  Status Run(const comp::TargetProgram& program, const Bindings& inputs);
+
+  StatusOr<runtime::Value> GetScalar(const std::string& name) const;
+  /// Array contents as a bag of (key, value) pairs sorted by key.
+  StatusOr<runtime::Value> GetArray(const std::string& name) const;
+
+ private:
+  Status ExecStmt(const comp::TargetStmtPtr& stmt);
+
+  std::map<std::string, runtime::Value> globals_;
+  std::map<std::string, bool> is_array_;
+};
+
+}  // namespace diablo::algebra
+
+#endif  // DIABLO_ALGEBRA_LOCAL_H_

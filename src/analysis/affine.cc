@@ -1,0 +1,84 @@
+#include "analysis/affine.h"
+
+#include "analysis/lvalues.h"
+
+namespace diablo::analysis {
+
+using ast::Expr;
+using runtime::BinOp;
+using runtime::UnOp;
+
+bool UsesLoopIndex(const ast::ExprPtr& e,
+                   const std::set<std::string>& loop_indexes) {
+  std::vector<ast::LValuePtr> reads;
+  CollectExprReads(e, &reads);
+  for (const auto& d : reads) {
+    if (d->is_var() && loop_indexes.count(d->var().name) != 0) return true;
+  }
+  return false;
+}
+
+bool IsAffineExpr(const ast::ExprPtr& e,
+                  const std::set<std::string>& loop_indexes) {
+  if (e == nullptr) return false;
+  // Anything that does not mention a loop index is a loop constant c0.
+  if (!UsesLoopIndex(e, loop_indexes)) return true;
+  if (e->is<Expr::LVal>()) {
+    const auto& d = e->as<Expr::LVal>().lvalue;
+    // A bare loop index i (coefficient 1).
+    return d->is_var() && loop_indexes.count(d->var().name) != 0;
+  }
+  if (e->is<Expr::Un>()) {
+    const auto& u = e->as<Expr::Un>();
+    return u.op == UnOp::kNeg && IsAffineExpr(u.operand, loop_indexes);
+  }
+  if (e->is<Expr::Bin>()) {
+    const auto& b = e->as<Expr::Bin>();
+    switch (b.op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+        return IsAffineExpr(b.lhs, loop_indexes) &&
+               IsAffineExpr(b.rhs, loop_indexes);
+      case BinOp::kMul:
+        // c * affine or affine * c.
+        if (!UsesLoopIndex(b.lhs, loop_indexes)) {
+          return IsAffineExpr(b.rhs, loop_indexes);
+        }
+        if (!UsesLoopIndex(b.rhs, loop_indexes)) {
+          return IsAffineExpr(b.lhs, loop_indexes);
+        }
+        return false;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+bool IsAffineDest(const ast::LValuePtr& d,
+                  const std::vector<std::string>& context) {
+  std::set<std::string> ctx(context.begin(), context.end());
+  // Every loop index of the context must appear in the destination.
+  std::set<std::string> used = IndexesOf(d, ctx);
+  for (const std::string& i : context) {
+    if (used.count(i) == 0) return false;
+  }
+  // Every array index expression must itself be affine.
+  const ast::LValue* cur = d.get();
+  while (cur != nullptr) {
+    if (cur->is_index()) {
+      for (const auto& e : cur->index().indices) {
+        if (!IsAffineExpr(e, ctx)) return false;
+      }
+      break;
+    }
+    if (cur->is_proj()) {
+      cur = cur->proj().base.get();
+      continue;
+    }
+    break;  // plain variable
+  }
+  return true;
+}
+
+}  // namespace diablo::analysis

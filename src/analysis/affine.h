@@ -1,0 +1,30 @@
+#ifndef DIABLO_ANALYSIS_AFFINE_H_
+#define DIABLO_ANALYSIS_AFFINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace diablo::analysis {
+
+/// True when `e` is an affine expression in the given loop indexes:
+/// c0 + c1*i1 + ... + ck*ik, where the c are loop-invariant (constants or
+/// variables that are not loop indexes) and the i are loop indexes.
+bool IsAffineExpr(const ast::ExprPtr& e,
+                  const std::set<std::string>& loop_indexes);
+
+/// True when `e` mentions any of the given loop indexes.
+bool UsesLoopIndex(const ast::ExprPtr& e,
+                   const std::set<std::string>& loop_indexes);
+
+/// The paper's affine(d, s): every loop index in `context` is used in d,
+/// and every array index expression in d is affine. A destination that is
+/// a plain variable is affine only when the context is empty.
+bool IsAffineDest(const ast::LValuePtr& d,
+                  const std::vector<std::string>& context);
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_AFFINE_H_

@@ -1,0 +1,295 @@
+#include "analysis/lvalues.h"
+
+namespace diablo::analysis {
+
+using ast::Expr;
+using ast::LValue;
+using ast::Stmt;
+
+bool LValueEquals(const ast::LValuePtr& a, const ast::LValuePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->node.index() != b->node.index()) return false;
+  if (a->is_var()) return a->var().name == b->var().name;
+  if (a->is_proj()) {
+    return a->proj().field == b->proj().field &&
+           LValueEquals(a->proj().base, b->proj().base);
+  }
+  const auto& x = a->index();
+  const auto& y = b->index();
+  if (x.array != y.array || x.indices.size() != y.indices.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < x.indices.size(); ++i) {
+    if (!ExprEquals(x.indices[i], y.indices[i])) return false;
+  }
+  return true;
+}
+
+bool ExprEquals(const ast::ExprPtr& a, const ast::ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->node.index() != b->node.index()) return false;
+  if (a->is<Expr::LVal>()) {
+    return LValueEquals(a->as<Expr::LVal>().lvalue, b->as<Expr::LVal>().lvalue);
+  }
+  if (a->is<Expr::Bin>()) {
+    const auto& x = a->as<Expr::Bin>();
+    const auto& y = b->as<Expr::Bin>();
+    return x.op == y.op && ExprEquals(x.lhs, y.lhs) && ExprEquals(x.rhs, y.rhs);
+  }
+  if (a->is<Expr::Un>()) {
+    const auto& x = a->as<Expr::Un>();
+    const auto& y = b->as<Expr::Un>();
+    return x.op == y.op && ExprEquals(x.operand, y.operand);
+  }
+  if (a->is<Expr::TupleCons>()) {
+    const auto& x = a->as<Expr::TupleCons>().elems;
+    const auto& y = b->as<Expr::TupleCons>().elems;
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!ExprEquals(x[i], y[i])) return false;
+    }
+    return true;
+  }
+  if (a->is<Expr::RecordCons>()) {
+    const auto& x = a->as<Expr::RecordCons>().fields;
+    const auto& y = b->as<Expr::RecordCons>().fields;
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i].first != y[i].first || !ExprEquals(x[i].second, y[i].second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (a->is<Expr::IntConst>()) {
+    return a->as<Expr::IntConst>().value == b->as<Expr::IntConst>().value;
+  }
+  if (a->is<Expr::DoubleConst>()) {
+    return a->as<Expr::DoubleConst>().value ==
+           b->as<Expr::DoubleConst>().value;
+  }
+  if (a->is<Expr::BoolConst>()) {
+    return a->as<Expr::BoolConst>().value == b->as<Expr::BoolConst>().value;
+  }
+  if (a->is<Expr::StringConst>()) {
+    return a->as<Expr::StringConst>().value ==
+           b->as<Expr::StringConst>().value;
+  }
+  const auto& x = a->as<Expr::Call>();
+  const auto& y = b->as<Expr::Call>();
+  if (x.function != y.function || x.args.size() != y.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < x.args.size(); ++i) {
+    if (!ExprEquals(x.args[i], y.args[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Collects the L-values read *inside* an L-value: its index expressions
+/// and, for projections, the indices of the base.
+void CollectLValueInnerReads(const ast::LValuePtr& d,
+                             std::vector<ast::LValuePtr>* out) {
+  if (d->is_index()) {
+    for (const auto& e : d->index().indices) CollectExprReads(e, out);
+  } else if (d->is_proj()) {
+    CollectLValueInnerReads(d->proj().base, out);
+  }
+}
+
+}  // namespace
+
+void CollectExprReads(const ast::ExprPtr& e,
+                      std::vector<ast::LValuePtr>* out) {
+  if (e == nullptr) return;
+  if (e->is<Expr::LVal>()) {
+    const ast::LValuePtr& d = e->as<Expr::LVal>().lvalue;
+    out->push_back(d);
+    CollectLValueInnerReads(d, out);
+    return;
+  }
+  if (e->is<Expr::Bin>()) {
+    CollectExprReads(e->as<Expr::Bin>().lhs, out);
+    CollectExprReads(e->as<Expr::Bin>().rhs, out);
+    return;
+  }
+  if (e->is<Expr::Un>()) {
+    CollectExprReads(e->as<Expr::Un>().operand, out);
+    return;
+  }
+  if (e->is<Expr::TupleCons>()) {
+    for (const auto& c : e->as<Expr::TupleCons>().elems) {
+      CollectExprReads(c, out);
+    }
+    return;
+  }
+  if (e->is<Expr::RecordCons>()) {
+    for (const auto& [unused, c] : e->as<Expr::RecordCons>().fields) {
+      CollectExprReads(c, out);
+    }
+    return;
+  }
+  if (e->is<Expr::Call>()) {
+    for (const auto& c : e->as<Expr::Call>().args) CollectExprReads(c, out);
+    return;
+  }
+  // Constants: nothing to read.
+}
+
+bool Overlap(const ast::LValuePtr& a, const ast::LValuePtr& b) {
+  return a != nullptr && b != nullptr && a->RootName() == b->RootName();
+}
+
+namespace {
+
+void CollectIndexNames(const ast::ExprPtr& e,
+                       const std::set<std::string>& loop_indexes,
+                       std::set<std::string>* out) {
+  std::vector<ast::LValuePtr> reads;
+  CollectExprReads(e, &reads);
+  for (const auto& d : reads) {
+    if (d->is_var() && loop_indexes.count(d->var().name) != 0) {
+      out->insert(d->var().name);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> IndexesOf(const ast::LValuePtr& d,
+                                const std::set<std::string>& loop_indexes) {
+  std::set<std::string> out;
+  if (d->is_index()) {
+    for (const auto& e : d->index().indices) {
+      CollectIndexNames(e, loop_indexes, &out);
+    }
+  } else if (d->is_proj()) {
+    std::set<std::string> base = IndexesOf(d->proj().base, loop_indexes);
+    out.insert(base.begin(), base.end());
+  }
+  return out;
+}
+
+namespace {
+
+struct Collector {
+  std::vector<StmtAccessInfo>* out;
+  int seq = 0;
+
+  void Walk(const Stmt& s, std::vector<std::string>& context) {
+    if (s.is<Stmt::Incr>()) {
+      const auto& node = s.as<Stmt::Incr>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      info.aggregators.push_back(node.dest);
+      CollectLValueInnerReadsPublic(node.dest, &info.readers);
+      CollectExprReads(node.value, &info.readers);
+      out->push_back(std::move(info));
+      return;
+    }
+    if (s.is<Stmt::Assign>()) {
+      const auto& node = s.as<Stmt::Assign>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      info.writers.push_back(node.dest);
+      CollectLValueInnerReadsPublic(node.dest, &info.readers);
+      CollectExprReads(node.value, &info.readers);
+      out->push_back(std::move(info));
+      return;
+    }
+    if (s.is<Stmt::Decl>()) {
+      const auto& node = s.as<Stmt::Decl>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      info.writers.push_back(ast::LValue::MakeVar(node.name, s.loc));
+      CollectExprReads(node.init, &info.readers);
+      out->push_back(std::move(info));
+      return;
+    }
+    if (s.is<Stmt::ForRange>()) {
+      const auto& node = s.as<Stmt::ForRange>();
+      // Loop bounds are read once; record them as a read-only statement.
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      CollectExprReads(node.lo, &info.readers);
+      CollectExprReads(node.hi, &info.readers);
+      if (!info.readers.empty()) out->push_back(std::move(info));
+      context.push_back(node.var);
+      Walk(*node.body, context);
+      context.pop_back();
+      return;
+    }
+    if (s.is<Stmt::ForEach>()) {
+      const auto& node = s.as<Stmt::ForEach>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      CollectExprReads(node.collection, &info.readers);
+      if (!info.readers.empty()) out->push_back(std::move(info));
+      context.push_back(node.var);
+      Walk(*node.body, context);
+      context.pop_back();
+      return;
+    }
+    if (s.is<Stmt::While>()) {
+      const auto& node = s.as<Stmt::While>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      CollectExprReads(node.cond, &info.readers);
+      if (!info.readers.empty()) out->push_back(std::move(info));
+      Walk(*node.body, context);
+      return;
+    }
+    if (s.is<Stmt::If>()) {
+      const auto& node = s.as<Stmt::If>();
+      StmtAccessInfo info;
+      info.stmt = &s;
+      info.seq = seq++;
+      info.context = context;
+      CollectExprReads(node.cond, &info.readers);
+      if (!info.readers.empty()) out->push_back(std::move(info));
+      Walk(*node.then_branch, context);
+      if (node.else_branch != nullptr) Walk(*node.else_branch, context);
+      return;
+    }
+    for (const auto& child : s.as<Stmt::Block>().stmts) {
+      Walk(*child, context);
+    }
+  }
+
+  static void CollectLValueInnerReadsPublic(const ast::LValuePtr& d,
+                                            std::vector<ast::LValuePtr>* out) {
+    if (d->is_index()) {
+      for (const auto& e : d->index().indices) CollectExprReads(e, out);
+    } else if (d->is_proj()) {
+      CollectLValueInnerReadsPublic(d->proj().base, out);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<StmtAccessInfo> CollectAccesses(
+    const ast::Stmt& root, std::vector<std::string> outer_context) {
+  std::vector<StmtAccessInfo> out;
+  Collector collector{&out};
+  collector.Walk(root, outer_context);
+  return out;
+}
+
+}  // namespace diablo::analysis

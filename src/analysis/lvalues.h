@@ -1,0 +1,55 @@
+#ifndef DIABLO_ANALYSIS_LVALUES_H_
+#define DIABLO_ANALYSIS_LVALUES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace diablo::analysis {
+
+/// Structural equality of AST expressions / L-values ("d1 = d2" in the
+/// paper's Definition 3.1 exceptions).
+bool ExprEquals(const ast::ExprPtr& a, const ast::ExprPtr& b);
+bool LValueEquals(const ast::LValuePtr& a, const ast::LValuePtr& b);
+
+/// The L-value access sets of one update statement (paper §3.2):
+/// aggregators A (incremented destinations), writers W (assigned
+/// destinations), readers R (everything read, including destination index
+/// expressions such as W[i] inside V[W[i]]).
+struct StmtAccessInfo {
+  /// The Incr or Assign statement itself.
+  const ast::Stmt* stmt = nullptr;
+  /// Pre-order sequence number — "s1 precedes s2" iff seq1 < seq2.
+  int seq = 0;
+  /// Enclosing for-loop index variables, outermost first (context(s)).
+  std::vector<std::string> context;
+  std::vector<ast::LValuePtr> aggregators;
+  std::vector<ast::LValuePtr> writers;
+  std::vector<ast::LValuePtr> readers;
+};
+
+/// Walks a statement tree and collects the access sets of every update
+/// statement inside it, with contexts and sequence numbers. `outer_context`
+/// seeds the loop-index context (empty at program top level).
+std::vector<StmtAccessInfo> CollectAccesses(
+    const ast::Stmt& root, std::vector<std::string> outer_context = {});
+
+/// Collects the L-values read by an expression into `out`.
+void CollectExprReads(const ast::ExprPtr& e,
+                      std::vector<ast::LValuePtr>* out);
+
+/// Two destinations overlap when they can denote the same storage: both
+/// rooted at the same variable/array name (a sound over-approximation of
+/// the paper's overlap relation).
+bool Overlap(const ast::LValuePtr& a, const ast::LValuePtr& b);
+
+/// The set of loop-index variables (from `loop_indexes`) appearing
+/// anywhere in `d` — the paper's indexes(d).
+std::set<std::string> IndexesOf(const ast::LValuePtr& d,
+                                const std::set<std::string>& loop_indexes);
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_LVALUES_H_

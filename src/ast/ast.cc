@@ -1,0 +1,250 @@
+#include "ast/ast.h"
+
+namespace diablo::ast {
+
+// ----------------------------- Types --------------------------------------
+
+TypePtr Type::Basic(std::string name) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kBasic;
+  t->name = std::move(name);
+  return t;
+}
+
+TypePtr Type::Parametric(std::string name, std::vector<TypePtr> params) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kParametric;
+  t->name = std::move(name);
+  t->params = std::move(params);
+  return t;
+}
+
+TypePtr Type::Tuple(std::vector<TypePtr> elems) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kTuple;
+  t->params = std::move(elems);
+  return t;
+}
+
+TypePtr Type::Record(std::vector<std::pair<std::string, TypePtr>> fields) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kRecord;
+  t->fields = std::move(fields);
+  return t;
+}
+
+bool Type::IsCollection() const {
+  return kind == Kind::kParametric &&
+         (name == "vector" || name == "matrix" || name == "map" ||
+          name == "bag");
+}
+
+int Type::IndexArity() const {
+  if (!IsCollection()) return 0;
+  if (name == "matrix") return 2;
+  return 1;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case Kind::kBasic:
+      return name;
+    case Kind::kParametric: {
+      std::vector<std::string> ps;
+      for (const auto& p : params) ps.push_back(p->ToString());
+      return StrCat(name, "[", Join(ps, ","), "]");
+    }
+    case Kind::kTuple: {
+      std::vector<std::string> ps;
+      for (const auto& p : params) ps.push_back(p->ToString());
+      return StrCat("(", Join(ps, ","), ")");
+    }
+    case Kind::kRecord: {
+      std::vector<std::string> ps;
+      for (const auto& [n, t] : fields) ps.push_back(StrCat(n, ":", t->ToString()));
+      return StrCat("<", Join(ps, ","), ">");
+    }
+  }
+  return "?";
+}
+
+// ----------------------------- L-values -----------------------------------
+
+LValuePtr LValue::MakeVar(std::string name, SourceLocation loc) {
+  auto d = std::make_shared<LValue>();
+  d->node = Var{std::move(name)};
+  d->loc = loc;
+  return d;
+}
+
+LValuePtr LValue::MakeProj(LValuePtr base, std::string field,
+                           SourceLocation loc) {
+  auto d = std::make_shared<LValue>();
+  d->node = Proj{std::move(base), std::move(field)};
+  d->loc = loc;
+  return d;
+}
+
+LValuePtr LValue::MakeIndex(std::string array, std::vector<ExprPtr> indices,
+                            SourceLocation loc) {
+  auto d = std::make_shared<LValue>();
+  d->node = Index{std::move(array), std::move(indices)};
+  d->loc = loc;
+  return d;
+}
+
+const std::string& LValue::RootName() const {
+  if (is_var()) return var().name;
+  if (is_index()) return index().array;
+  return proj().base->RootName();
+}
+
+// ----------------------------- Expressions --------------------------------
+
+ExprPtr Expr::MakeLValue(LValuePtr d, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = LVal{std::move(d)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeVar(std::string name, SourceLocation loc) {
+  return MakeLValue(LValue::MakeVar(std::move(name), loc), loc);
+}
+
+ExprPtr Expr::MakeBin(runtime::BinOp op, ExprPtr l, ExprPtr r,
+                      SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = Bin{op, std::move(l), std::move(r)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeUn(runtime::UnOp op, ExprPtr operand, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = Un{op, std::move(operand)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeTuple(std::vector<ExprPtr> elems, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = TupleCons{std::move(elems)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeRecord(std::vector<std::pair<std::string, ExprPtr>> fields,
+                         SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = RecordCons{std::move(fields)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeInt(int64_t v, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = IntConst{v};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeDouble(double v, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = DoubleConst{v};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeBool(bool v, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = BoolConst{v};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeString(std::string v, SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = StringConst{std::move(v)};
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string fn, std::vector<ExprPtr> args,
+                       SourceLocation loc) {
+  auto e = std::make_shared<Expr>();
+  e->node = Call{std::move(fn), std::move(args)};
+  e->loc = loc;
+  return e;
+}
+
+// ----------------------------- Statements ---------------------------------
+
+StmtPtr Stmt::MakeIncr(LValuePtr d, runtime::BinOp op, ExprPtr e,
+                       SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = Incr{std::move(d), op, std::move(e)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeAssign(LValuePtr d, ExprPtr e, SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = Assign{std::move(d), std::move(e)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeDecl(std::string name, TypePtr type, ExprPtr init,
+                       SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = Decl{std::move(name), std::move(type), std::move(init)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeForRange(std::string var, ExprPtr lo, ExprPtr hi,
+                           StmtPtr body, SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = ForRange{std::move(var), std::move(lo), std::move(hi),
+                     std::move(body)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeForEach(std::string var, ExprPtr coll, StmtPtr body,
+                          SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = ForEach{std::move(var), std::move(coll), std::move(body)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeWhile(ExprPtr cond, StmtPtr body, SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = While{std::move(cond), std::move(body)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeIf(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch,
+                     SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = If{std::move(cond), std::move(then_branch), std::move(else_branch)};
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr Stmt::MakeBlock(std::vector<StmtPtr> stmts, SourceLocation loc) {
+  auto s = std::make_shared<Stmt>();
+  s->node = Block{std::move(stmts)};
+  s->loc = loc;
+  return s;
+}
+
+bool IsBuiltinFunction(const std::string& name) {
+  return name == "sqrt" || name == "abs" || name == "exp" || name == "log" ||
+         name == "pow" || name == "floor";
+}
+
+}  // namespace diablo::ast

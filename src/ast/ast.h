@@ -1,0 +1,270 @@
+#ifndef DIABLO_AST_AST_H_
+#define DIABLO_AST_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/strings.h"
+#include "runtime/operators.h"
+
+namespace diablo::ast {
+
+// ---------------------------------------------------------------------------
+// Types (Figure 1).
+//
+//   t ::= v            basic type (int, float/double, bool, string)
+//       | v[t...]      parametric type (vector[t], matrix[t], map[k,t], bag[t])
+//       | (t1,...,tn)  tuple type
+//       | <A1:t1,...>  record type
+// ---------------------------------------------------------------------------
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct Type {
+  enum class Kind { kBasic, kParametric, kTuple, kRecord };
+
+  Kind kind = Kind::kBasic;
+  /// Basic type name or parametric head ("vector", "matrix", "map", ...).
+  std::string name;
+  /// Parametric arguments or tuple element types.
+  std::vector<TypePtr> params;
+  /// Record fields.
+  std::vector<std::pair<std::string, TypePtr>> fields;
+
+  static TypePtr Basic(std::string name);
+  static TypePtr Parametric(std::string name, std::vector<TypePtr> params);
+  static TypePtr Tuple(std::vector<TypePtr> elems);
+  static TypePtr Record(std::vector<std::pair<std::string, TypePtr>> fields);
+
+  /// True for types whose values live as distributed datasets:
+  /// vector[...], matrix[...], map[...], bag[...].
+  bool IsCollection() const;
+
+  /// Number of index dimensions of a collection type (vector/map: 1,
+  /// matrix: 2); 0 for non-collections.
+  int IndexArity() const;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions and destinations (L-values).
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+struct LValue;
+using LValuePtr = std::shared_ptr<const LValue>;
+
+/// A destination (Figure 1):
+///   d ::= v | d.A | v[e1,...,en]
+struct LValue {
+  struct Var {
+    std::string name;
+  };
+  struct Proj {
+    LValuePtr base;
+    std::string field;
+  };
+  struct Index {
+    std::string array;
+    std::vector<ExprPtr> indices;
+  };
+
+  std::variant<Var, Proj, Index> node;
+  SourceLocation loc;
+
+  static LValuePtr MakeVar(std::string name, SourceLocation loc = {});
+  static LValuePtr MakeProj(LValuePtr base, std::string field,
+                            SourceLocation loc = {});
+  static LValuePtr MakeIndex(std::string array, std::vector<ExprPtr> indices,
+                             SourceLocation loc = {});
+
+  bool is_var() const { return std::holds_alternative<Var>(node); }
+  bool is_proj() const { return std::holds_alternative<Proj>(node); }
+  bool is_index() const { return std::holds_alternative<Index>(node); }
+  const Var& var() const { return std::get<Var>(node); }
+  const Proj& proj() const { return std::get<Proj>(node); }
+  const Index& index() const { return std::get<Index>(node); }
+
+  /// The root variable name (V for V[e].A etc.).
+  const std::string& RootName() const;
+
+  std::string ToString() const;
+};
+
+/// An expression (Figure 1):
+///   e ::= d | e1 ⋆ e2 | (e1,...,en) | <A1=e1,...> | const
+/// plus unary operators and calls to a small set of builtin math
+/// functions (sqrt, abs, exp, log, pow, floor) used by the benchmark
+/// programs.
+struct Expr {
+  struct LVal {
+    LValuePtr lvalue;
+  };
+  struct Bin {
+    runtime::BinOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+  };
+  struct Un {
+    runtime::UnOp op;
+    ExprPtr operand;
+  };
+  struct TupleCons {
+    std::vector<ExprPtr> elems;
+  };
+  struct RecordCons {
+    std::vector<std::pair<std::string, ExprPtr>> fields;
+  };
+  struct IntConst {
+    int64_t value;
+  };
+  struct DoubleConst {
+    double value;
+  };
+  struct BoolConst {
+    bool value;
+  };
+  struct StringConst {
+    std::string value;
+  };
+  struct Call {
+    std::string function;
+    std::vector<ExprPtr> args;
+  };
+
+  std::variant<LVal, Bin, Un, TupleCons, RecordCons, IntConst, DoubleConst,
+               BoolConst, StringConst, Call>
+      node;
+  SourceLocation loc;
+
+  static ExprPtr MakeLValue(LValuePtr d, SourceLocation loc = {});
+  static ExprPtr MakeVar(std::string name, SourceLocation loc = {});
+  static ExprPtr MakeBin(runtime::BinOp op, ExprPtr l, ExprPtr r,
+                         SourceLocation loc = {});
+  static ExprPtr MakeUn(runtime::UnOp op, ExprPtr e, SourceLocation loc = {});
+  static ExprPtr MakeTuple(std::vector<ExprPtr> elems, SourceLocation loc = {});
+  static ExprPtr MakeRecord(std::vector<std::pair<std::string, ExprPtr>> fields,
+                            SourceLocation loc = {});
+  static ExprPtr MakeInt(int64_t v, SourceLocation loc = {});
+  static ExprPtr MakeDouble(double v, SourceLocation loc = {});
+  static ExprPtr MakeBool(bool v, SourceLocation loc = {});
+  static ExprPtr MakeString(std::string v, SourceLocation loc = {});
+  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args,
+                          SourceLocation loc = {});
+
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(node);
+  }
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(node);
+  }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements (Figure 1).
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  /// d ⊕= e
+  struct Incr {
+    LValuePtr dest;
+    runtime::BinOp op;
+    ExprPtr value;
+  };
+  /// d := e
+  struct Assign {
+    LValuePtr dest;
+    ExprPtr value;
+  };
+  /// var v : t = e
+  struct Decl {
+    std::string name;
+    TypePtr type;
+    ExprPtr init;  // may be null for collection types (empty array)
+  };
+  /// for v = e1, e2 do s
+  struct ForRange {
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    StmtPtr body;
+  };
+  /// for v in e do s
+  struct ForEach {
+    std::string var;
+    ExprPtr collection;
+    StmtPtr body;
+  };
+  /// while (e) s
+  struct While {
+    ExprPtr cond;
+    StmtPtr body;
+  };
+  /// if (e) s1 [else s2]
+  struct If {
+    ExprPtr cond;
+    StmtPtr then_branch;
+    StmtPtr else_branch;  // may be null
+  };
+  /// { s1; ...; sn }
+  struct Block {
+    std::vector<StmtPtr> stmts;
+  };
+
+  std::variant<Incr, Assign, Decl, ForRange, ForEach, While, If, Block> node;
+  SourceLocation loc;
+
+  static StmtPtr MakeIncr(LValuePtr d, runtime::BinOp op, ExprPtr e,
+                          SourceLocation loc = {});
+  static StmtPtr MakeAssign(LValuePtr d, ExprPtr e, SourceLocation loc = {});
+  static StmtPtr MakeDecl(std::string name, TypePtr type, ExprPtr init,
+                          SourceLocation loc = {});
+  static StmtPtr MakeForRange(std::string var, ExprPtr lo, ExprPtr hi,
+                              StmtPtr body, SourceLocation loc = {});
+  static StmtPtr MakeForEach(std::string var, ExprPtr coll, StmtPtr body,
+                             SourceLocation loc = {});
+  static StmtPtr MakeWhile(ExprPtr cond, StmtPtr body, SourceLocation loc = {});
+  static StmtPtr MakeIf(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch,
+                        SourceLocation loc = {});
+  static StmtPtr MakeBlock(std::vector<StmtPtr> stmts, SourceLocation loc = {});
+
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(node);
+  }
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(node);
+  }
+
+  std::string ToString() const;
+};
+
+/// A whole loop-based program: a statement block with top-level
+/// declarations. Undeclared free variables are inputs bound by the host.
+struct Program {
+  std::vector<StmtPtr> stmts;
+
+  std::string ToString() const;
+};
+
+/// True when `name` is one of the builtin math functions callable from
+/// expressions.
+bool IsBuiltinFunction(const std::string& name);
+
+}  // namespace diablo::ast
+
+#endif  // DIABLO_AST_AST_H_

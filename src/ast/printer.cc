@@ -1,0 +1,138 @@
+#include "ast/printer.h"
+
+#include <sstream>
+
+namespace diablo::ast {
+
+namespace {
+
+std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+void PrintStmtTo(const Stmt& stmt, int indent, std::ostringstream& os);
+
+}  // namespace
+
+// ----------------------------- expressions --------------------------------
+
+std::string LValue::ToString() const {
+  if (is_var()) return var().name;
+  if (is_proj()) return StrCat(proj().base->ToString(), ".", proj().field);
+  std::vector<std::string> idx;
+  for (const auto& e : index().indices) idx.push_back(e->ToString());
+  return StrCat(index().array, "[", Join(idx, ","), "]");
+}
+
+std::string Expr::ToString() const {
+  if (is<LVal>()) return as<LVal>().lvalue->ToString();
+  if (is<Bin>()) {
+    const auto& b = as<Bin>();
+    return StrCat("(", b.lhs->ToString(), " ", runtime::BinOpName(b.op), " ",
+                  b.rhs->ToString(), ")");
+  }
+  if (is<Un>()) {
+    const auto& u = as<Un>();
+    return StrCat(runtime::UnOpName(u.op), u.operand->ToString());
+  }
+  if (is<TupleCons>()) {
+    std::vector<std::string> es;
+    for (const auto& e : as<TupleCons>().elems) es.push_back(e->ToString());
+    return StrCat("(", Join(es, ","), ")");
+  }
+  if (is<RecordCons>()) {
+    std::vector<std::string> es;
+    for (const auto& [n, e] : as<RecordCons>().fields) {
+      es.push_back(StrCat(n, "=", e->ToString()));
+    }
+    return StrCat("<", Join(es, ","), ">");
+  }
+  if (is<IntConst>()) return StrCat(as<IntConst>().value);
+  if (is<DoubleConst>()) {
+    std::ostringstream os;
+    os << as<DoubleConst>().value;
+    std::string s = os.str();
+    // Keep doubles visibly doubles.
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    return s;
+  }
+  if (is<BoolConst>()) return as<BoolConst>().value ? "true" : "false";
+  if (is<StringConst>()) return StrCat("\"", as<StringConst>().value, "\"");
+  const auto& c = as<Call>();
+  std::vector<std::string> es;
+  for (const auto& e : c.args) es.push_back(e->ToString());
+  return StrCat(c.function, "(", Join(es, ","), ")");
+}
+
+// ----------------------------- statements ---------------------------------
+
+namespace {
+
+void PrintStmtTo(const Stmt& stmt, int indent, std::ostringstream& os) {
+  if (stmt.is<Stmt::Incr>()) {
+    const auto& s = stmt.as<Stmt::Incr>();
+    os << Ind(indent) << s.dest->ToString() << " "
+       << runtime::BinOpName(s.op) << "= " << s.value->ToString() << ";\n";
+  } else if (stmt.is<Stmt::Assign>()) {
+    const auto& s = stmt.as<Stmt::Assign>();
+    os << Ind(indent) << s.dest->ToString() << " := " << s.value->ToString()
+       << ";\n";
+  } else if (stmt.is<Stmt::Decl>()) {
+    const auto& s = stmt.as<Stmt::Decl>();
+    os << Ind(indent) << "var " << s.name << ": " << s.type->ToString();
+    if (s.init != nullptr) os << " = " << s.init->ToString();
+    os << ";\n";
+  } else if (stmt.is<Stmt::ForRange>()) {
+    const auto& s = stmt.as<Stmt::ForRange>();
+    os << Ind(indent) << "for " << s.var << " = " << s.lo->ToString() << ", "
+       << s.hi->ToString() << " do\n";
+    PrintStmtTo(*s.body, indent + 1, os);
+  } else if (stmt.is<Stmt::ForEach>()) {
+    const auto& s = stmt.as<Stmt::ForEach>();
+    os << Ind(indent) << "for " << s.var << " in "
+       << s.collection->ToString() << " do\n";
+    PrintStmtTo(*s.body, indent + 1, os);
+  } else if (stmt.is<Stmt::While>()) {
+    const auto& s = stmt.as<Stmt::While>();
+    os << Ind(indent) << "while (" << s.cond->ToString() << ")\n";
+    PrintStmtTo(*s.body, indent + 1, os);
+  } else if (stmt.is<Stmt::If>()) {
+    const auto& s = stmt.as<Stmt::If>();
+    os << Ind(indent) << "if (" << s.cond->ToString() << ")\n";
+    PrintStmtTo(*s.then_branch, indent + 1, os);
+    if (s.else_branch != nullptr) {
+      os << Ind(indent) << "else\n";
+      PrintStmtTo(*s.else_branch, indent + 1, os);
+    }
+  } else {
+    const auto& s = stmt.as<Stmt::Block>();
+    os << Ind(indent) << "{\n";
+    for (const auto& child : s.stmts) PrintStmtTo(*child, indent + 1, os);
+    os << Ind(indent) << "}\n";
+  }
+}
+
+}  // namespace
+
+std::string Stmt::ToString() const {
+  std::ostringstream os;
+  PrintStmtTo(*this, 0, os);
+  return os.str();
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const auto& s : stmts) PrintStmtTo(*s, 0, os);
+  return os.str();
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  PrintStmtTo(stmt, indent, os);
+  return os.str();
+}
+
+std::string PrintProgram(const Program& program) { return program.ToString(); }
+
+}  // namespace diablo::ast

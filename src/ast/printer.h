@@ -1,0 +1,19 @@
+#ifndef DIABLO_AST_PRINTER_H_
+#define DIABLO_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace diablo::ast {
+
+/// Pretty-prints a statement with indentation, one statement per line.
+/// `indent` is the initial indentation depth.
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+
+/// Pretty-prints a whole program.
+std::string PrintProgram(const Program& program);
+
+}  // namespace diablo::ast
+
+#endif  // DIABLO_AST_PRINTER_H_

@@ -1,0 +1,467 @@
+#include "baselines/casper_like.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "analysis/lvalues.h"
+#include "analysis/restrictions.h"
+#include "ast/ast.h"
+#include "common/strings.h"
+#include "exec/reference_interpreter.h"
+#include "parser/parser.h"
+#include "runtime/operators.h"
+#include "translate/translate.h"
+
+namespace diablo::baselines {
+
+using ast::Expr;
+using ast::ExprPtr;
+using ast::Stmt;
+using ast::StmtPtr;
+using runtime::BinOp;
+using runtime::Value;
+using runtime::ValueVec;
+
+namespace {
+
+/// The synthesis grammar: candidates are (filter predicate, map
+/// expression[, key expression]) drawn from terminals mined out of the
+/// source program, combined by binary operators up to depth 2.
+struct Grammar {
+  std::vector<ExprPtr> terminals;
+
+  /// All expressions of depth <= 2 (terminals and one binary node).
+  std::vector<ExprPtr> Depth2() const {
+    static const BinOp kOps[] = {BinOp::kAdd, BinOp::kMul, BinOp::kLt,
+                                 BinOp::kEq, BinOp::kAnd, BinOp::kOr};
+    std::vector<ExprPtr> out = terminals;
+    for (const ExprPtr& a : terminals) {
+      for (const ExprPtr& b : terminals) {
+        for (BinOp op : kOps) {
+          out.push_back(Expr::MakeBin(op, a, b));
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// Mines candidate terminals from the program: the loop variable, its
+/// projections, literals, and free scalar names (the way Casper seeds its
+/// grammar from the source).
+Grammar MineGrammar(const ast::Program& program, const std::string& loop_var) {
+  Grammar g;
+  g.terminals.push_back(Expr::MakeVar(loop_var));
+  std::set<std::string> seen;
+  std::function<void(const ExprPtr&)> mine_expr = [&](const ExprPtr& e) {
+    if (e == nullptr) return;
+    if (e->is<Expr::IntConst>() || e->is<Expr::DoubleConst>() ||
+        e->is<Expr::StringConst>() || e->is<Expr::BoolConst>()) {
+      std::string key = e->ToString();
+      if (seen.insert(key).second) g.terminals.push_back(e);
+      return;
+    }
+    if (e->is<Expr::LVal>()) {
+      const auto& d = e->as<Expr::LVal>().lvalue;
+      if (d->is_proj() && d->proj().base->is_var()) {
+        std::string key = StrCat(loop_var, ".", d->proj().field);
+        if (seen.insert(key).second) {
+          g.terminals.push_back(Expr::MakeLValue(ast::LValue::MakeProj(
+              ast::LValue::MakeVar(loop_var), d->proj().field)));
+        }
+      }
+      return;
+    }
+    if (e->is<Expr::Bin>()) {
+      mine_expr(e->as<Expr::Bin>().lhs);
+      mine_expr(e->as<Expr::Bin>().rhs);
+    }
+    if (e->is<Expr::Un>()) mine_expr(e->as<Expr::Un>().operand);
+    if (e->is<Expr::Call>()) {
+      for (const auto& a : e->as<Expr::Call>().args) mine_expr(a);
+    }
+  };
+  std::function<void(const StmtPtr&)> mine_stmt = [&](const StmtPtr& s) {
+    if (s->is<Stmt::Incr>()) {
+      mine_expr(s->as<Stmt::Incr>().value);
+      if (s->as<Stmt::Incr>().dest->is_index()) {
+        for (const auto& i : s->as<Stmt::Incr>().dest->index().indices) {
+          mine_expr(i);
+        }
+      }
+    } else if (s->is<Stmt::Assign>()) {
+      mine_expr(s->as<Stmt::Assign>().value);
+    } else if (s->is<Stmt::ForRange>()) {
+      mine_stmt(s->as<Stmt::ForRange>().body);
+    } else if (s->is<Stmt::ForEach>()) {
+      mine_stmt(s->as<Stmt::ForEach>().body);
+    } else if (s->is<Stmt::While>()) {
+      mine_stmt(s->as<Stmt::While>().body);
+    } else if (s->is<Stmt::If>()) {
+      mine_expr(s->as<Stmt::If>().cond);
+      mine_stmt(s->as<Stmt::If>().then_branch);
+      if (s->as<Stmt::If>().else_branch != nullptr) {
+        mine_stmt(s->as<Stmt::If>().else_branch);
+      }
+    } else if (s->is<Stmt::Block>()) {
+      for (const auto& c : s->as<Stmt::Block>().stmts) mine_stmt(c);
+    }
+  };
+  for (const auto& s : program.stmts) mine_stmt(s);
+  return g;
+}
+
+/// Finds the single for-in loop of a flat program; nullopt for anything
+/// more complex (several loops, nested loops, while loops, for-range).
+struct LoopShape {
+  std::string loop_var;
+  std::string collection;
+  /// Output: a scalar name or an indexed array name.
+  std::string output;
+  bool keyed = false;
+};
+
+void CountLoops(const StmtPtr& s, int* for_loops, int* other_loops) {
+  if (s->is<Stmt::ForEach>()) {
+    ++*for_loops;
+    CountLoops(s->as<Stmt::ForEach>().body, for_loops, other_loops);
+  } else if (s->is<Stmt::ForRange>()) {
+    ++*other_loops;
+    CountLoops(s->as<Stmt::ForRange>().body, for_loops, other_loops);
+  } else if (s->is<Stmt::While>()) {
+    ++*other_loops;
+    CountLoops(s->as<Stmt::While>().body, for_loops, other_loops);
+  } else if (s->is<Stmt::If>()) {
+    CountLoops(s->as<Stmt::If>().then_branch, for_loops, other_loops);
+    if (s->as<Stmt::If>().else_branch != nullptr) {
+      CountLoops(s->as<Stmt::If>().else_branch, for_loops, other_loops);
+    }
+  } else if (s->is<Stmt::Block>()) {
+    for (const auto& c : s->as<Stmt::Block>().stmts) {
+      CountLoops(c, for_loops, other_loops);
+    }
+  }
+}
+
+std::optional<LoopShape> AnalyzeShape(const ast::Program& program) {
+  int for_loops = 0, other_loops = 0;
+  const Stmt::ForEach* loop = nullptr;
+  std::function<void(const StmtPtr&)> find = [&](const StmtPtr& s) {
+    if (s->is<Stmt::ForEach>()) loop = &s->as<Stmt::ForEach>();
+    if (s->is<Stmt::Block>()) {
+      for (const auto& c : s->as<Stmt::Block>().stmts) find(c);
+    }
+  };
+  for (const auto& s : program.stmts) {
+    CountLoops(s, &for_loops, &other_loops);
+    find(s);
+  }
+  if (for_loops != 1 || other_loops != 0 || loop == nullptr) {
+    return std::nullopt;
+  }
+  if (!loop->collection->is<Expr::LVal>() ||
+      !loop->collection->as<Expr::LVal>().lvalue->is_var()) {
+    return std::nullopt;
+  }
+  // The body must be a single (possibly guarded) incremental update, or
+  // a block of scalar updates (each output is synthesized independently;
+  // the first one stands for the program).
+  const Stmt* body = loop->body.get();
+  if (body->is<Stmt::If>() && body->as<Stmt::If>().else_branch == nullptr) {
+    body = body->as<Stmt::If>().then_branch.get();
+  }
+  if (body->is<Stmt::Block>()) {
+    const auto& block = body->as<Stmt::Block>();
+    for (const auto& child : block.stmts) {
+      if (!child->is<Stmt::Incr>() ||
+          !child->as<Stmt::Incr>().dest->is_var()) {
+        return std::nullopt;
+      }
+    }
+    if (block.stmts.empty()) return std::nullopt;
+    body = block.stmts[0].get();
+  }
+  if (!body->is<Stmt::Incr>()) return std::nullopt;
+  const auto& incr = body->as<Stmt::Incr>();
+  LoopShape shape;
+  shape.loop_var = loop->var;
+  shape.collection =
+      loop->collection->as<Expr::LVal>().lvalue->var().name;
+  if (incr.dest->is_var()) {
+    shape.output = incr.dest->var().name;
+    shape.keyed = false;
+    return shape;
+  }
+  if (incr.dest->is_index() && incr.dest->index().indices.size() == 1) {
+    shape.output = incr.dest->index().array;
+    shape.keyed = true;
+    return shape;
+  }
+  return std::nullopt;
+}
+
+/// Evaluates a grammar expression for one collection element.
+StatusOr<Value> EvalCandidate(const ExprPtr& e, const std::string& loop_var,
+                              const Value& v,
+                              const std::map<std::string, Value>& scalars) {
+  if (e->is<Expr::IntConst>()) {
+    return Value::MakeInt(e->as<Expr::IntConst>().value);
+  }
+  if (e->is<Expr::DoubleConst>()) {
+    return Value::MakeDouble(e->as<Expr::DoubleConst>().value);
+  }
+  if (e->is<Expr::BoolConst>()) {
+    return Value::MakeBool(e->as<Expr::BoolConst>().value);
+  }
+  if (e->is<Expr::StringConst>()) {
+    return Value::MakeString(e->as<Expr::StringConst>().value);
+  }
+  if (e->is<Expr::LVal>()) {
+    const auto& d = e->as<Expr::LVal>().lvalue;
+    if (d->is_var()) {
+      if (d->var().name == loop_var) return v;
+      auto it = scalars.find(d->var().name);
+      if (it != scalars.end()) return it->second;
+      return Status::RuntimeError("unbound");
+    }
+    if (d->is_proj() && d->proj().base->is_var()) {
+      if (!v.is_record()) return Status::RuntimeError("not a record");
+      const Value* f = v.FindField(d->proj().field);
+      if (f == nullptr) return Status::RuntimeError("no field");
+      return *f;
+    }
+    return Status::RuntimeError("unsupported");
+  }
+  if (e->is<Expr::Bin>()) {
+    const auto& b = e->as<Expr::Bin>();
+    DIABLO_ASSIGN_OR_RETURN(Value l,
+                            EvalCandidate(b.lhs, loop_var, v, scalars));
+    DIABLO_ASSIGN_OR_RETURN(Value r,
+                            EvalCandidate(b.rhs, loop_var, v, scalars));
+    return runtime::EvalBinOp(b.op, l, r);
+  }
+  return Status::RuntimeError("unsupported");
+}
+
+}  // namespace
+
+BaselineResult CasperLikeTranslate(const std::string& source,
+                                   int64_t candidate_cap) {
+  BaselineResult result;
+  StatusOr<ast::Program> parsed_raw = parser::ParseProgram(source);
+  if (!parsed_raw.ok()) {
+    result.failure_reason = parsed_raw.status().ToString();
+    return result;
+  }
+  StatusOr<ast::Program> parsed =
+      analysis::CanonicalizeIncrements(*parsed_raw);
+  std::optional<LoopShape> shape = AnalyzeShape(*parsed);
+  if (!shape.has_value()) {
+    result.failure_reason =
+        "program shape outside the synthesizable fragment "
+        "(multiple/nested/range loops)";
+    return result;
+  }
+
+  // Build randomized verification inputs. Element kind is guessed from
+  // the mined terminals: strings when string literals appear, records
+  // when projections appear, doubles otherwise.
+  Grammar grammar = MineGrammar(*parsed, shape->loop_var);
+  // Free scalar inputs (like Equal's `x`) join the grammar terminals and
+  // are bound alongside the collection: every variable read that is not
+  // declared, not an array, not the loop variable and not written.
+  std::vector<std::string> free_scalars;
+  {
+    std::map<std::string, translate::VarInfo> vars =
+        translate::InferVars(*parsed);
+    std::set<std::string> written;
+    std::set<std::string> read;
+    for (const auto& s : parsed->stmts) {
+      for (const auto& info : analysis::CollectAccesses(*s)) {
+        for (const auto& d : info.writers) written.insert(d->RootName());
+        for (const auto& d : info.aggregators) written.insert(d->RootName());
+        for (const auto& d : info.readers) {
+          if (d->is_var()) read.insert(d->var().name);
+        }
+      }
+    }
+    for (const std::string& name : read) {
+      auto it = vars.find(name);
+      bool declared_or_array =
+          it != vars.end() && (it->second.declared || it->second.is_array);
+      if (!declared_or_array && name != shape->loop_var &&
+          written.count(name) == 0) {
+        free_scalars.push_back(name);
+        grammar.terminals.push_back(Expr::MakeVar(name));
+      }
+    }
+  }
+  bool has_string = false, has_proj = false;
+  std::vector<std::string> fields;
+  for (const ExprPtr& t : grammar.terminals) {
+    if (t->is<Expr::StringConst>()) has_string = true;
+    if (t->is<Expr::LVal>() && t->as<Expr::LVal>().lvalue->is_proj()) {
+      has_proj = true;
+      fields.push_back(t->as<Expr::LVal>().lvalue->proj().field);
+    }
+  }
+  std::mt19937_64 rng(20200321);
+  auto make_element = [&](int i) -> Value {
+    if (has_string) {
+      return Value::MakeString(StrCat("key", (i % 5) + 1));
+    }
+    if (has_proj) {
+      runtime::FieldVec fv;
+      for (const std::string& f : fields) {
+        fv.emplace_back(f, Value::MakeInt(static_cast<int64_t>(rng() % 4)));
+      }
+      return Value::MakeRecord(std::move(fv));
+    }
+    // A small value pool straddling the typical mined thresholds, so
+    // equality and comparison candidates are distinguishable.
+    static const double kPool[] = {0, 1, 2, 99, 100, 150};
+    return Value::MakeDouble(kPool[rng() % 6]);
+  };
+
+  constexpr int kNumTests = 3;
+  constexpr int kElems = 8;
+  std::vector<ValueVec> test_inputs;
+  std::vector<Value> expected;
+  // Free scalars are bound to an element-kind value (Casper mines input
+  // bindings from the harness the same way).
+  std::map<std::string, Value> scalar_bindings;
+  for (const std::string& name : free_scalars) {
+    scalar_bindings[name] = make_element(0);
+  }
+  for (int t = 0; t < kNumTests; ++t) {
+    ValueVec elems;
+    Value constant = make_element(0);
+    for (int i = 0; i < kElems; ++i) {
+      // The first test uses a constant collection: it separates
+      // all-equal-sensitive programs (Equal) from trivially-false
+      // candidates that bounded testing could not otherwise reject.
+      elems.push_back(Value::MakePair(
+          Value::MakeInt(i), t == 0 ? constant : make_element(i)));
+    }
+    exec::ReferenceInterpreter ref;
+    exec::ReferenceInterpreter::Bindings inputs;
+    inputs[shape->collection] = Value::MakeBag(elems);
+    for (const auto& [name, value] : scalar_bindings) inputs[name] = value;
+    Status st = ref.Run(*parsed, inputs);
+    if (!st.ok()) {
+      result.failure_reason =
+          StrCat("could not model inputs: ", st.ToString());
+      return result;
+    }
+    StatusOr<Value> out = shape->keyed ? ref.GetArray(shape->output)
+                                       : ref.GetScalar(shape->output);
+    if (!out.ok()) {
+      result.failure_reason = out.status().ToString();
+      return result;
+    }
+    test_inputs.push_back(std::move(elems));
+    expected.push_back(std::move(*out));
+  }
+
+  // Enumerate candidates: (predicate, map expr[, key expr], operator).
+  static const BinOp kReduceOps[] = {BinOp::kAdd, BinOp::kMul, BinOp::kMin,
+                                     BinOp::kMax, BinOp::kAnd, BinOp::kOr};
+  std::vector<ExprPtr> exprs = grammar.Depth2();
+  std::vector<ExprPtr> preds = exprs;
+  preds.insert(preds.begin(), Expr::MakeBool(true));
+
+  auto verify = [&](const ExprPtr& pred, const ExprPtr& key,
+                    const ExprPtr& map, BinOp op) -> bool {
+    for (int t = 0; t < kNumTests; ++t) {
+      std::map<Value, Value> agg;
+      Value scalar_acc;
+      bool have_scalar = false;
+      for (const Value& pair : test_inputs[t]) {
+        const Value& v = pair.tuple()[1];
+        StatusOr<Value> p = EvalCandidate(pred, shape->loop_var, v,
+                                          scalar_bindings);
+        if (!p.ok() || !p->is_bool()) return false;
+        if (!p->AsBool()) continue;
+        StatusOr<Value> m = EvalCandidate(map, shape->loop_var, v,
+                                          scalar_bindings);
+        if (!m.ok()) return false;
+        if (shape->keyed) {
+          StatusOr<Value> k =
+              EvalCandidate(key, shape->loop_var, v, scalar_bindings);
+          if (!k.ok()) return false;
+          auto it = agg.find(*k);
+          if (it == agg.end()) {
+            agg.emplace(*k, *m);
+          } else {
+            StatusOr<Value> combined = runtime::EvalBinOp(op, it->second, *m);
+            if (!combined.ok()) return false;
+            it->second = *combined;
+          }
+        } else if (!have_scalar) {
+          scalar_acc = *m;
+          have_scalar = true;
+        } else {
+          StatusOr<Value> combined = runtime::EvalBinOp(op, scalar_acc, *m);
+          if (!combined.ok()) return false;
+          scalar_acc = *combined;
+        }
+      }
+      if (shape->keyed) {
+        ValueVec rows;
+        for (const auto& [k, val] : agg) {
+          rows.push_back(Value::MakePair(k, val));
+        }
+        if (!runtime::AlmostEquals(Value::MakeBag(std::move(rows)),
+                                   expected[t], 1e-9)) {
+          return false;
+        }
+      } else {
+        if (!have_scalar) {
+          // Nothing passed the filter: the fold yields the identity.
+          scalar_acc = runtime::MonoidIdentity(op, Value::MakeDouble(0));
+        }
+        if (!runtime::AlmostEquals(scalar_acc, expected[t], 1e-9)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  std::vector<ExprPtr> keys =
+      shape->keyed ? exprs : std::vector<ExprPtr>{Expr::MakeInt(0)};
+  for (const ExprPtr& pred : preds) {
+    for (const ExprPtr& key : keys) {
+      for (const ExprPtr& map : exprs) {
+        for (BinOp op : kReduceOps) {
+          if (++result.states_explored > candidate_cap) {
+            result.failure_reason = "candidate space exhausted";
+            return result;
+          }
+          if (verify(pred, key, map, op)) {
+            result.success = true;
+            result.output = StrCat(
+                shape->output, " = ", shape->collection, ".filter(",
+                shape->loop_var, " => ", pred->ToString(), ")",
+                shape->keyed
+                    ? StrCat(".map(", shape->loop_var, " => (",
+                             key->ToString(), ", ", map->ToString(),
+                             ")).reduceByKey(_", runtime::BinOpName(op), "_)")
+                    : StrCat(".map(", shape->loop_var, " => ",
+                             map->ToString(), ").reduce(_",
+                             runtime::BinOpName(op), "_)"));
+            return result;
+          }
+        }
+      }
+    }
+  }
+  result.failure_reason = "no candidate verified";
+  return result;
+}
+
+}  // namespace diablo::baselines

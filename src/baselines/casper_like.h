@@ -1,0 +1,24 @@
+#ifndef DIABLO_BASELINES_CASPER_LIKE_H_
+#define DIABLO_BASELINES_CASPER_LIKE_H_
+
+#include <string>
+
+#include "baselines/mold_like.h"
+
+namespace diablo::baselines {
+
+/// A synthesize-and-verify translator in the style of Casper (Ahmad &
+/// Cheung, SIGMOD 2018): enumerates candidate map/reduce program
+/// summaries from a small expression grammar and checks each against the
+/// sequential reference semantics on randomized inputs (Casper uses a
+/// Dafny proof; bounded testing is strictly cheaper, so the translation-
+/// time gap reproduced here is conservative). Handles only flat
+/// single-collection loops computing one scalar or one keyed aggregate —
+/// everything else fails, like the `fail` entries of Table 1.
+/// `candidate_cap` bounds the enumeration.
+BaselineResult CasperLikeTranslate(const std::string& source,
+                                   int64_t candidate_cap = 2000000);
+
+}  // namespace diablo::baselines
+
+#endif  // DIABLO_BASELINES_CASPER_LIKE_H_

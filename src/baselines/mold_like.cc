@@ -1,0 +1,278 @@
+#include "baselines/mold_like.h"
+
+#include <vector>
+
+#include "analysis/lvalues.h"
+#include "analysis/restrictions.h"
+#include "ast/ast.h"
+#include "common/strings.h"
+#include "parser/parser.h"
+
+namespace diablo::baselines {
+
+using ast::Expr;
+using ast::LValue;
+using ast::Stmt;
+using ast::StmtPtr;
+
+namespace {
+
+/// A translation state: statements still to be covered by templates plus
+/// the pseudo-Spark fragments produced so far.
+struct SearchState {
+  std::vector<StmtPtr> pending;
+  std::vector<std::string> emitted;
+};
+
+class MoldSearch {
+ public:
+  explicit MoldSearch(int64_t cap) : cap_(cap) {}
+
+  bool Run(SearchState state, std::vector<std::string>* out) {
+    if (state.pending.empty()) {
+      *out = state.emitted;
+      return true;
+    }
+    if (++explored_ > cap_) {
+      exhausted_ = true;
+      return false;
+    }
+    StmtPtr next = state.pending.front();
+    std::vector<StmtPtr> rest(state.pending.begin() + 1,
+                              state.pending.end());
+
+    // Template attempts, each charged for the subtree walk it performs.
+    for (int rule = 0; rule < kNumRules; ++rule) {
+      explored_ += Size(*next);
+      if (explored_ > cap_) {
+        exhausted_ = true;
+        return false;
+      }
+      std::vector<std::string> emitted;
+      std::vector<StmtPtr> replacement;
+      if (!ApplyRule(rule, next, &emitted, &replacement)) continue;
+      SearchState child;
+      child.pending = replacement;
+      for (const StmtPtr& s : rest) child.pending.push_back(s);
+      child.emitted = state.emitted;
+      for (std::string& e : emitted) child.emitted.push_back(std::move(e));
+      if (Run(std::move(child), out)) return true;
+    }
+    return false;
+  }
+
+  int64_t explored() const { return explored_; }
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  static constexpr int kNumRules = 6;
+
+  static int Size(const Stmt& s) {
+    if (s.is<Stmt::Block>()) {
+      int n = 1;
+      for (const auto& c : s.as<Stmt::Block>().stmts) n += Size(*c);
+      return n;
+    }
+    if (s.is<Stmt::ForRange>()) return 1 + Size(*s.as<Stmt::ForRange>().body);
+    if (s.is<Stmt::ForEach>()) return 1 + Size(*s.as<Stmt::ForEach>().body);
+    if (s.is<Stmt::While>()) return 1 + Size(*s.as<Stmt::While>().body);
+    if (s.is<Stmt::If>()) {
+      int n = 1 + Size(*s.as<Stmt::If>().then_branch);
+      if (s.as<Stmt::If>().else_branch != nullptr) {
+        n += Size(*s.as<Stmt::If>().else_branch);
+      }
+      return n;
+    }
+    return 1;
+  }
+
+  /// True when the expression only reads the loop variable and loop
+  /// constants (no other array reads), i.e. fits a flat template.
+  static bool FlatExpr(const ast::ExprPtr& e, const std::string& loop_var) {
+    std::vector<ast::LValuePtr> reads;
+    analysis::CollectExprReads(e, &reads);
+    for (const auto& d : reads) {
+      if (d->is_var()) continue;  // scalars and the loop variable
+      if (d->is_index()) return false;
+      if (d->is_proj() && !d->proj().base->is_var()) return false;
+    }
+    (void)loop_var;
+    return true;
+  }
+
+  bool ApplyRule(int rule, const StmtPtr& s,
+                 std::vector<std::string>* emitted,
+                 std::vector<StmtPtr>* replacement) {
+    switch (rule) {
+      case 0: {  // fold: for v in V do <scalar> op= f(v)
+        if (!s->is<Stmt::ForEach>()) return false;
+        const auto& loop = s->as<Stmt::ForEach>();
+        const Stmt* body = loop.body.get();
+        if (!body->is<Stmt::Incr>()) return false;
+        const auto& incr = body->as<Stmt::Incr>();
+        if (!incr.dest->is_var()) return false;
+        if (!FlatExpr(incr.value, loop.var)) return false;
+        emitted->push_back(StrCat(
+            incr.dest->ToString(), " = ", loop.collection->ToString(),
+            ".map(", loop.var, " => ", incr.value->ToString(), ").reduce(_",
+            runtime::BinOpName(incr.op), "_)"));
+        return true;
+      }
+      case 1: {  // filtered fold: for v in V do if (c) <scalar> op= f(v)
+        if (!s->is<Stmt::ForEach>()) return false;
+        const auto& loop = s->as<Stmt::ForEach>();
+        if (!loop.body->is<Stmt::If>()) return false;
+        const auto& branch = loop.body->as<Stmt::If>();
+        if (branch.else_branch != nullptr) return false;
+        if (!branch.then_branch->is<Stmt::Incr>()) return false;
+        const auto& incr = branch.then_branch->as<Stmt::Incr>();
+        if (!incr.dest->is_var()) return false;
+        if (!FlatExpr(branch.cond, loop.var) ||
+            !FlatExpr(incr.value, loop.var)) {
+          return false;
+        }
+        emitted->push_back(StrCat(
+            incr.dest->ToString(), " = ", loop.collection->ToString(),
+            ".filter(", loop.var, " => ", branch.cond->ToString(), ").map(",
+            loop.var, " => ", incr.value->ToString(), ").reduce(_",
+            runtime::BinOpName(incr.op), "_)"));
+        return true;
+      }
+      case 2: {  // group-by: for v in V do C[k(v)] op= f(v)
+        if (!s->is<Stmt::ForEach>()) return false;
+        const auto& loop = s->as<Stmt::ForEach>();
+        if (!loop.body->is<Stmt::Incr>()) return false;
+        const auto& incr = loop.body->as<Stmt::Incr>();
+        if (!incr.dest->is_index() ||
+            incr.dest->index().indices.size() != 1) {
+          return false;
+        }
+        if (!FlatExpr(incr.dest->index().indices[0], loop.var) ||
+            !FlatExpr(incr.value, loop.var)) {
+          return false;
+        }
+        emitted->push_back(StrCat(
+            incr.dest->index().array, " = ", loop.collection->ToString(),
+            ".map(", loop.var, " => (",
+            incr.dest->index().indices[0]->ToString(), ", ",
+            incr.value->ToString(), ")).reduceByKey(_",
+            runtime::BinOpName(incr.op), "_)"));
+        return true;
+      }
+      case 3: {  // map: for i = a,b do A[i] := f(B[i])
+        if (!s->is<Stmt::ForRange>()) return false;
+        const auto& loop = s->as<Stmt::ForRange>();
+        if (!loop.body->is<Stmt::Assign>()) return false;
+        const auto& assign = loop.body->as<Stmt::Assign>();
+        if (!assign.dest->is_index() ||
+            assign.dest->index().indices.size() != 1) {
+          return false;
+        }
+        const auto& idx = assign.dest->index().indices[0];
+        if (!idx->is<Expr::LVal>() ||
+            !idx->as<Expr::LVal>().lvalue->is_var() ||
+            idx->as<Expr::LVal>().lvalue->var().name != loop.var) {
+          return false;
+        }
+        // The right-hand side may index exactly one array at [i].
+        std::vector<ast::LValuePtr> reads;
+        analysis::CollectExprReads(assign.value, &reads);
+        std::string src;
+        for (const auto& d : reads) {
+          if (!d->is_index()) continue;
+          if (d->index().indices.size() != 1) return false;
+          const auto& ri = d->index().indices[0];
+          if (!ri->is<Expr::LVal>() ||
+              !ri->as<Expr::LVal>().lvalue->is_var() ||
+              ri->as<Expr::LVal>().lvalue->var().name != loop.var) {
+            return false;
+          }
+          if (!src.empty() && src != d->index().array) return false;
+          src = d->index().array;
+        }
+        if (src.empty()) return false;
+        emitted->push_back(StrCat(assign.dest->index().array, " = ", src,
+                                  ".map { case (", loop.var, ", _v) => (",
+                                  loop.var, ", ",
+                                  assign.value->ToString(), ") }"));
+        return true;
+      }
+      case 4: {  // loop splitting: for .. do { s1; ...; sn }
+        bool is_range = s->is<Stmt::ForRange>();
+        if (!is_range && !s->is<Stmt::ForEach>()) return false;
+        const StmtPtr& body = is_range ? s->as<Stmt::ForRange>().body
+                                       : s->as<Stmt::ForEach>().body;
+        if (!body->is<Stmt::Block>()) return false;
+        const auto& block = body->as<Stmt::Block>();
+        if (block.stmts.size() < 2) return false;
+        for (const auto& child : block.stmts) {
+          StmtPtr wrapped =
+              is_range
+                  ? Stmt::MakeForRange(s->as<Stmt::ForRange>().var,
+                                       s->as<Stmt::ForRange>().lo,
+                                       s->as<Stmt::ForRange>().hi, child)
+                  : Stmt::MakeForEach(s->as<Stmt::ForEach>().var,
+                                      s->as<Stmt::ForEach>().collection,
+                                      child);
+          replacement->push_back(std::move(wrapped));
+        }
+        return true;
+      }
+      case 5: {  // pass-through for declarations and scalar statements
+        if (s->is<Stmt::Decl>()) {
+          emitted->push_back(StrCat("// ", s->ToString()));
+          return true;
+        }
+        if (s->is<Stmt::Assign>() &&
+            s->as<Stmt::Assign>().dest->is_var()) {
+          emitted->push_back(s->ToString());
+          return true;
+        }
+        if (s->is<Stmt::Block>()) {
+          for (const auto& child : s->as<Stmt::Block>().stmts) {
+            replacement->push_back(child);
+          }
+          return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  int64_t cap_;
+  int64_t explored_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+BaselineResult MoldLikeTranslate(const std::string& source,
+                                 int64_t state_cap) {
+  BaselineResult result;
+  StatusOr<ast::Program> parsed = parser::ParseProgram(source);
+  if (!parsed.ok()) {
+    result.failure_reason = parsed.status().ToString();
+    return result;
+  }
+  // Recognize d := d ⊕ e as an incremental update, as MOLD's fold
+  // detection does.
+  ast::Program canonical = analysis::CanonicalizeIncrements(*parsed);
+  SearchState initial;
+  initial.pending = canonical.stmts;
+  MoldSearch search(state_cap);
+  std::vector<std::string> out;
+  if (search.Run(std::move(initial), &out)) {
+    result.success = true;
+    result.output = Join(out, "\n");
+  } else {
+    result.failure_reason = search.exhausted()
+                                ? "template search exhausted"
+                                : "no template covers the program";
+  }
+  result.states_explored = search.explored();
+  return result;
+}
+
+}  // namespace diablo::baselines

@@ -1,0 +1,33 @@
+#ifndef DIABLO_BASELINES_MOLD_LIKE_H_
+#define DIABLO_BASELINES_MOLD_LIKE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace diablo::baselines {
+
+/// Outcome of a baseline translation attempt.
+struct BaselineResult {
+  bool success = false;
+  /// Pseudo-Spark rendering of the translated program (when successful).
+  std::string output;
+  /// Search effort: states explored (MOLD-like) or candidates tried
+  /// (Casper-like).
+  int64_t states_explored = 0;
+  std::string failure_reason;
+};
+
+/// A template-rewrite translator in the style of MOLD (Radoi et al.,
+/// OOPSLA 2014): a database of syntactic loop templates (fold, map,
+/// group-by) applied by an exhaustive search over rewrite sequences, with
+/// no compositional fallback. Succeeds only when the whole program can be
+/// covered by templates; the search cost grows combinatorially with the
+/// number of statements and loop nests, reproducing the orders-of-
+/// magnitude translation-time gap of Table 1. `state_cap` bounds the
+/// search; exceeding it is a failure.
+BaselineResult MoldLikeTranslate(const std::string& source,
+                                 int64_t state_cap = 2000000);
+
+}  // namespace diablo::baselines
+
+#endif  // DIABLO_BASELINES_MOLD_LIKE_H_

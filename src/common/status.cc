@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace diablo {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kRestrictionViolation:
+      return "RestrictionViolation";
+    case StatusCode::kTranslationError:
+      return "TranslationError";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace diablo

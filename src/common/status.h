@@ -1,0 +1,140 @@
+#ifndef DIABLO_COMMON_STATUS_H_
+#define DIABLO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace diablo {
+
+/// Error categories used throughout the DIABLO pipeline.
+enum class StatusCode {
+  kOk = 0,
+  /// Lexical or syntactic error in the loop-language source.
+  kParseError,
+  /// The program violates the parallelization restrictions of
+  /// Definition 3.1 (recurrences, non-affine destinations, ...).
+  kRestrictionViolation,
+  /// A semantic error found during translation (unknown variable, arity
+  /// mismatch, ...).
+  kTranslationError,
+  /// A runtime error during plan or program evaluation (type mismatch,
+  /// division by zero, ...).
+  kRuntimeError,
+  /// A malformed request against the public API.
+  kInvalidArgument,
+  /// The requested feature exists in the paper but was explicitly out of
+  /// scope for a component (e.g. baseline translators on complex loops).
+  kUnsupported,
+};
+
+/// Returns a human-readable name for a status code ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail; carries a code and a message.
+///
+/// DIABLO follows the RocksDB/Arrow convention of returning Status values
+/// rather than throwing exceptions across library boundaries. A Status is
+/// cheap to copy when OK (no allocation happens for the OK singleton
+/// message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status RestrictionViolation(std::string msg) {
+    return Status(StatusCode::kRestrictionViolation, std::move(msg));
+  }
+  static Status TranslationError(std::string msg) {
+    return Status(StatusCode::kTranslationError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from an error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Implicit construction from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define DIABLO_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::diablo::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// moves the value into `lhs`.
+#define DIABLO_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DIABLO_CONCAT_(_sor_, __LINE__) = (expr);               \
+  if (!DIABLO_CONCAT_(_sor_, __LINE__).ok())                   \
+    return DIABLO_CONCAT_(_sor_, __LINE__).status();           \
+  lhs = std::move(DIABLO_CONCAT_(_sor_, __LINE__)).value()
+
+#define DIABLO_CONCAT_IMPL_(a, b) a##b
+#define DIABLO_CONCAT_(a, b) DIABLO_CONCAT_IMPL_(a, b)
+
+}  // namespace diablo
+
+#endif  // DIABLO_COMMON_STATUS_H_

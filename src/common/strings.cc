@@ -1,0 +1,24 @@
+#include "common/strings.h"
+
+namespace diablo {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string LocationString(const SourceLocation& loc) {
+  return StrCat("line ", loc.line, ", column ", loc.column);
+}
+
+}  // namespace diablo

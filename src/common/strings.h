@@ -1,0 +1,37 @@
+#ifndef DIABLO_COMMON_STRINGS_H_
+#define DIABLO_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diablo {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// A position in a source file, 1-based.
+struct SourceLocation {
+  int line = 1;
+  int column = 1;
+};
+
+/// Formats a location as "line L, column C".
+std::string LocationString(const SourceLocation& loc);
+
+}  // namespace diablo
+
+#endif  // DIABLO_COMMON_STRINGS_H_

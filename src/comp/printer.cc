@@ -1,0 +1,119 @@
+#include <sstream>
+
+#include "common/strings.h"
+#include "comp/comp.h"
+
+namespace diablo::comp {
+
+std::string Pattern::ToString() const {
+  if (!is_tuple) return var;
+  std::vector<std::string> parts;
+  for (const Pattern& p : elems) parts.push_back(p.ToString());
+  return StrCat("(", Join(parts, ","), ")");
+}
+
+std::string CExpr::ToString() const {
+  if (is<Var>()) return as<Var>().name;
+  if (is<Bin>()) {
+    const auto& b = as<Bin>();
+    return StrCat("(", b.lhs->ToString(), " ", runtime::BinOpName(b.op), " ",
+                  b.rhs->ToString(), ")");
+  }
+  if (is<Un>()) {
+    const auto& u = as<Un>();
+    return StrCat(runtime::UnOpName(u.op), u.operand->ToString());
+  }
+  if (is<TupleCons>()) {
+    std::vector<std::string> parts;
+    for (const auto& e : as<TupleCons>().elems) parts.push_back(e->ToString());
+    return StrCat("(", Join(parts, ","), ")");
+  }
+  if (is<RecordCons>()) {
+    std::vector<std::string> parts;
+    for (const auto& [n, e] : as<RecordCons>().fields) {
+      parts.push_back(StrCat(n, "=", e->ToString()));
+    }
+    return StrCat("<", Join(parts, ","), ">");
+  }
+  if (is<Proj>()) {
+    return StrCat(as<Proj>().base->ToString(), ".", as<Proj>().field);
+  }
+  if (is<IntConst>()) return StrCat(as<IntConst>().value);
+  if (is<DoubleConst>()) {
+    std::ostringstream os;
+    os << as<DoubleConst>().value;
+    return os.str();
+  }
+  if (is<BoolConst>()) return as<BoolConst>().value ? "true" : "false";
+  if (is<StringConst>()) return StrCat("\"", as<StringConst>().value, "\"");
+  if (is<Call>()) {
+    std::vector<std::string> parts;
+    for (const auto& e : as<Call>().args) parts.push_back(e->ToString());
+    return StrCat(as<Call>().function, "(", Join(parts, ","), ")");
+  }
+  if (is<Reduce>()) {
+    return StrCat(runtime::BinOpName(as<Reduce>().op), "/",
+                  as<Reduce>().arg->ToString());
+  }
+  if (is<Nested>()) return as<Nested>().comp->ToString();
+  if (is<Range>()) {
+    return StrCat("range(", as<Range>().lo->ToString(), ",",
+                  as<Range>().hi->ToString(), ")");
+  }
+  if (is<Merge>()) {
+    const auto& m = as<Merge>();
+    std::string op = m.has_op ? StrCat("<|", runtime::BinOpName(m.op)) : "<|";
+    return StrCat(m.left->ToString(), " ", op, " ", m.right->ToString());
+  }
+  std::vector<std::string> parts;
+  for (const auto& e : as<BagCons>().elems) parts.push_back(e->ToString());
+  return StrCat("{", Join(parts, ","), "}");
+}
+
+std::string Qualifier::ToString() const {
+  switch (kind) {
+    case Kind::kGenerator:
+      return StrCat(pattern.ToString(), " <- ", expr->ToString());
+    case Kind::kLet:
+      return StrCat("let ", pattern.ToString(), " = ", expr->ToString());
+    case Kind::kCondition:
+      return expr->ToString();
+    case Kind::kGroupBy:
+      if (expr == nullptr) return StrCat("group by ", pattern.ToString());
+      return StrCat("group by ", pattern.ToString(), " : ",
+                    expr->ToString());
+  }
+  return "?";
+}
+
+std::string Comprehension::ToString() const {
+  std::vector<std::string> parts;
+  for (const Qualifier& q : qualifiers) parts.push_back(q.ToString());
+  return StrCat("{ ", head->ToString(), " | ", Join(parts, ", "), " }");
+}
+
+std::string TargetStmt::ToString() const {
+  if (is<Assign>()) {
+    const auto& a = as<Assign>();
+    return StrCat(a.var, " := ", a.value->ToString(), ";\n");
+  }
+  if (is<While>()) {
+    const auto& w = as<While>();
+    std::string out = StrCat("while (", w.cond->ToString(), ") {\n");
+    for (const auto& s : w.body) out += StrCat("  ", s->ToString());
+    out += "}\n";
+    return out;
+  }
+  const auto& d = as<Declare>();
+  return StrCat("declare ", d.var, d.is_array ? " : array" : " : scalar",
+                d.init != nullptr ? StrCat(" = ", d.init->ToString()) : "",
+                ";\n");
+}
+
+std::string TargetProgram::ToString() const {
+  std::string out;
+  for (const auto& s : stmts) out += s->ToString();
+  return out;
+}
+
+}  // namespace diablo::comp

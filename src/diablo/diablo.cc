@@ -1,0 +1,68 @@
+#include "diablo/diablo.h"
+
+#include "analysis/restrictions.h"
+#include "normalize/normalize.h"
+#include "parser/parser.h"
+
+namespace diablo {
+
+StatusOr<CompiledProgram> Compile(const std::string& source,
+                                  const CompileOptions& options) {
+  DIABLO_ASSIGN_OR_RETURN(ast::Program parsed, parser::ParseProgram(source));
+  CompiledProgram out;
+  out.source = analysis::CanonicalizeIncrements(parsed);
+  if (options.check_restrictions) {
+    DIABLO_RETURN_IF_ERROR(analysis::CheckRestrictions(out.source));
+  }
+  DIABLO_ASSIGN_OR_RETURN(translate::TranslationResult translated,
+                          translate::Translate(out.source));
+  out.vars = std::move(translated.vars);
+  comp::NameGen names("n");
+  comp::TargetProgram normalized =
+      normalize::NormalizeTarget(translated.program, &names);
+  if (options.enable_optimizer) {
+    out.target = opt::OptimizeTarget(normalized, &names, options.optimize);
+  } else {
+    out.target = std::move(normalized);
+  }
+  return out;
+}
+
+StatusOr<ProgramRun> Run(const CompiledProgram& program,
+                         runtime::Engine* engine, const Bindings& inputs,
+                         const RunOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("Run requires an engine");
+  }
+  auto executor = std::make_unique<exec::TargetExecutor>(engine);
+  if (!options.tiled_arrays.empty()) {
+    executor->EnableTiledStorage(options.tiled_arrays, options.tile_config);
+  }
+  DIABLO_RETURN_IF_ERROR(executor->Run(program.target, inputs));
+  return ProgramRun(std::move(executor));
+}
+
+StatusOr<ProgramRun> CompileAndRun(const std::string& source,
+                                   runtime::Engine* engine,
+                                   const Bindings& inputs,
+                                   const CompileOptions& options) {
+  DIABLO_ASSIGN_OR_RETURN(CompiledProgram program, Compile(source, options));
+  return Run(program, engine, inputs);
+}
+
+StatusOr<std::unique_ptr<exec::ReferenceInterpreter>> RunReference(
+    const std::string& source, const Bindings& inputs) {
+  DIABLO_ASSIGN_OR_RETURN(ast::Program parsed, parser::ParseProgram(source));
+  auto interp = std::make_unique<exec::ReferenceInterpreter>();
+  DIABLO_RETURN_IF_ERROR(interp->Run(parsed, inputs));
+  return interp;
+}
+
+StatusOr<std::unique_ptr<algebra::LocalExecutor>> RunLocal(
+    const CompiledProgram& program, const Bindings& inputs) {
+  auto executor = std::make_unique<algebra::LocalExecutor>();
+  DIABLO_RETURN_IF_ERROR(executor->Run(program.target, inputs));
+  return executor;
+}
+
+}  // namespace diablo

@@ -1,0 +1,109 @@
+#ifndef DIABLO_EXEC_REFERENCE_INTERPRETER_H_
+#define DIABLO_EXEC_REFERENCE_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "runtime/value.h"
+
+namespace diablo::exec {
+
+/// The sequential reference semantics of the loop language — a direct
+/// implementation of the denotational semantics of Figure 4 / Appendix A.
+///
+/// This interpreter executes programs exactly as written, one loop
+/// iteration at a time, and is the ground truth the translated distributed
+/// programs are validated against (Theorem A.1, soundness).
+///
+/// Value conventions:
+///  * Sparse arrays (vector/matrix/map/bag variables) are key-value maps.
+///    The host binds them as bags of (key, value) pairs.
+///  * Reading a missing array element yields the *empty bag* under the
+///    paper's lifted semantics (§3.4): any statement whose right-hand side
+///    or destination indexes read a missing element does nothing.
+///  * Exception (shared with the translated programs): the *current value*
+///    of the destination of an incremental update `d ⊕= e` defaults to the
+///    identity of ⊕ when the element does not exist yet. Without this
+///    convention the paper's own WordCount (`C[w] += 1` on an initially
+///    empty map) would never insert anything.
+class ReferenceInterpreter {
+ public:
+  /// Host-provided inputs: bag values are treated as sparse arrays (their
+  /// elements must be (key, value) pairs), everything else as scalars.
+  using Bindings = std::map<std::string, runtime::Value>;
+
+  /// Runs `program` with the given input bindings. On success the final
+  /// state is queryable through GetScalar / GetArray.
+  Status Run(const ast::Program& program, const Bindings& inputs);
+
+  /// The final value of a scalar variable.
+  StatusOr<runtime::Value> GetScalar(const std::string& name) const;
+
+  /// The final contents of an array variable as a bag of (key, value)
+  /// pairs sorted by key.
+  StatusOr<runtime::Value> GetArray(const std::string& name) const;
+
+  /// Number of loop-body iterations executed (for tests and benchmarks).
+  int64_t iterations() const { return iterations_; }
+
+ private:
+  struct ArrayVar {
+    std::map<runtime::Value, runtime::Value> elems;
+  };
+  struct ScalarVar {
+    runtime::Value value;
+  };
+  /// Either a scalar or an array; arrays are mutable in place.
+  struct Variable {
+    bool is_array = false;
+    ScalarVar scalar;
+    ArrayVar array;
+  };
+
+  /// An expression result under the lifted semantics: present or absent.
+  struct Lifted {
+    bool present = false;
+    runtime::Value value;
+
+    static Lifted Absent() { return Lifted{}; }
+    static Lifted Of(runtime::Value v) {
+      Lifted l;
+      l.present = true;
+      l.value = std::move(v);
+      return l;
+    }
+  };
+
+  StatusOr<Lifted> EvalExpr(const ast::Expr& e);
+  StatusOr<Lifted> EvalLValueRead(const ast::LValue& d);
+  StatusOr<Lifted> EvalCall(const ast::Expr::Call& call);
+
+  Status ExecStmt(const ast::Stmt& s);
+  Status ExecAssign(const ast::LValue& dest, const runtime::Value& v);
+  Status ExecIncr(const ast::LValue& dest, runtime::BinOp op,
+                  const runtime::Value& v);
+
+  /// Resolves the array element / scalar slot a destination denotes.
+  /// Returns the variable, plus the index key for array destinations and
+  /// the field path for projections.
+  struct ResolvedDest {
+    Variable* var = nullptr;
+    bool indexed = false;
+    runtime::Value key;                  // valid when indexed
+    std::vector<std::string> field_path; // outermost-first projections
+    bool index_present = true;           // false if an index expr was absent
+  };
+  StatusOr<ResolvedDest> ResolveDest(const ast::LValue& d);
+
+  Variable& VarSlot(const std::string& name);
+
+  std::unordered_map<std::string, Variable> vars_;
+  int64_t iterations_ = 0;
+};
+
+}  // namespace diablo::exec
+
+#endif  // DIABLO_EXEC_REFERENCE_INTERPRETER_H_

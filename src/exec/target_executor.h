@@ -1,0 +1,100 @@
+#ifndef DIABLO_EXEC_TARGET_EXECUTOR_H_
+#define DIABLO_EXEC_TARGET_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include <set>
+
+#include "common/status.h"
+#include "comp/comp.h"
+#include "plan/plan.h"
+#include "runtime/engine.h"
+#include "tiles/tiles.h"
+#include "translate/translate.h"
+
+namespace diablo::exec {
+
+/// Executes translated target code (§3.8) against the distributed engine.
+///
+/// Scalars live on the driver; arrays are distributed datasets of
+/// (key, value) rows. Each target assignment is planned (plan::BuildPlan)
+/// and executed when reached, so arrays declared mid-program (e.g. inside
+/// a while-loop, as in the paper's PageRank) are visible to later
+/// statements of the same run.
+class TargetExecutor {
+ public:
+  /// Host inputs: bag values are arrays of (key, value) pairs, everything
+  /// else is a scalar.
+  using Bindings = std::map<std::string, runtime::Value>;
+
+  explicit TargetExecutor(runtime::Engine* engine) : engine_(engine) {}
+
+  /// Packed-array mode (paper §5): the named matrices are stored as
+  /// dense tiles instead of sparse elements, transparently to the
+  /// program. Scans unpack tiles on the fly (narrow); incremental `⊳+`
+  /// merges pack the delta and combine tile-by-tile with the shuffle-free
+  /// zip merge; other updates fall back to sparse-and-repack. Tiled
+  /// matrices are dense within their tiles: absent elements read as 0,
+  /// which is the §5 semantics (`form` zero-fills), so use this for
+  /// dense matrix workloads.
+  void EnableTiledStorage(std::set<std::string> arrays,
+                          const tiles::TileConfig& config) {
+    tiled_names_ = std::move(arrays);
+    tile_config_ = config;
+  }
+
+  /// Runs a target program. `inputs` bind the program's free variables.
+  Status Run(const comp::TargetProgram& program, const Bindings& inputs);
+
+  /// Final value of a driver scalar.
+  StatusOr<runtime::Value> GetScalar(const std::string& name) const;
+
+  /// Final contents of an array as a bag of (key, value) pairs sorted by
+  /// key (collected to the driver).
+  StatusOr<runtime::Value> GetArray(const std::string& name) const;
+
+  /// Direct access to a result dataset (no collect).
+  StatusOr<runtime::Dataset> GetArrayDataset(const std::string& name) const;
+
+  /// Number of target statements executed (loop iterations included).
+  int64_t statements_executed() const { return statements_executed_; }
+
+ private:
+  Status ExecStmt(const comp::TargetStmtPtr& stmt);
+  plan::ExecState State();
+
+  bool IsTiled(const std::string& name) const {
+    return tiled_names_.count(name) != 0;
+  }
+  /// Stores a freshly computed sparse dataset into `name`, packing it
+  /// when the array is tiled.
+  Status StoreArray(const std::string& name, runtime::Dataset sparse);
+  /// Handles an array assignment whose value is `old ⊳+ delta` on a
+  /// tiled destination: packs the delta and zip-merges, no shuffle of
+  /// the stored tiles. Returns false when the value has another shape
+  /// (caller falls back to the sparse path).
+  StatusOr<bool> TryTiledIncrementalMerge(const std::string& name,
+                                          const comp::CExprPtr& value);
+  /// Re-unpacks any dirty tiled array referenced by `e` into the sparse
+  /// view the planner reads (lazy: merges mark arrays dirty instead of
+  /// unpacking eagerly).
+  Status RefreshReferencedArrays(const comp::CExprPtr& e);
+  Status RefreshArray(const std::string& name) const;
+
+  runtime::Engine* engine_;
+  std::map<std::string, runtime::Value> scalars_;
+  /// Sparse views read by the planner. For tiled arrays this is a cache
+  /// of Unpack(tiled_[name]), invalidated through dirty_.
+  mutable std::map<std::string, runtime::Dataset> arrays_;
+  /// Authoritative tiled representation for arrays in tiled_names_.
+  mutable std::map<std::string, runtime::Dataset> tiled_;
+  mutable std::set<std::string> dirty_;
+  std::set<std::string> tiled_names_;
+  tiles::TileConfig tile_config_;
+  int64_t statements_executed_ = 0;
+};
+
+}  // namespace diablo::exec
+
+#endif  // DIABLO_EXEC_TARGET_EXECUTOR_H_

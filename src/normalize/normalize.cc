@@ -1,0 +1,438 @@
+#include "normalize/normalize.h"
+
+#include <map>
+
+namespace diablo::normalize {
+
+using comp::CExpr;
+using comp::CExprPtr;
+using comp::CompPtr;
+using comp::Pattern;
+using comp::Qualifier;
+using runtime::BinOp;
+
+namespace {
+
+// --------------------------- alpha renaming --------------------------------
+
+Pattern RenamePattern(const Pattern& p, comp::NameGen* names,
+                      std::map<std::string, CExprPtr>* subst) {
+  if (!p.is_tuple) {
+    if (p.var == "_") return p;
+    std::string fresh = names->Fresh();
+    (*subst)[p.var] = comp::MakeVar(fresh);
+    return Pattern::Var(fresh);
+  }
+  std::vector<Pattern> elems;
+  for (const Pattern& child : p.elems) {
+    elems.push_back(RenamePattern(child, names, subst));
+  }
+  return Pattern::Tuple(std::move(elems));
+}
+
+// --------------------------- simplicity test -------------------------------
+
+/// True for expressions cheap and pure enough to inline freely.
+bool IsSimple(const CExprPtr& e) {
+  if (e->is<CExpr::Var>() || e->is<CExpr::IntConst>() ||
+      e->is<CExpr::DoubleConst>() || e->is<CExpr::BoolConst>() ||
+      e->is<CExpr::StringConst>()) {
+    return true;
+  }
+  if (e->is<CExpr::Proj>()) return IsSimple(e->as<CExpr::Proj>().base);
+  if (e->is<CExpr::TupleCons>()) {
+    for (const auto& c : e->as<CExpr::TupleCons>().elems) {
+      if (!IsSimple(c)) return false;
+    }
+    return true;
+  }
+  if (e->is<CExpr::Bin>()) {
+    const auto& b = e->as<CExpr::Bin>();
+    return IsSimple(b.lhs) && IsSimple(b.rhs);
+  }
+  if (e->is<CExpr::Un>()) return IsSimple(e->as<CExpr::Un>().operand);
+  if (e->is<CExpr::BagCons>()) {
+    for (const auto& c : e->as<CExpr::BagCons>().elems) {
+      if (!IsSimple(c)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool UsesVar(const CExprPtr& e, const std::string& name) {
+  return comp::FreeVars(e).count(name) != 0;
+}
+
+/// True if `name` is referenced by any qualifier in [from, end) or by the
+/// head.
+bool UsedFrom(const std::vector<Qualifier>& quals, size_t from,
+              const CExprPtr& head, const std::string& name) {
+  for (size_t i = from; i < quals.size(); ++i) {
+    if (quals[i].expr != nullptr && UsesVar(quals[i].expr, name)) return true;
+  }
+  return head != nullptr && UsesVar(head, name);
+}
+
+/// True if `name` is used in the *lifted* region after the group-by at
+/// `group_at`: by a qualifier past the group-by or by the head, stopping
+/// at any rebinding of `name` (including the group-by pattern itself,
+/// which rebinds its variables to the key). The group-by key expression
+/// does not count: it is evaluated pre-lift.
+bool UsedPostGroup(const std::vector<Qualifier>& quals, size_t group_at,
+                   const CExprPtr& head, const std::string& name) {
+  for (const std::string& v : quals[group_at].pattern.Vars()) {
+    if (v == name) return false;  // rebound to the key
+  }
+  for (size_t i = group_at + 1; i < quals.size(); ++i) {
+    if (quals[i].expr != nullptr && UsesVar(quals[i].expr, name)) return true;
+    if (quals[i].kind != Qualifier::Kind::kCondition) {
+      for (const std::string& v : quals[i].pattern.Vars()) {
+        if (v == name) return false;
+      }
+    }
+  }
+  return head != nullptr && UsesVar(head, name);
+}
+
+bool HasGroupBy(const CompPtr& c) {
+  for (const Qualifier& q : c->qualifiers) {
+    if (q.kind == Qualifier::Kind::kGroupBy) return true;
+  }
+  return false;
+}
+
+struct NormalizeState {
+  comp::NameGen* names;
+  bool changed = false;
+};
+
+CExprPtr NormalizeExprOnce(const CExprPtr& e, NormalizeState* state);
+
+/// Applies `subst` to all qualifiers from `begin` on, and to the head.
+/// A qualifier that rebinds a substituted variable shadows it for the
+/// remainder of the comprehension (e.g. Rule 17's `let v = {v}`).
+void ApplySubstFrom(std::vector<Qualifier>* quals, size_t begin,
+                    CExprPtr* head,
+                    std::map<std::string, CExprPtr> subst) {
+  for (size_t i = begin; i < quals->size() && !subst.empty(); ++i) {
+    Qualifier& q = (*quals)[i];
+    if (q.expr != nullptr) q.expr = comp::Substitute(q.expr, subst);
+    if (q.kind != Qualifier::Kind::kCondition) {
+      for (const std::string& v : q.pattern.Vars()) subst.erase(v);
+    }
+  }
+  if (!subst.empty() && *head != nullptr) {
+    *head = comp::Substitute(*head, subst);
+  }
+}
+
+/// One normalization pass over a comprehension. Returns the rewritten
+/// comprehension, or an empty-bag expression when the comprehension is
+/// statically empty.
+CExprPtr NormalizeCompOnce(const CompPtr& comp, NormalizeState* state) {
+  std::vector<Qualifier> quals = comp->qualifiers;
+  CExprPtr head = comp->head;
+
+  for (size_t i = 0; i < quals.size(); ++i) {
+    Qualifier& q = quals[i];
+    if (q.expr != nullptr) q.expr = NormalizeExprOnce(q.expr, state);
+
+    if (q.kind == Qualifier::Kind::kGenerator) {
+      // Generator over a bag literal.
+      if (q.expr->is<CExpr::BagCons>()) {
+        const auto& bag = q.expr->as<CExpr::BagCons>().elems;
+        if (bag.empty()) {
+          state->changed = true;
+          return comp::MakeBag({});
+        }
+        if (bag.size() == 1) {
+          q.kind = Qualifier::Kind::kLet;
+          q.expr = bag[0];
+          state->changed = true;
+          // fall through to let handling on the next pass
+          continue;
+        }
+        continue;  // multi-element literal: keep as a generator
+      }
+      // Rule (2): generator over a nested comprehension without group-by.
+      if (q.expr->is<CExpr::Nested>()) {
+        CompPtr inner = q.expr->as<CExpr::Nested>().comp;
+        if (!HasGroupBy(inner)) {
+          CompPtr renamed = RenameBound(inner, state->names);
+          std::vector<Qualifier> spliced;
+          spliced.reserve(quals.size() + renamed->qualifiers.size());
+          for (size_t j = 0; j < i; ++j) spliced.push_back(quals[j]);
+          for (const Qualifier& iq : renamed->qualifiers) {
+            spliced.push_back(iq);
+          }
+          spliced.push_back(Qualifier::Let(q.pattern, renamed->head));
+          for (size_t j = i + 1; j < quals.size(); ++j) {
+            spliced.push_back(quals[j]);
+          }
+          state->changed = true;
+          return comp::MakeNested(comp::MakeComp(head, std::move(spliced)));
+        }
+        continue;
+      }
+      continue;
+    }
+
+    if (q.kind == Qualifier::Kind::kLet) {
+      // Componentwise split of tuple lets.
+      if (q.pattern.is_tuple && q.expr->is<CExpr::TupleCons>() &&
+          q.pattern.elems.size() ==
+              q.expr->as<CExpr::TupleCons>().elems.size()) {
+        std::vector<Qualifier> expanded;
+        for (size_t j = 0; j < i; ++j) expanded.push_back(quals[j]);
+        for (size_t j = 0; j < q.pattern.elems.size(); ++j) {
+          expanded.push_back(Qualifier::Let(
+              q.pattern.elems[j], q.expr->as<CExpr::TupleCons>().elems[j]));
+        }
+        for (size_t j = i + 1; j < quals.size(); ++j) {
+          expanded.push_back(quals[j]);
+        }
+        state->changed = true;
+        return comp::MakeNested(comp::MakeComp(head, std::move(expanded)));
+      }
+      // Dead lets (no later use of any bound variable) are dropped; the
+      // right-hand sides are pure.
+      {
+        bool any_used = false;
+        for (const std::string& v : q.pattern.Vars()) {
+          if (UsedFrom(quals, i + 1, head, v)) any_used = true;
+        }
+        if (!any_used) {
+          std::vector<Qualifier> rest;
+          for (size_t j = 0; j < quals.size(); ++j) {
+            if (j != i) rest.push_back(quals[j]);
+          }
+          state->changed = true;
+          return comp::MakeNested(comp::MakeComp(head, std::move(rest)));
+        }
+      }
+      // Inline simple lets, but never across a group-by that still uses
+      // the variable afterwards (group-by lifts it to a bag), and never
+      // when a later qualifier rebinds a free variable of the right-hand
+      // side (that would capture it).
+      if (!q.pattern.is_tuple && IsSimple(q.expr)) {
+        const std::string& name = q.pattern.var;
+        size_t group_at = quals.size();
+        for (size_t j = i + 1; j < quals.size(); ++j) {
+          if (quals[j].kind == Qualifier::Kind::kGroupBy) {
+            group_at = j;
+            break;
+          }
+        }
+        bool used_after_group =
+            group_at < quals.size() &&
+            UsedPostGroup(quals, group_at, head, name);
+        bool captured = false;
+        std::set<std::string> rhs_free = comp::FreeVars(q.expr);
+        for (size_t j = i + 1; j < quals.size() && !captured; ++j) {
+          if (quals[j].kind == Qualifier::Kind::kCondition) continue;
+          for (const std::string& v : quals[j].pattern.Vars()) {
+            if (rhs_free.count(v) != 0) captured = true;
+          }
+        }
+        // The group-by key itself is evaluated pre-lift, so substituting
+        // into it is fine; block only post-group uses.
+        if (!used_after_group && !captured) {
+          std::map<std::string, CExprPtr> subst{{name, q.expr}};
+          std::vector<Qualifier> rest;
+          for (size_t j = 0; j < quals.size(); ++j) {
+            if (j == i) continue;
+            rest.push_back(quals[j]);
+          }
+          CExprPtr new_head = head;
+          ApplySubstFrom(&rest, i, &new_head, subst);
+          state->changed = true;
+          return comp::MakeNested(comp::MakeComp(new_head, std::move(rest)));
+        }
+      }
+      continue;
+    }
+
+    if (q.kind == Qualifier::Kind::kCondition) {
+      if (q.expr->is<CExpr::BoolConst>()) {
+        if (q.expr->as<CExpr::BoolConst>().value) {
+          std::vector<Qualifier> rest;
+          for (size_t j = 0; j < quals.size(); ++j) {
+            if (j != i) rest.push_back(quals[j]);
+          }
+          state->changed = true;
+          return comp::MakeNested(comp::MakeComp(head, std::move(rest)));
+        }
+        state->changed = true;
+        return comp::MakeBag({});
+      }
+      if (q.expr->is<CExpr::Bin>()) {
+        const auto& b = q.expr->as<CExpr::Bin>();
+        if (b.op == BinOp::kEq && comp::Equals(b.lhs, b.rhs)) {
+          std::vector<Qualifier> rest;
+          for (size_t j = 0; j < quals.size(); ++j) {
+            if (j != i) rest.push_back(quals[j]);
+          }
+          state->changed = true;
+          return comp::MakeNested(comp::MakeComp(head, std::move(rest)));
+        }
+      }
+      continue;
+    }
+  }
+
+  head = NormalizeExprOnce(head, state);
+
+  // { h | }  =  {h}.
+  if (quals.empty()) {
+    state->changed = true;
+    return comp::MakeBag({head});
+  }
+  return comp::MakeNested(comp::MakeComp(head, std::move(quals)));
+}
+
+CExprPtr NormalizeExprOnce(const CExprPtr& e, NormalizeState* state) {
+  if (e == nullptr) return e;
+  if (e->is<CExpr::Nested>()) {
+    return NormalizeCompOnce(e->as<CExpr::Nested>().comp, state);
+  }
+  if (e->is<CExpr::Bin>()) {
+    const auto& b = e->as<CExpr::Bin>();
+    return comp::MakeBin(b.op, NormalizeExprOnce(b.lhs, state),
+                         NormalizeExprOnce(b.rhs, state));
+  }
+  if (e->is<CExpr::Un>()) {
+    const auto& u = e->as<CExpr::Un>();
+    return comp::MakeUn(u.op, NormalizeExprOnce(u.operand, state));
+  }
+  if (e->is<CExpr::TupleCons>()) {
+    std::vector<CExprPtr> elems;
+    for (const auto& c : e->as<CExpr::TupleCons>().elems) {
+      elems.push_back(NormalizeExprOnce(c, state));
+    }
+    return comp::MakeTuple(std::move(elems));
+  }
+  if (e->is<CExpr::RecordCons>()) {
+    std::vector<std::pair<std::string, CExprPtr>> fields;
+    for (const auto& [n, c] : e->as<CExpr::RecordCons>().fields) {
+      fields.emplace_back(n, NormalizeExprOnce(c, state));
+    }
+    return comp::MakeRecord(std::move(fields));
+  }
+  if (e->is<CExpr::Proj>()) {
+    const auto& p = e->as<CExpr::Proj>();
+    // (e1,...,en)._i projects statically.
+    CExprPtr base = NormalizeExprOnce(p.base, state);
+    if (base->is<CExpr::TupleCons>() && p.field.size() >= 2 &&
+        p.field[0] == '_') {
+      int idx = std::atoi(p.field.c_str() + 1);
+      const auto& elems = base->as<CExpr::TupleCons>().elems;
+      if (idx >= 1 && static_cast<size_t>(idx) <= elems.size()) {
+        state->changed = true;
+        return elems[static_cast<size_t>(idx) - 1];
+      }
+    }
+    if (base->is<CExpr::RecordCons>()) {
+      for (const auto& [n, c] : base->as<CExpr::RecordCons>().fields) {
+        if (n == p.field) {
+          state->changed = true;
+          return c;
+        }
+      }
+    }
+    return comp::MakeProj(base, p.field);
+  }
+  if (e->is<CExpr::Call>()) {
+    const auto& c = e->as<CExpr::Call>();
+    std::vector<CExprPtr> args;
+    for (const auto& a : c.args) args.push_back(NormalizeExprOnce(a, state));
+    return comp::MakeCall(c.function, std::move(args));
+  }
+  if (e->is<CExpr::Reduce>()) {
+    const auto& r = e->as<CExpr::Reduce>();
+    CExprPtr arg = NormalizeExprOnce(r.arg, state);
+    // ⊕/{e} = e.
+    if (arg->is<CExpr::BagCons>() &&
+        arg->as<CExpr::BagCons>().elems.size() == 1) {
+      state->changed = true;
+      return arg->as<CExpr::BagCons>().elems[0];
+    }
+    return comp::MakeReduce(r.op, arg);
+  }
+  if (e->is<CExpr::Range>()) {
+    const auto& r = e->as<CExpr::Range>();
+    return comp::MakeRange(NormalizeExprOnce(r.lo, state),
+                           NormalizeExprOnce(r.hi, state));
+  }
+  if (e->is<CExpr::Merge>()) {
+    const auto& m = e->as<CExpr::Merge>();
+    CExprPtr left = NormalizeExprOnce(m.left, state);
+    CExprPtr right = NormalizeExprOnce(m.right, state);
+    return m.has_op ? comp::MakeMergeOp(m.op, left, right)
+                    : comp::MakeMerge(left, right);
+  }
+  if (e->is<CExpr::BagCons>()) {
+    std::vector<CExprPtr> elems;
+    for (const auto& c : e->as<CExpr::BagCons>().elems) {
+      elems.push_back(NormalizeExprOnce(c, state));
+    }
+    return comp::MakeBag(std::move(elems));
+  }
+  return e;
+}
+
+}  // namespace
+
+CompPtr RenameBound(const CompPtr& c, comp::NameGen* names) {
+  std::map<std::string, CExprPtr> subst;
+  std::vector<Qualifier> quals;
+  for (const Qualifier& q : c->qualifiers) {
+    Qualifier nq = q;
+    if (q.expr != nullptr) nq.expr = comp::Substitute(q.expr, subst);
+    if (q.kind == Qualifier::Kind::kGenerator ||
+        q.kind == Qualifier::Kind::kLet ||
+        q.kind == Qualifier::Kind::kGroupBy) {
+      nq.pattern = RenamePattern(q.pattern, names, &subst);
+    }
+    quals.push_back(std::move(nq));
+  }
+  return comp::MakeComp(comp::Substitute(c->head, subst), std::move(quals));
+}
+
+CExprPtr NormalizeExpr(const CExprPtr& e, comp::NameGen* names) {
+  CExprPtr cur = e;
+  for (int iter = 0; iter < 200; ++iter) {
+    NormalizeState state{names};
+    CExprPtr next = NormalizeExprOnce(cur, &state);
+    cur = next;
+    if (!state.changed) break;
+  }
+  return cur;
+}
+
+comp::TargetProgram NormalizeTarget(const comp::TargetProgram& program,
+                                    comp::NameGen* names) {
+  comp::TargetProgram out;
+  for (const auto& s : program.stmts) {
+    if (s->is<comp::TargetStmt::Assign>()) {
+      const auto& a = s->as<comp::TargetStmt::Assign>();
+      out.stmts.push_back(
+          comp::MakeAssign(a.var, NormalizeExpr(a.value, names), a.is_array));
+    } else if (s->is<comp::TargetStmt::While>()) {
+      const auto& w = s->as<comp::TargetStmt::While>();
+      comp::TargetProgram body;
+      body.stmts = w.body;
+      comp::TargetProgram norm_body = NormalizeTarget(body, names);
+      out.stmts.push_back(comp::MakeWhile(NormalizeExpr(w.cond, names),
+                                          std::move(norm_body.stmts)));
+    } else {
+      const auto& d = s->as<comp::TargetStmt::Declare>();
+      out.stmts.push_back(comp::MakeDeclare(
+          d.var, d.is_array,
+          d.init != nullptr ? NormalizeExpr(d.init, names) : nullptr));
+    }
+  }
+  return out;
+}
+
+}  // namespace diablo::normalize

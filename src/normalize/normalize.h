@@ -1,0 +1,41 @@
+#ifndef DIABLO_NORMALIZE_NORMALIZE_H_
+#define DIABLO_NORMALIZE_NORMALIZE_H_
+
+#include "comp/comp.h"
+
+namespace diablo::normalize {
+
+/// Normalizes a comprehension expression to the flat form used by the
+/// optimizer and planner:
+///
+///  * Rule (2): a generator over a nested comprehension is unnested into
+///    the outer qualifier list (with alpha-renaming to avoid capture);
+///    only applied when the nested comprehension has no group-by.
+///  * A generator over a singleton bag {e} becomes `let p = e`; a
+///    generator over the empty bag collapses the whole comprehension to
+///    the empty bag.
+///  * `let v = e` with a simple right-hand side (variable, constant,
+///    projection or tuple of simple terms) is inlined into later
+///    qualifiers and the head — but never across a group-by that still
+///    uses the variable afterwards, since group-by lifts variables to
+///    bags.
+///  * `let (p1,...,pn) = (e1,...,en)` is split componentwise.
+///  * Trivial conditions (`true`, `x == x`) are dropped; a constant
+///    `false` condition collapses the comprehension to the empty bag.
+///  * `{ h | }` becomes the bag literal {h}; `⊕/{e}` becomes e.
+///
+/// The function is a fixpoint: it reapplies the rules until nothing
+/// changes (bounded by an internal iteration cap).
+comp::CExprPtr NormalizeExpr(const comp::CExprPtr& e, comp::NameGen* names);
+
+/// Normalizes every comprehension inside a target program.
+comp::TargetProgram NormalizeTarget(const comp::TargetProgram& program,
+                                    comp::NameGen* names);
+
+/// Alpha-renames all variables bound inside `c` to fresh names (used
+/// before splicing a nested comprehension into an outer one).
+comp::CompPtr RenameBound(const comp::CompPtr& c, comp::NameGen* names);
+
+}  // namespace diablo::normalize
+
+#endif  // DIABLO_NORMALIZE_NORMALIZE_H_

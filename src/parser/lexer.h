@@ -1,0 +1,51 @@
+#ifndef DIABLO_PARSER_LEXER_H_
+#define DIABLO_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace diablo::parser {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  // Keywords.
+  kVar, kFor, kIn, kDo, kWhile, kIf, kElse, kTrue, kFalse,
+  // Punctuation and operators.
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kSemi, kColon, kDot,
+  kAssign,      // :=
+  kPlusEq,      // +=
+  kMinusEq,     // -=
+  kStarEq,      // *=
+  kEq,          // =   (for-loop bounds, record fields, declarations)
+  kEqEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAndAnd, kOrOr, kBang,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  SourceLocation loc;
+};
+
+/// The name of a token kind, for error messages.
+const char* TokenKindName(TokenKind kind);
+
+/// Tokenizes loop-language source. Comments run from '#' or '//' to end of
+/// line. Returns a token list ending with kEof, or a ParseError with the
+/// offending location.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace diablo::parser
+
+#endif  // DIABLO_PARSER_LEXER_H_

@@ -1,0 +1,494 @@
+#include "parser/parser.h"
+
+#include <vector>
+
+#include "parser/lexer.h"
+
+namespace diablo::parser {
+
+using ast::Expr;
+using ast::ExprPtr;
+using ast::LValue;
+using ast::LValuePtr;
+using ast::Stmt;
+using ast::StmtPtr;
+using ast::Type;
+using ast::TypePtr;
+using runtime::BinOp;
+using runtime::UnOp;
+
+namespace {
+
+/// Recursive-descent parser over a pre-tokenized stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ast::Program> ParseProgram() {
+    ast::Program program;
+    while (!Check(TokenKind::kEof)) {
+      DIABLO_ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      program.stmts.push_back(std::move(s));
+    }
+    return program;
+  }
+
+  StatusOr<ExprPtr> ParseSingleExpr() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!Check(TokenKind::kEof)) {
+      return Error(StrCat("trailing input after expression, found ",
+                          TokenKindName(Peek().kind)));
+    }
+    return e;
+  }
+
+ private:
+  // ------------------------------ helpers ---------------------------------
+
+  const Token& Peek(size_t k = 0) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrCat(msg, " at ", LocationString(Peek().loc)));
+  }
+  StatusOr<Token> Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Error(StrCat("expected ", TokenKindName(kind), ", found ",
+                          TokenKindName(Peek().kind),
+                          Peek().text.empty() ? "" : StrCat(" '", Peek().text, "'")));
+    }
+    return Advance();
+  }
+
+  // ------------------------------ types -----------------------------------
+
+  StatusOr<TypePtr> ParseType() {
+    if (Match(TokenKind::kLParen)) {
+      std::vector<TypePtr> elems;
+      do {
+        DIABLO_ASSIGN_OR_RETURN(TypePtr t, ParseType());
+        elems.push_back(std::move(t));
+      } while (Match(TokenKind::kComma));
+      DIABLO_ASSIGN_OR_RETURN(Token unused, Expect(TokenKind::kRParen));
+      (void)unused;
+      return Type::Tuple(std::move(elems));
+    }
+    if (Match(TokenKind::kLt)) {
+      std::vector<std::pair<std::string, TypePtr>> fields;
+      do {
+        DIABLO_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+        DIABLO_ASSIGN_OR_RETURN(Token colon, Expect(TokenKind::kColon));
+        (void)colon;
+        DIABLO_ASSIGN_OR_RETURN(TypePtr t, ParseType());
+        fields.emplace_back(name.text, std::move(t));
+      } while (Match(TokenKind::kComma));
+      DIABLO_ASSIGN_OR_RETURN(Token gt, Expect(TokenKind::kGt));
+      (void)gt;
+      return Type::Record(std::move(fields));
+    }
+    DIABLO_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    if (Match(TokenKind::kLBracket)) {
+      std::vector<TypePtr> params;
+      do {
+        DIABLO_ASSIGN_OR_RETURN(TypePtr t, ParseType());
+        params.push_back(std::move(t));
+      } while (Match(TokenKind::kComma));
+      DIABLO_ASSIGN_OR_RETURN(Token rb, Expect(TokenKind::kRBracket));
+      (void)rb;
+      return Type::Parametric(name.text, std::move(params));
+    }
+    return Type::Basic(name.text);
+  }
+
+  // ---------------------------- expressions -------------------------------
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Check(TokenKind::kOrOr)) {
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeBin(BinOp::kOr, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCompare());
+    while (Check(TokenKind::kAndAnd)) {
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCompare());
+      lhs = Expr::MakeBin(BinOp::kAnd, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseCompare() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEqEq: op = BinOp::kEq; break;
+      case TokenKind::kNe: op = BinOp::kNe; break;
+      case TokenKind::kLt: op = BinOp::kLt; break;
+      case TokenKind::kLe: op = BinOp::kLe; break;
+      case TokenKind::kGt: op = BinOp::kGt; break;
+      case TokenKind::kGe: op = BinOp::kGe; break;
+      default:
+        return lhs;
+    }
+    SourceLocation loc = Advance().loc;
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::MakeBin(op, std::move(lhs), std::move(rhs), loc);
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinOp op;
+      if (Check(TokenKind::kPlus)) {
+        op = BinOp::kAdd;
+      } else if (Check(TokenKind::kMinus)) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBin(op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (Check(TokenKind::kStar)) {
+        op = BinOp::kMul;
+      } else if (Check(TokenKind::kSlash)) {
+        op = BinOp::kDiv;
+      } else if (Check(TokenKind::kPercent)) {
+        op = BinOp::kMod;
+      } else {
+        return lhs;
+      }
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBin(op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::MakeUn(UnOp::kNeg, std::move(e), loc);
+    }
+    if (Check(TokenKind::kBang)) {
+      SourceLocation loc = Advance().loc;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::MakeUn(UnOp::kNot, std::move(e), loc);
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return Expr::MakeInt(tok.int_value, tok.loc);
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return Expr::MakeDouble(tok.double_value, tok.loc);
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Expr::MakeString(tok.text, tok.loc);
+      }
+      case TokenKind::kTrue: {
+        Advance();
+        return Expr::MakeBool(true, tok.loc);
+      }
+      case TokenKind::kFalse: {
+        Advance();
+        return Expr::MakeBool(false, tok.loc);
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        std::vector<ExprPtr> elems;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            elems.push_back(std::move(e));
+          } while (Match(TokenKind::kComma));
+        }
+        DIABLO_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen));
+        (void)rp;
+        if (elems.size() == 1) return elems[0];  // parenthesized expression
+        return Expr::MakeTuple(std::move(elems), tok.loc);
+      }
+      case TokenKind::kLt: {
+        // Record constructor <A = e, B = e>. Field values parse at
+        // additive precedence so the closing '>' is not taken as a
+        // comparison; parenthesize comparisons inside records.
+        Advance();
+        std::vector<std::pair<std::string, ExprPtr>> fields;
+        do {
+          DIABLO_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+          DIABLO_ASSIGN_OR_RETURN(Token eq, Expect(TokenKind::kEq));
+          (void)eq;
+          DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+          fields.emplace_back(name.text, std::move(e));
+        } while (Match(TokenKind::kComma));
+        DIABLO_ASSIGN_OR_RETURN(Token gt, Expect(TokenKind::kGt));
+        (void)gt;
+        return Expr::MakeRecord(std::move(fields), tok.loc);
+      }
+      case TokenKind::kIdent:
+        return ParseIdentExpr();
+      default:
+        return Error(StrCat("expected expression, found ",
+                            TokenKindName(tok.kind)));
+    }
+  }
+
+  /// Identifier-led expression: variable, call, array index, projections.
+  StatusOr<ExprPtr> ParseIdentExpr() {
+    Token name = Advance();
+    if (Check(TokenKind::kLParen)) {
+      Advance();
+      std::vector<ExprPtr> args;
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          args.push_back(std::move(e));
+        } while (Match(TokenKind::kComma));
+      }
+      DIABLO_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen));
+      (void)rp;
+      // min/max/argmin calls are binary operators in disguise.
+      if ((name.text == "min" || name.text == "max" ||
+           name.text == "argmin") &&
+          args.size() == 2) {
+        BinOp op = name.text == "min"  ? BinOp::kMin
+                   : name.text == "max" ? BinOp::kMax
+                                         : BinOp::kArgmin;
+        return Expr::MakeBin(op, args[0], args[1], name.loc);
+      }
+      return Expr::MakeCall(name.text, std::move(args), name.loc);
+    }
+    DIABLO_ASSIGN_OR_RETURN(LValuePtr lv, ParseLValueTail(name));
+    return Expr::MakeLValue(std::move(lv), name.loc);
+  }
+
+  /// Parses the [indices] / .field chain after an identifier.
+  StatusOr<LValuePtr> ParseLValueTail(const Token& name) {
+    LValuePtr lv;
+    if (Check(TokenKind::kLBracket)) {
+      Advance();
+      std::vector<ExprPtr> indices;
+      do {
+        DIABLO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        indices.push_back(std::move(e));
+      } while (Match(TokenKind::kComma));
+      DIABLO_ASSIGN_OR_RETURN(Token rb, Expect(TokenKind::kRBracket));
+      (void)rb;
+      lv = LValue::MakeIndex(name.text, std::move(indices), name.loc);
+    } else {
+      lv = LValue::MakeVar(name.text, name.loc);
+    }
+    while (Check(TokenKind::kDot)) {
+      Advance();
+      // Allow numeric tuple projections `._1` (lexed as ident "_1") or
+      // plain field names.
+      DIABLO_ASSIGN_OR_RETURN(Token field, Expect(TokenKind::kIdent));
+      lv = LValue::MakeProj(std::move(lv), field.text, field.loc);
+    }
+    return lv;
+  }
+
+  // ----------------------------- statements -------------------------------
+
+  StatusOr<StmtPtr> ParseStmt() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVar:
+        return ParseDecl();
+      case TokenKind::kFor:
+        return ParseFor();
+      case TokenKind::kWhile:
+        return ParseWhile();
+      case TokenKind::kIf:
+        return ParseIf();
+      case TokenKind::kLBrace:
+        return ParseBlock();
+      case TokenKind::kIdent:
+        return ParseAssignment();
+      default:
+        return Error(StrCat("expected statement, found ",
+                            TokenKindName(tok.kind)));
+    }
+  }
+
+  StatusOr<StmtPtr> ParseDecl() {
+    Token kw = Advance();  // var
+    DIABLO_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    DIABLO_ASSIGN_OR_RETURN(Token colon, Expect(TokenKind::kColon));
+    (void)colon;
+    DIABLO_ASSIGN_OR_RETURN(TypePtr type, ParseType());
+    ExprPtr init;
+    if (Match(TokenKind::kEq)) {
+      DIABLO_ASSIGN_OR_RETURN(init, ParseExpr());
+    }
+    DIABLO_ASSIGN_OR_RETURN(Token semi, Expect(TokenKind::kSemi));
+    (void)semi;
+    return Stmt::MakeDecl(name.text, std::move(type), std::move(init), kw.loc);
+  }
+
+  StatusOr<StmtPtr> ParseFor() {
+    Token kw = Advance();  // for
+    DIABLO_ASSIGN_OR_RETURN(Token var, Expect(TokenKind::kIdent));
+    if (Match(TokenKind::kEq)) {
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr lo, ParseExpr());
+      DIABLO_ASSIGN_OR_RETURN(Token comma, Expect(TokenKind::kComma));
+      (void)comma;
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr hi, ParseExpr());
+      DIABLO_ASSIGN_OR_RETURN(Token dotok, Expect(TokenKind::kDo));
+      (void)dotok;
+      DIABLO_ASSIGN_OR_RETURN(StmtPtr body, ParseStmt());
+      return Stmt::MakeForRange(var.text, std::move(lo), std::move(hi),
+                                std::move(body), kw.loc);
+    }
+    DIABLO_ASSIGN_OR_RETURN(Token in, Expect(TokenKind::kIn));
+    (void)in;
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr coll, ParseExpr());
+    DIABLO_ASSIGN_OR_RETURN(Token dotok, Expect(TokenKind::kDo));
+    (void)dotok;
+    DIABLO_ASSIGN_OR_RETURN(StmtPtr body, ParseStmt());
+    return Stmt::MakeForEach(var.text, std::move(coll), std::move(body),
+                             kw.loc);
+  }
+
+  StatusOr<StmtPtr> ParseWhile() {
+    Token kw = Advance();  // while
+    DIABLO_ASSIGN_OR_RETURN(Token lp, Expect(TokenKind::kLParen));
+    (void)lp;
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    DIABLO_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen));
+    (void)rp;
+    DIABLO_ASSIGN_OR_RETURN(StmtPtr body, ParseStmt());
+    return Stmt::MakeWhile(std::move(cond), std::move(body), kw.loc);
+  }
+
+  StatusOr<StmtPtr> ParseIf() {
+    Token kw = Advance();  // if
+    DIABLO_ASSIGN_OR_RETURN(Token lp, Expect(TokenKind::kLParen));
+    (void)lp;
+    DIABLO_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    DIABLO_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen));
+    (void)rp;
+    DIABLO_ASSIGN_OR_RETURN(StmtPtr then_branch, ParseStmt());
+    StmtPtr else_branch;
+    if (Match(TokenKind::kElse)) {
+      DIABLO_ASSIGN_OR_RETURN(else_branch, ParseStmt());
+    }
+    return Stmt::MakeIf(std::move(cond), std::move(then_branch),
+                        std::move(else_branch), kw.loc);
+  }
+
+  StatusOr<StmtPtr> ParseBlock() {
+    Token lb = Advance();  // {
+    std::vector<StmtPtr> stmts;
+    while (!Check(TokenKind::kRBrace)) {
+      if (Check(TokenKind::kEof)) return Error("unterminated block");
+      DIABLO_ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      stmts.push_back(std::move(s));
+    }
+    Advance();                  // }
+    Match(TokenKind::kSemi);    // optional trailing ';' as in "};"
+    return Stmt::MakeBlock(std::move(stmts), lb.loc);
+  }
+
+  StatusOr<StmtPtr> ParseAssignment() {
+    Token name = Advance();
+    DIABLO_ASSIGN_OR_RETURN(LValuePtr dest, ParseLValueTail(name));
+    const Token& op = Peek();
+    // `d min= e`, `d max= e`, `d argmin= e`: identifier operator + '='.
+    if (op.kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kEq &&
+        (op.text == "min" || op.text == "max" || op.text == "argmin")) {
+      BinOp bop = op.text == "min"   ? BinOp::kMin
+                  : op.text == "max" ? BinOp::kMax
+                                     : BinOp::kArgmin;
+      Advance();
+      Advance();
+      DIABLO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      DIABLO_ASSIGN_OR_RETURN(Token semi, Expect(TokenKind::kSemi));
+      (void)semi;
+      return Stmt::MakeIncr(std::move(dest), bop, std::move(value), name.loc);
+    }
+    switch (op.kind) {
+      case TokenKind::kAssign: {
+        Advance();
+        DIABLO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+        DIABLO_ASSIGN_OR_RETURN(Token semi, Expect(TokenKind::kSemi));
+        (void)semi;
+        return Stmt::MakeAssign(std::move(dest), std::move(value), name.loc);
+      }
+      case TokenKind::kPlusEq:
+      case TokenKind::kStarEq: {
+        BinOp bop =
+            op.kind == TokenKind::kPlusEq ? BinOp::kAdd : BinOp::kMul;
+        Advance();
+        DIABLO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+        DIABLO_ASSIGN_OR_RETURN(Token semi, Expect(TokenKind::kSemi));
+        (void)semi;
+        return Stmt::MakeIncr(std::move(dest), bop, std::move(value),
+                              name.loc);
+      }
+      case TokenKind::kMinusEq: {
+        // d -= e  is sugar for  d += -(e), keeping ⊕ commutative.
+        Advance();
+        DIABLO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+        DIABLO_ASSIGN_OR_RETURN(Token semi, Expect(TokenKind::kSemi));
+        (void)semi;
+        return Stmt::MakeIncr(std::move(dest), BinOp::kAdd,
+                              Expr::MakeUn(UnOp::kNeg, std::move(value),
+                                           op.loc),
+                              name.loc);
+      }
+      default:
+        return Error(StrCat("expected assignment operator, found ",
+                            TokenKindName(op.kind)));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ast::Program> ParseProgram(const std::string& source) {
+  DIABLO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+StatusOr<ast::ExprPtr> ParseExpr(const std::string& source) {
+  DIABLO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleExpr();
+}
+
+}  // namespace diablo::parser

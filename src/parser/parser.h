@@ -1,0 +1,37 @@
+#ifndef DIABLO_PARSER_PARSER_H_
+#define DIABLO_PARSER_PARSER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace diablo::parser {
+
+/// Parses loop-language source (Figure 1 syntax) into a Program.
+///
+/// Statement syntax, following the paper's listings:
+///
+///   var C: map[string,int] = map();
+///   for i = 0, n-1 do { ... }
+///   for v in V do ...
+///   while (e) ...
+///   if (e) s1 else s2
+///   d := e;          d += e;          d *= e;
+///   d min= e;        d max= e;        d argmin= e;
+///   d -= e;          # sugar for d += -(e)
+///
+/// Expressions: arithmetic/comparison/boolean operators with the usual
+/// precedence, array indexing `A[i,j]`, record/tuple projection `p.red` /
+/// `p._1`, tuple `(a,b)` and record `<A=1,B=2>` construction, builtin
+/// calls `sqrt(x)`, `min(a,b)`, `max(a,b)`, `argmin(a,b)`.
+///
+/// Empty-collection initializers: vector(), matrix(), map(), bag().
+StatusOr<ast::Program> ParseProgram(const std::string& source);
+
+/// Parses a single expression (used in tests).
+StatusOr<ast::ExprPtr> ParseExpr(const std::string& source);
+
+}  // namespace diablo::parser
+
+#endif  // DIABLO_PARSER_PARSER_H_

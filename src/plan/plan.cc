@@ -1,0 +1,69 @@
+#include "plan/plan.h"
+
+#include "common/strings.h"
+
+namespace diablo::plan {
+
+std::string StreamOp::ToString() const {
+  switch (kind) {
+    case Kind::kSourceArray:
+      return StrCat("sourceArray ", array, " as ", pattern.ToString());
+    case Kind::kSourceRange:
+      return StrCat("sourceRange ", pattern.ToString(), " in [",
+                    expr->ToString(), ",", expr2->ToString(), "]");
+    case Kind::kJoinArray:
+    case Kind::kBroadcastJoinArray: {
+      std::vector<std::string> lk, rk;
+      for (const auto& e : left_keys) lk.push_back(e->ToString());
+      for (const auto& e : right_keys) rk.push_back(e->ToString());
+      return StrCat(kind == Kind::kBroadcastJoinArray ? "broadcastJoin "
+                                                      : "join ",
+                    array, " as ", pattern.ToString(), " on (",
+                    Join(lk, ","), ") == (", Join(rk, ","), ")");
+    }
+    case Kind::kCartesianArray:
+      return StrCat("cartesian ", array, " as ", pattern.ToString());
+    case Kind::kIterateBag:
+      return StrCat("iterate ", pattern.ToString(), " <- ",
+                    expr->ToString());
+    case Kind::kFilter:
+      return StrCat("filter ", expr->ToString());
+    case Kind::kLet:
+      return StrCat("let ", pattern.ToString(), " = ", expr->ToString());
+    case Kind::kGroupBy:
+      return StrCat("groupBy key=", expr->ToString(), " as ",
+                    pattern.ToString(), " lifting [", Join(lifted, ","), "]");
+    case Kind::kReduceByKey:
+      return StrCat("reduceByKey key=", expr->ToString(), " as ",
+                    pattern.ToString(), " ", runtime::BinOpName(reduce_op),
+                    "/", reduce_value->ToString(), " -> ", lifted[0]);
+  }
+  return "?";
+}
+
+int CompPlan::NumShuffles() const {
+  int n = 0;
+  for (const StreamOp& op : ops) {
+    switch (op.kind) {
+      case StreamOp::Kind::kJoinArray:
+      case StreamOp::Kind::kGroupBy:
+      case StreamOp::Kind::kReduceByKey:
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+std::string CompPlan::ToString() const {
+  std::string out = driver_only ? "plan (driver-only):\n" : "plan:\n";
+  for (const StreamOp& op : ops) {
+    out += "  " + op.ToString() + "\n";
+  }
+  out += "  yield " + head->ToString() + "\n";
+  return out;
+}
+
+}  // namespace diablo::plan

@@ -1,0 +1,94 @@
+#include "plan/spark_emitter.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace diablo::plan {
+
+namespace {
+
+std::string KeyList(const std::vector<comp::CExprPtr>& keys) {
+  std::vector<std::string> parts;
+  for (const auto& k : keys) parts.push_back(k->ToString());
+  return Join(parts, ",");
+}
+
+}  // namespace
+
+std::string ToSparkLike(const CompPlan& plan) {
+  std::ostringstream os;
+  if (plan.driver_only) {
+    os << "driver {";
+    for (const StreamOp& op : plan.ops) os << " " << op.ToString() << ";";
+    os << " yield " << plan.head->ToString() << " }";
+    return os.str();
+  }
+  bool first = true;
+  auto chain = [&](const std::string& call) {
+    if (first) {
+      os << call;
+      first = false;
+    } else {
+      os << "\n  ." << call;
+    }
+  };
+  for (const StreamOp& op : plan.ops) {
+    switch (op.kind) {
+      case StreamOp::Kind::kSourceArray:
+        chain(op.array);
+        break;
+      case StreamOp::Kind::kSourceRange:
+        chain(StrCat("sc.range(", op.expr->ToString(), ", ",
+                     op.expr2->ToString(), ")"));
+        break;
+      case StreamOp::Kind::kJoinArray:
+        chain(StrCat("map(row => ((", KeyList(op.left_keys), "), row))"));
+        chain(StrCat("join(", op.array, ".map(", op.pattern.ToString(),
+                     " => ((", KeyList(op.right_keys), "), ",
+                     op.pattern.ToString(), ")))"));
+        chain("map { case (_, (row, extra)) => row ++ extra }");
+        break;
+      case StreamOp::Kind::kBroadcastJoinArray:
+        chain(StrCat("mapPartitions(probe broadcast(", op.array, ") on (",
+                     KeyList(op.left_keys), ") == (",
+                     KeyList(op.right_keys), "))"));
+        break;
+      case StreamOp::Kind::kCartesianArray:
+        chain(StrCat("cartesian(broadcast(", op.array, ") as ",
+                     op.pattern.ToString(), ")"));
+        break;
+      case StreamOp::Kind::kIterateBag:
+        chain(StrCat("flatMap(row => ", op.expr->ToString(), " as ",
+                     op.pattern.ToString(), ")"));
+        break;
+      case StreamOp::Kind::kFilter:
+        chain(StrCat("filter(row => ", op.expr->ToString(), ")"));
+        break;
+      case StreamOp::Kind::kLet:
+        chain(StrCat("map(row => row + (", op.pattern.ToString(), " = ",
+                     op.expr->ToString(), "))"));
+        break;
+      case StreamOp::Kind::kGroupBy:
+        chain(StrCat("map(row => (", op.expr->ToString(), ", (",
+                     Join(op.lifted, ","), ")))"));
+        chain("groupByKey()");
+        break;
+      case StreamOp::Kind::kReduceByKey:
+        chain(StrCat("map(row => (", op.expr->ToString(), ", ",
+                     op.reduce_value->ToString(), "))"));
+        chain(StrCat("reduceByKey(_", runtime::BinOpName(op.reduce_op),
+                     "_)"));
+        break;
+    }
+  }
+  if (first) {
+    // Driver-only plan.
+    os << "driver { " << plan.head->ToString() << " }";
+    return os.str();
+  }
+  chain(StrCat("map(row => ", plan.head->ToString(), ")"));
+  return os.str();
+}
+
+}  // namespace diablo::plan

@@ -1,0 +1,24 @@
+#ifndef DIABLO_PLAN_SPARK_EMITTER_H_
+#define DIABLO_PLAN_SPARK_EMITTER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace diablo::plan {
+
+/// Renders a comprehension plan as chained pseudo-Spark code, the way
+/// the paper displays generated programs (Appendix B). Purely cosmetic —
+/// the emitted text is documentation of the physical plan, not
+/// compilable Scala — but it makes `diablo_dump --spark` output read
+/// like the paper's listings:
+///
+///   R = M.filter(((i,k),m) => inRange(i,0,(n-1)))
+///        .join(N on (k) == (a))
+///        .map(... => ((i,j), (m*n)))
+///        .reduceByKey(_+_)
+std::string ToSparkLike(const CompPlan& plan);
+
+}  // namespace diablo::plan
+
+#endif  // DIABLO_PLAN_SPARK_EMITTER_H_

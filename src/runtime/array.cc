@@ -1,0 +1,97 @@
+#include "runtime/array.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace diablo::runtime {
+
+namespace {
+
+Status CheckPair(const Value& row) {
+  if (!row.is_tuple() || row.tuple().size() != 2) {
+    return Status::RuntimeError(
+        StrCat("sparse array row is not a (key,value) pair: ",
+               row.ToString()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ValueVec> ArrayMergeLocal(const ValueVec& x, const ValueVec& y) {
+  std::map<Value, Value> merged;
+  for (const Value& row : x) {
+    DIABLO_RETURN_IF_ERROR(CheckPair(row));
+    merged.insert_or_assign(row.tuple()[0], row.tuple()[1]);
+  }
+  for (const Value& row : y) {
+    DIABLO_RETURN_IF_ERROR(CheckPair(row));
+    merged.insert_or_assign(row.tuple()[0], row.tuple()[1]);
+  }
+  ValueVec out;
+  out.reserve(merged.size());
+  for (auto& [k, v] : merged) out.push_back(Value::MakePair(k, v));
+  return out;
+}
+
+StatusOr<Dataset> ArrayMerge(Engine& engine, const Dataset& x,
+                             const Dataset& y, const std::string& label) {
+  DIABLO_ASSIGN_OR_RETURN(Dataset grouped, engine.CoGroup(x, y, label));
+  // For every key: choose the last y value when present, else the last x
+  // value (right bias of ⊳).
+  return engine.FlatMap(
+      grouped,
+      [](const Value& row) -> StatusOr<ValueVec> {
+        const Value& key = row.tuple()[0];
+        const Value& sides = row.tuple()[1];
+        const ValueVec& xs = sides.tuple()[0].bag();
+        const ValueVec& ys = sides.tuple()[1].bag();
+        ValueVec out;
+        if (!ys.empty()) {
+          out.push_back(Value::MakePair(key, ys.back()));
+        } else if (!xs.empty()) {
+          out.push_back(Value::MakePair(key, xs.back()));
+        }
+        return out;
+      },
+      label + ".choose");
+}
+
+Value ArrayIndexLocal(const ValueVec& array, const Value& key) {
+  for (const Value& row : array) {
+    if (row.is_tuple() && row.tuple().size() == 2 && row.tuple()[0] == key) {
+      return Value::SingletonBag(row.tuple()[1]);
+    }
+  }
+  return Value::EmptyBag();
+}
+
+ValueVec DenseToSparseVector(const std::vector<double>& values) {
+  ValueVec out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back(Value::MakePair(Value::MakeInt(static_cast<int64_t>(i)),
+                                  Value::MakeDouble(values[i])));
+  }
+  return out;
+}
+
+ValueVec DenseToSparseMatrix(const std::vector<std::vector<double>>& rows) {
+  ValueVec out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      out.push_back(Value::MakePair(
+          MatrixKey(static_cast<int64_t>(i), static_cast<int64_t>(j)),
+          Value::MakeDouble(rows[i][j])));
+    }
+  }
+  return out;
+}
+
+Value MatrixKey(int64_t i, int64_t j) {
+  return Value::MakePair(Value::MakeInt(i), Value::MakeInt(j));
+}
+
+}  // namespace diablo::runtime

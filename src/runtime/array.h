@@ -1,0 +1,45 @@
+#ifndef DIABLO_RUNTIME_ARRAY_H_
+#define DIABLO_RUNTIME_ARRAY_H_
+
+#include "common/status.h"
+#include "runtime/dataset.h"
+#include "runtime/engine.h"
+#include "runtime/value.h"
+
+namespace diablo::runtime {
+
+/// Sparse-array helpers (paper §3.4).
+///
+/// A sparse array is a bag of (index, value) pairs: a vector has integer
+/// keys, a matrix has (i,j) tuple keys. These helpers implement the array
+/// merging operator X ⊳ Y — the union of X and Y where Y wins on
+/// conflicting keys — both on local bags and on distributed datasets.
+
+/// Local ⊳: rows of `x` and `y` are (key, value) pairs; on duplicate keys
+/// the value from `y` is chosen. When `y` itself contains several values
+/// for one key, the last one wins (the paper's update sequencing).
+/// The result is sorted by key for determinism.
+StatusOr<ValueVec> ArrayMergeLocal(const ValueVec& x, const ValueVec& y);
+
+/// Distributed ⊳, implemented as a coGroup (as the paper notes for Spark).
+StatusOr<Dataset> ArrayMerge(Engine& engine, const Dataset& x,
+                             const Dataset& y,
+                             const std::string& label = "arrayMerge");
+
+/// Looks up the value at `key` in a local sparse array; returns the
+/// singleton bag {v} when present, the empty bag otherwise (the lifted
+/// indexing semantics of §3.4).
+Value ArrayIndexLocal(const ValueVec& array, const Value& key);
+
+/// Builds a sparse vector {(i, values[i])} from dense data.
+ValueVec DenseToSparseVector(const std::vector<double>& values);
+
+/// Builds a sparse matrix {((i,j), v)} from row-major dense data.
+ValueVec DenseToSparseMatrix(const std::vector<std::vector<double>>& rows);
+
+/// Key helpers.
+Value MatrixKey(int64_t i, int64_t j);
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_ARRAY_H_

@@ -1,0 +1,19 @@
+#include "runtime/dataset.h"
+
+namespace diablo::runtime {
+
+int64_t Dataset::TotalRows() const {
+  int64_t n = 0;
+  for (const auto& p : *partitions_) n += static_cast<int64_t>(p.size());
+  return n;
+}
+
+int64_t Dataset::TotalBytes() const {
+  int64_t n = 0;
+  for (const auto& p : *partitions_) {
+    for (const Value& v : p) n += v.SerializedBytes();
+  }
+  return n;
+}
+
+}  // namespace diablo::runtime

@@ -1,0 +1,42 @@
+#ifndef DIABLO_RUNTIME_DATASET_H_
+#define DIABLO_RUNTIME_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/value.h"
+
+namespace diablo::runtime {
+
+/// An immutable, partitioned collection of Values — the analogue of a
+/// Spark RDD. Datasets are cheap to copy (the partition payload is
+/// shared) and are only created through Engine operations, which record
+/// execution statistics for the cluster cost model.
+class Dataset {
+ public:
+  /// An empty dataset with zero partitions.
+  Dataset() : partitions_(std::make_shared<const std::vector<ValueVec>>()) {}
+
+  explicit Dataset(std::vector<ValueVec> partitions)
+      : partitions_(std::make_shared<const std::vector<ValueVec>>(
+            std::move(partitions))) {}
+
+  int num_partitions() const {
+    return static_cast<int>(partitions_->size());
+  }
+  const ValueVec& partition(int i) const { return (*partitions_)[i]; }
+  const std::vector<ValueVec>& partitions() const { return *partitions_; }
+
+  /// Total number of rows across all partitions.
+  int64_t TotalRows() const;
+
+  /// Approximate serialized size of all rows, for workload reporting.
+  int64_t TotalBytes() const;
+
+ private:
+  std::shared_ptr<const std::vector<ValueVec>> partitions_;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_DATASET_H_

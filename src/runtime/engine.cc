@@ -1,0 +1,443 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "runtime/serialize.h"
+
+namespace diablo::runtime {
+
+namespace {
+
+/// Stable ordered map used to give wide-operator outputs a deterministic
+/// per-partition order regardless of hashing and threading.
+using OrderedGroups = std::map<Value, ValueVec>;
+
+std::vector<int64_t> RowCounts(const std::vector<ValueVec>& parts) {
+  std::vector<int64_t> counts;
+  counts.reserve(parts.size());
+  for (const auto& p : parts) counts.push_back(static_cast<int64_t>(p.size()));
+  return counts;
+}
+
+std::vector<int64_t> RowCounts(const Dataset& ds) {
+  return RowCounts(ds.partitions());
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  if (config_.num_partitions < 1) config_.num_partitions = 1;
+  if (config_.host_threads < 1) config_.host_threads = 1;
+}
+
+Dataset Engine::Parallelize(ValueVec rows) const {
+  return Parallelize(std::move(rows), config_.num_partitions);
+}
+
+Dataset Engine::Parallelize(ValueVec rows, int num_partitions) const {
+  if (num_partitions < 1) num_partitions = 1;
+  std::vector<ValueVec> parts(num_partitions);
+  const size_t n = rows.size();
+  size_t begin = 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    size_t end = n * (p + 1) / num_partitions;
+    parts[p].reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) parts[p].push_back(std::move(rows[i]));
+    begin = end;
+  }
+  return Dataset(std::move(parts));
+}
+
+Dataset Engine::Range(int64_t lo, int64_t hi) const {
+  ValueVec rows;
+  if (hi >= lo) {
+    rows.reserve(static_cast<size_t>(hi - lo + 1));
+    for (int64_t i = lo; i <= hi; ++i) rows.push_back(Value::MakeInt(i));
+  }
+  return Parallelize(std::move(rows));
+}
+
+Status Engine::RunPerPartition(int n,
+                               const std::function<Status(int)>& fn) const {
+  if (n <= 0) return Status::OK();
+  const int threads = std::min(config_.host_threads, n);
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) DIABLO_RETURN_IF_ERROR(fn(i));
+    return Status::OK();
+  }
+  std::atomic<int> next{0};
+  std::mutex mu;
+  Status first_error;
+  auto worker = [&] {
+    for (;;) {
+      int i = next.fetch_add(1);
+      if (i >= n) return;
+      Status st = fn(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return first_error;
+}
+
+StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
+                              const std::string& label) {
+  std::vector<ValueVec> out(in.num_partitions());
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    const ValueVec& rows = in.partition(p);
+    out[p].reserve(rows.size());
+    for (const Value& row : rows) {
+      DIABLO_ASSIGN_OR_RETURN(Value v, fn(row));
+      out[p].push_back(std::move(v));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
+                                 const std::string& label) {
+  std::vector<ValueVec> out(in.num_partitions());
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    for (const Value& row : in.partition(p)) {
+      DIABLO_ASSIGN_OR_RETURN(bool keep, pred(row));
+      if (keep) out[p].push_back(row);
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
+                                  const std::string& label) {
+  std::vector<ValueVec> out(in.num_partitions());
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    for (const Value& row : in.partition(p)) {
+      DIABLO_ASSIGN_OR_RETURN(ValueVec vs, fn(row));
+      for (Value& v : vs) out[p].push_back(std::move(v));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
+  return Dataset(std::move(out));
+}
+
+StatusOr<const Value*> Engine::RowKey(const Value& row) {
+  if (!row.is_tuple() || row.tuple().size() != 2) {
+    return Status::RuntimeError(
+        StrCat("keyed operator applied to non-pair row: ", row.ToString()));
+  }
+  return &row.tuple()[0];
+}
+
+StatusOr<std::vector<ValueVec>> Engine::Shuffle(const Dataset& in,
+                                                int64_t* shuffle_bytes) const {
+  const int out_parts = config_.num_partitions;
+  // buckets[src][dst]
+  std::vector<std::vector<ValueVec>> buckets(
+      in.num_partitions(), std::vector<ValueVec>(out_parts));
+  std::vector<int64_t> moved_bytes(in.num_partitions(), 0);
+  const bool serialize = config_.serialize_shuffles;
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    for (const Value& row : in.partition(p)) {
+      DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+      int dst = static_cast<int>(key->Hash() % static_cast<size_t>(out_parts));
+      // Rows that stay on the same simulated node are still accounted:
+      // with many workers almost every row crosses the network, so we
+      // charge all of them (Spark's shuffle write does the same).
+      if (serialize) {
+        // Ship the encoded bytes, exactly as a real shuffle would.
+        std::string wire = Serialize(row);
+        moved_bytes[p] += static_cast<int64_t>(wire.size());
+        DIABLO_ASSIGN_OR_RETURN(Value decoded, Deserialize(wire));
+        buckets[p][dst].push_back(std::move(decoded));
+      } else {
+        moved_bytes[p] += row.SerializedBytes();
+        buckets[p][dst].push_back(row);
+      }
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  if (shuffle_bytes != nullptr) {
+    *shuffle_bytes = 0;
+    for (int64_t b : moved_bytes) *shuffle_bytes += b;
+  }
+  std::vector<ValueVec> out(out_parts);
+  for (int dst = 0; dst < out_parts; ++dst) {
+    size_t total = 0;
+    for (int src = 0; src < in.num_partitions(); ++src) {
+      total += buckets[src][dst].size();
+    }
+    out[dst].reserve(total);
+    for (int src = 0; src < in.num_partitions(); ++src) {
+      for (Value& v : buckets[src][dst]) out[dst].push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
+                                     const std::string& label) {
+  int64_t bytes = 0;
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled, Shuffle(in, &bytes));
+  std::vector<ValueVec> out(shuffled.size());
+  Status st = RunPerPartition(
+      static_cast<int>(shuffled.size()), [&](int p) -> Status {
+        OrderedGroups groups;
+        for (Value& row : shuffled[p]) {
+          const ValueVec& kv = row.tuple();
+          groups[kv[0]].push_back(kv[1]);
+        }
+        out[p].reserve(groups.size());
+        for (auto& [key, vals] : groups) {
+          out[p].push_back(
+              Value::MakePair(key, Value::MakeBag(std::move(vals))));
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  metrics_.AddStage(
+      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
+                                      const std::string& label) {
+  // Map-side combine (like Spark): fold each input partition first so the
+  // shuffle only moves one pair per (partition, key).
+  std::vector<ValueVec> combined(in.num_partitions());
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    OrderedGroups acc;
+    for (const Value& row : in.partition(p)) {
+      DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+      auto it = acc.find(*key);
+      if (it == acc.end()) {
+        acc.emplace(*key, ValueVec{row.tuple()[1]});
+      } else {
+        DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                fn(it->second[0], row.tuple()[1]));
+      }
+    }
+    combined[p].reserve(acc.size());
+    for (auto& [key, vals] : acc) {
+      combined[p].push_back(Value::MakePair(key, std::move(vals[0])));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+
+  Dataset combined_ds(std::move(combined));
+  int64_t bytes = 0;
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
+                          Shuffle(combined_ds, &bytes));
+  std::vector<ValueVec> out(shuffled.size());
+  st = RunPerPartition(static_cast<int>(shuffled.size()), [&](int p) -> Status {
+    OrderedGroups acc;
+    for (Value& row : shuffled[p]) {
+      const ValueVec& kv = row.tuple();
+      auto it = acc.find(kv[0]);
+      if (it == acc.end()) {
+        acc.emplace(kv[0], ValueVec{kv[1]});
+      } else {
+        DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
+      }
+    }
+    out[p].reserve(acc.size());
+    for (auto& [key, vals] : acc) {
+      out[p].push_back(Value::MakePair(key, std::move(vals[0])));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  metrics_.AddStage(
+      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
+                                      const std::string& label) {
+  return ReduceByKey(
+      in,
+      [op](const Value& a, const Value& b) { return EvalBinOp(op, a, b); },
+      label);
+}
+
+StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
+                               const std::string& label) {
+  int64_t bytes_l = 0, bytes_r = 0;
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls, Shuffle(left, &bytes_l));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs, Shuffle(right, &bytes_r));
+  std::vector<ValueVec> out(ls.size());
+  std::vector<int64_t> reduce_work(ls.size(), 0);
+  Status st = RunPerPartition(static_cast<int>(ls.size()), [&](int p) -> Status {
+    OrderedGroups build;
+    for (Value& row : ls[p]) {
+      const ValueVec& kv = row.tuple();
+      build[kv[0]].push_back(kv[1]);
+    }
+    reduce_work[p] = static_cast<int64_t>(ls[p].size());
+    for (Value& row : rs[p]) {
+      const ValueVec& kv = row.tuple();
+      reduce_work[p] += 1;
+      auto it = build.find(kv[0]);
+      if (it == build.end()) continue;
+      for (const Value& lv : it->second) {
+        out[p].push_back(
+            Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+        reduce_work[p] += 1;
+      }
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::vector<int64_t> map_work = RowCounts(left);
+  for (int64_t c : RowCounts(right)) map_work.push_back(c);
+  metrics_.AddStage(
+      {label, /*wide=*/true, map_work, reduce_work, bytes_l + bytes_r});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
+                                  const std::string& label) {
+  int64_t bytes_l = 0, bytes_r = 0;
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls, Shuffle(left, &bytes_l));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs, Shuffle(right, &bytes_r));
+  std::vector<ValueVec> out(ls.size());
+  std::vector<int64_t> reduce_work(ls.size(), 0);
+  Status st = RunPerPartition(static_cast<int>(ls.size()), [&](int p) -> Status {
+    std::map<Value, std::pair<ValueVec, ValueVec>> groups;
+    for (Value& row : ls[p]) {
+      const ValueVec& kv = row.tuple();
+      groups[kv[0]].first.push_back(kv[1]);
+    }
+    for (Value& row : rs[p]) {
+      const ValueVec& kv = row.tuple();
+      groups[kv[0]].second.push_back(kv[1]);
+    }
+    reduce_work[p] =
+        static_cast<int64_t>(ls[p].size()) + static_cast<int64_t>(rs[p].size());
+    out[p].reserve(groups.size());
+    for (auto& [key, sides] : groups) {
+      out[p].push_back(Value::MakePair(
+          key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
+                               Value::MakeBag(std::move(sides.second)))));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::vector<int64_t> map_work = RowCounts(left);
+  for (int64_t c : RowCounts(right)) map_work.push_back(c);
+  metrics_.AddStage(
+      {label, /*wide=*/true, map_work, reduce_work, bytes_l + bytes_r});
+  return Dataset(std::move(out));
+}
+
+Dataset Engine::Union(const Dataset& a, const Dataset& b) {
+  const int n = std::max(a.num_partitions(), b.num_partitions());
+  std::vector<ValueVec> out(n);
+  for (int p = 0; p < a.num_partitions(); ++p) {
+    for (const Value& v : a.partition(p)) out[p].push_back(v);
+  }
+  for (int p = 0; p < b.num_partitions(); ++p) {
+    for (const Value& v : b.partition(p)) out[p].push_back(v);
+  }
+  metrics_.AddStage({"union", /*wide=*/false, RowCounts(out), {}, 0});
+  return Dataset(std::move(out));
+}
+
+StatusOr<Dataset> Engine::Distinct(const Dataset& in,
+                                   const std::string& label) {
+  // Key each row by itself, shuffle, dedup per partition.
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset keyed,
+      Map(in, [](const Value& v) -> StatusOr<Value> {
+        return Value::MakePair(v, Value::MakeUnit());
+      }, label + ".key"));
+  int64_t bytes = 0;
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
+                          Shuffle(keyed, &bytes));
+  std::vector<ValueVec> out(shuffled.size());
+  Status st = RunPerPartition(
+      static_cast<int>(shuffled.size()), [&](int p) -> Status {
+        std::map<Value, bool> seen;
+        for (Value& row : shuffled[p]) seen.emplace(row.tuple()[0], true);
+        out[p].reserve(seen.size());
+        for (auto& [v, unused] : seen) out[p].push_back(v);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  metrics_.AddStage(
+      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
+  return Dataset(std::move(out));
+}
+
+StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
+                                              const ReduceFn& fn,
+                                              const std::string& label) {
+  // Per-partition partial reduce, then combine partials on the driver.
+  std::vector<std::optional<Value>> partials(in.num_partitions());
+  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
+    for (const Value& row : in.partition(p)) {
+      if (!partials[p].has_value()) {
+        partials[p] = row;
+      } else {
+        DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], row));
+      }
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
+  std::optional<Value> acc;
+  for (auto& part : partials) {
+    if (!part.has_value()) continue;
+    if (!acc.has_value()) {
+      acc = std::move(part);
+    } else {
+      DIABLO_ASSIGN_OR_RETURN(*acc, fn(*acc, *part));
+    }
+  }
+  return acc;
+}
+
+ValueVec Engine::Collect(const Dataset& in) const {
+  ValueVec out;
+  out.reserve(static_cast<size_t>(in.TotalRows()));
+  for (const auto& part : in.partitions()) {
+    for (const Value& v : part) out.push_back(v);
+  }
+  return out;
+}
+
+StatusOr<Value> Engine::First(const Dataset& in) const {
+  for (const auto& part : in.partitions()) {
+    if (!part.empty()) return part[0];
+  }
+  return Status::RuntimeError("First() on an empty dataset");
+}
+
+int64_t Engine::Count(const Dataset& in) {
+  metrics_.AddStage({"count", /*wide=*/false, RowCounts(in), {}, 0});
+  return in.TotalRows();
+}
+
+}  // namespace diablo::runtime

@@ -1,0 +1,150 @@
+#ifndef DIABLO_RUNTIME_ENGINE_H_
+#define DIABLO_RUNTIME_ENGINE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/dataset.h"
+#include "runtime/metrics.h"
+#include "runtime/operators.h"
+#include "runtime/value.h"
+
+namespace diablo::runtime {
+
+/// Configuration of the simulated cluster engine.
+struct EngineConfig {
+  /// Number of partitions newly parallelized datasets are split into.
+  int num_partitions = 8;
+  /// Real host threads used to execute partition tasks. 1 = run inline.
+  /// Any value works on any host; this only affects wall-clock execution,
+  /// never results or the cost model.
+  int host_threads = 1;
+  /// Parameters of the deterministic cluster cost model (see metrics.h).
+  ClusterModel cluster;
+  /// Extension (paper §7 future work): when > 0, the comprehension
+  /// planner turns a distributed hash join whose array side is at most
+  /// this many bytes into a broadcast hash join — the array ships to
+  /// every worker once and the probe side never shuffles. 0 keeps the
+  /// paper-faithful shuffle joins.
+  int64_t broadcast_join_threshold_bytes = 0;
+  /// When true, every shuffled row round-trips through the binary codec
+  /// (runtime/serialize.h), exactly as it would cross a real network:
+  /// validates the wire format under load and makes the accounted
+  /// shuffle bytes the exact encoded size. Off by default (the
+  /// SerializedBytes() estimate is used instead).
+  bool serialize_shuffles = false;
+};
+
+/// The DIABLO execution substrate: a from-scratch, in-process
+/// data-parallel engine with the Spark RDD operator vocabulary.
+///
+/// Datasets are hash-partitioned; narrow operators (map/filter/flatMap)
+/// transform partitions in place, wide operators (groupByKey, reduceByKey,
+/// join, coGroup) redistribute rows by key hash — a shuffle. Every operator
+/// records a StageStats entry in metrics(), from which the cluster cost
+/// model computes a simulated distributed run time (DESIGN.md §3 explains
+/// why this substitution preserves the paper's comparisons).
+///
+/// Rows of keyed datasets are pair tuples (key, value); the key may be any
+/// Value (ints, tuples of ints, strings, ...).
+///
+/// All operator callbacks may fail; the first error aborts the stage and is
+/// returned. Callbacks must be thread-safe when host_threads > 1.
+class Engine {
+ public:
+  using MapFn = std::function<StatusOr<Value>(const Value&)>;
+  using FlatMapFn = std::function<StatusOr<ValueVec>(const Value&)>;
+  using PredFn = std::function<StatusOr<bool>(const Value&)>;
+  using ReduceFn = std::function<StatusOr<Value>(const Value&, const Value&)>;
+
+  explicit Engine(EngineConfig config = EngineConfig());
+
+  const EngineConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Splits `rows` into num_partitions contiguous chunks. No stage is
+  /// recorded: loading input data is not charged to any plan.
+  Dataset Parallelize(ValueVec rows) const;
+  Dataset Parallelize(ValueVec rows, int num_partitions) const;
+
+  /// The integer range [lo, hi] (inclusive, as in the paper's `range`),
+  /// split into contiguous partitions.
+  Dataset Range(int64_t lo, int64_t hi) const;
+
+  /// Narrow: applies `fn` to every row.
+  StatusOr<Dataset> Map(const Dataset& in, const MapFn& fn,
+                        const std::string& label = "map");
+
+  /// Narrow: keeps rows satisfying `pred`.
+  StatusOr<Dataset> Filter(const Dataset& in, const PredFn& pred,
+                           const std::string& label = "filter");
+
+  /// Narrow: maps every row to a bag of rows and concatenates.
+  StatusOr<Dataset> FlatMap(const Dataset& in, const FlatMapFn& fn,
+                            const std::string& label = "flatMap");
+
+  /// Wide: groups (k,v) rows by k; result rows are (k, Bag-of-v), sorted
+  /// by key within each partition (for determinism).
+  StatusOr<Dataset> GroupByKey(const Dataset& in,
+                               const std::string& label = "groupByKey");
+
+  /// Wide: combines values of equal keys with `fn`. Performs a map-side
+  /// combine before shuffling, like Spark's reduceByKey.
+  StatusOr<Dataset> ReduceByKey(const Dataset& in, const ReduceFn& fn,
+                                const std::string& label = "reduceByKey");
+  /// ReduceByKey with a built-in commutative operator.
+  StatusOr<Dataset> ReduceByKey(const Dataset& in, BinOp op,
+                                const std::string& label = "reduceByKey");
+
+  /// Wide: inner equi-join of (k,a) with (k,b); result rows (k,(a,b)).
+  StatusOr<Dataset> Join(const Dataset& left, const Dataset& right,
+                         const std::string& label = "join");
+
+  /// Wide: full cogroup of (k,a) with (k,b); result rows
+  /// (k,(Bag-of-a, Bag-of-b)) for every key present on either side.
+  StatusOr<Dataset> CoGroup(const Dataset& left, const Dataset& right,
+                            const std::string& label = "coGroup");
+
+  /// Narrow: bag union (concatenation) of the two datasets.
+  Dataset Union(const Dataset& a, const Dataset& b);
+
+  /// Wide: removes duplicate rows.
+  StatusOr<Dataset> Distinct(const Dataset& in,
+                             const std::string& label = "distinct");
+
+  /// Action: combines all rows with `fn`; nullopt for an empty dataset.
+  StatusOr<std::optional<Value>> Reduce(const Dataset& in, const ReduceFn& fn,
+                                        const std::string& label = "reduce");
+
+  /// Action: gathers all rows to the driver, in partition order.
+  ValueVec Collect(const Dataset& in) const;
+
+  /// Action: the first row in partition order; error when empty.
+  StatusOr<Value> First(const Dataset& in) const;
+
+  /// Action: number of rows (charged as a narrow scan).
+  int64_t Count(const Dataset& in);
+
+ private:
+  /// Runs fn(0..n-1), using up to config_.host_threads threads; returns
+  /// the first error encountered.
+  Status RunPerPartition(int n, const std::function<Status(int)>& fn) const;
+
+  /// Hash-partitions keyed rows of `in` into num_partitions buckets,
+  /// returning them and the number of bytes that crossed partitions.
+  StatusOr<std::vector<ValueVec>> Shuffle(const Dataset& in,
+                                          int64_t* shuffle_bytes) const;
+
+  static StatusOr<const Value*> RowKey(const Value& row);
+
+  EngineConfig config_;
+  Metrics metrics_;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_ENGINE_H_

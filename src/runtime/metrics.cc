@@ -1,0 +1,81 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace diablo::runtime {
+
+int64_t LptMakespan(std::vector<int64_t> tasks, int workers) {
+  if (tasks.empty() || workers <= 0) return 0;
+  std::sort(tasks.begin(), tasks.end(), std::greater<int64_t>());
+  // Min-heap of worker loads.
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      loads;
+  for (int i = 0; i < workers; ++i) loads.push(0);
+  for (int64_t t : tasks) {
+    int64_t load = loads.top();
+    loads.pop();
+    loads.push(load + t);
+  }
+  int64_t makespan = 0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  return makespan;
+}
+
+int64_t Metrics::num_wide_stages() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.wide ? 1 : 0;
+  return n;
+}
+
+int64_t Metrics::total_work() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) {
+    for (int64_t w : s.map_work) n += w;
+    for (int64_t w : s.reduce_work) n += w;
+  }
+  return n;
+}
+
+int64_t Metrics::total_shuffle_bytes() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.shuffle_bytes;
+  return n;
+}
+
+double Metrics::SimulatedSeconds(const ClusterModel& model) const {
+  double total = 0;
+  for (const auto& s : stages_) {
+    total += static_cast<double>(LptMakespan(s.map_work, model.num_workers)) *
+             model.seconds_per_work_unit;
+    if (!s.reduce_work.empty()) {
+      total +=
+          static_cast<double>(LptMakespan(s.reduce_work, model.num_workers)) *
+          model.seconds_per_work_unit;
+    }
+    total += static_cast<double>(s.shuffle_bytes) *
+             model.seconds_per_shuffle_byte / model.num_workers;
+    total += s.wide ? model.wide_stage_latency_seconds
+                    : model.narrow_stage_latency_seconds;
+  }
+  return total;
+}
+
+std::string Metrics::Report() const {
+  std::ostringstream os;
+  for (const auto& s : stages_) {
+    int64_t map_total = 0, reduce_total = 0;
+    for (int64_t w : s.map_work) map_total += w;
+    for (int64_t w : s.reduce_work) reduce_total += w;
+    os << (s.wide ? "[wide]   " : "[narrow] ") << s.label << ": map_work="
+       << map_total << " reduce_work=" << reduce_total
+       << " shuffle_bytes=" << s.shuffle_bytes << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace diablo::runtime

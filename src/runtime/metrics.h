@@ -1,0 +1,80 @@
+#ifndef DIABLO_RUNTIME_METRICS_H_
+#define DIABLO_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diablo::runtime {
+
+/// Execution statistics for one engine operator (one "stage").
+///
+/// Narrow operators (map, filter, flatMap) only have map-side work. Wide
+/// operators (groupByKey, reduceByKey, join, coGroup) additionally move
+/// `shuffle_bytes` across the simulated network and then perform
+/// reduce-side work on the post-shuffle partitions.
+struct StageStats {
+  std::string label;
+  bool wide = false;
+  /// Work units (≈ rows touched) per map-side task.
+  std::vector<int64_t> map_work;
+  /// Work units per reduce-side task (empty for narrow stages).
+  std::vector<int64_t> reduce_work;
+  /// Approximate bytes exchanged between workers during the shuffle.
+  int64_t shuffle_bytes = 0;
+};
+
+/// Parameters of the deterministic cluster cost model.
+///
+/// The engine executes on the local host but *accounts* as if tasks were
+/// spread over `num_workers` machines: each stage costs the makespan of a
+/// longest-processing-time assignment of its tasks to workers, plus a
+/// network term for shuffled bytes, plus a fixed scheduling latency for
+/// wide stages. This reproduces the relative performance of competing
+/// plans (fewer shuffles / less data moved => faster) without real
+/// hardware; see DESIGN.md §3.
+struct ClusterModel {
+  int num_workers = 4;
+  /// Seconds of simulated compute per work unit (row). Calibrated near
+  /// Spark's per-row deserialization+closure overhead so that row counts,
+  /// not stage latencies, dominate at benchmark scale.
+  double seconds_per_work_unit = 200e-9;
+  /// Seconds of simulated network transfer per shuffled byte (aggregate
+  /// cluster bandwidth is num_workers / seconds_per_byte).
+  double seconds_per_shuffle_byte = 20e-9;
+  /// Fixed scheduling/coordination latency charged per wide stage.
+  double wide_stage_latency_seconds = 5e-3;
+  /// Fixed latency charged per narrow stage (task launch overhead).
+  double narrow_stage_latency_seconds = 5e-4;
+};
+
+/// Accumulates per-stage statistics for a run and evaluates the cluster
+/// cost model over them.
+class Metrics {
+ public:
+  void AddStage(StageStats stage) { stages_.push_back(std::move(stage)); }
+  void Clear() { stages_.clear(); }
+
+  const std::vector<StageStats>& stages() const { return stages_; }
+  int64_t num_stages() const { return static_cast<int64_t>(stages_.size()); }
+  int64_t num_wide_stages() const;
+  int64_t total_work() const;
+  int64_t total_shuffle_bytes() const;
+
+  /// Simulated wall-clock seconds on a cluster described by `model`.
+  double SimulatedSeconds(const ClusterModel& model) const;
+
+  /// One line per stage: label, tasks, work, shuffled bytes.
+  std::string Report() const;
+
+ private:
+  std::vector<StageStats> stages_;
+};
+
+/// Makespan of assigning `tasks` (work units) to `workers` identical
+/// workers using the longest-processing-time greedy rule.
+int64_t LptMakespan(std::vector<int64_t> tasks, int workers);
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_METRICS_H_

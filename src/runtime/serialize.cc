@@ -1,0 +1,189 @@
+#include "runtime/serialize.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace diablo::runtime {
+
+namespace {
+
+enum Tag : char {
+  kTagUnit = 'u',
+  kTagBool = 'b',
+  kTagInt = 'i',
+  kTagDouble = 'd',
+  kTagString = 's',
+  kTagTuple = 't',
+  kTagRecord = 'r',
+  kTagBag = 'g',
+};
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v & 0xffffffffu), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+Status Truncated() {
+  return Status::RuntimeError("truncated serialized value");
+}
+
+StatusOr<uint32_t> GetU32(const std::string& data, size_t* offset) {
+  if (*offset + 4 > data.size()) return Truncated();
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[*offset + static_cast<size_t>(i)]);
+  }
+  *offset += 4;
+  return v;
+}
+
+StatusOr<uint64_t> GetU64(const std::string& data, size_t* offset) {
+  DIABLO_ASSIGN_OR_RETURN(uint32_t lo, GetU32(data, offset));
+  DIABLO_ASSIGN_OR_RETURN(uint32_t hi, GetU32(data, offset));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+void SerializeValue(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kUnit:
+      out->push_back(kTagUnit);
+      return;
+    case Value::Kind::kBool:
+      out->push_back(kTagBool);
+      out->push_back(v.AsBool() ? 1 : 0);
+      return;
+    case Value::Kind::kInt:
+      out->push_back(kTagInt);
+      PutU64(static_cast<uint64_t>(v.AsInt()), out);
+      return;
+    case Value::Kind::kDouble: {
+      out->push_back(kTagDouble);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits, out);
+      return;
+    }
+    case Value::Kind::kString:
+      out->push_back(kTagString);
+      PutU32(static_cast<uint32_t>(v.AsString().size()), out);
+      out->append(v.AsString());
+      return;
+    case Value::Kind::kTuple:
+      out->push_back(kTagTuple);
+      PutU32(static_cast<uint32_t>(v.tuple().size()), out);
+      for (const Value& elem : v.tuple()) SerializeValue(elem, out);
+      return;
+    case Value::Kind::kRecord:
+      out->push_back(kTagRecord);
+      PutU32(static_cast<uint32_t>(v.fields().size()), out);
+      for (const auto& [name, field] : v.fields()) {
+        PutU32(static_cast<uint32_t>(name.size()), out);
+        out->append(name);
+        SerializeValue(field, out);
+      }
+      return;
+    case Value::Kind::kBag:
+      out->push_back(kTagBag);
+      PutU32(static_cast<uint32_t>(v.bag().size()), out);
+      for (const Value& elem : v.bag()) SerializeValue(elem, out);
+      return;
+  }
+}
+
+std::string Serialize(const Value& v) {
+  std::string out;
+  SerializeValue(v, &out);
+  return out;
+}
+
+StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
+  if (*offset >= data.size()) return Truncated();
+  char tag = data[(*offset)++];
+  switch (tag) {
+    case kTagUnit:
+      return Value::MakeUnit();
+    case kTagBool: {
+      if (*offset >= data.size()) return Truncated();
+      char b = data[(*offset)++];
+      if (b != 0 && b != 1) {
+        return Status::RuntimeError("corrupt bool in serialized value");
+      }
+      return Value::MakeBool(b == 1);
+    }
+    case kTagInt: {
+      DIABLO_ASSIGN_OR_RETURN(uint64_t bits, GetU64(data, offset));
+      return Value::MakeInt(static_cast<int64_t>(bits));
+    }
+    case kTagDouble: {
+      DIABLO_ASSIGN_OR_RETURN(uint64_t bits, GetU64(data, offset));
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::MakeDouble(d);
+    }
+    case kTagString: {
+      DIABLO_ASSIGN_OR_RETURN(uint32_t len, GetU32(data, offset));
+      if (*offset + len > data.size()) return Truncated();
+      std::string s = data.substr(*offset, len);
+      *offset += len;
+      return Value::MakeString(std::move(s));
+    }
+    case kTagTuple:
+    case kTagBag: {
+      DIABLO_ASSIGN_OR_RETURN(uint32_t n, GetU32(data, offset));
+      if (static_cast<size_t>(n) > data.size() - *offset) {
+        return Truncated();  // cheap sanity bound: >=1 byte per element
+      }
+      ValueVec elems;
+      elems.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DIABLO_ASSIGN_OR_RETURN(Value v, DeserializeValue(data, offset));
+        elems.push_back(std::move(v));
+      }
+      return tag == kTagTuple ? Value::MakeTuple(std::move(elems))
+                              : Value::MakeBag(std::move(elems));
+    }
+    case kTagRecord: {
+      DIABLO_ASSIGN_OR_RETURN(uint32_t n, GetU32(data, offset));
+      if (static_cast<size_t>(n) > data.size() - *offset) return Truncated();
+      FieldVec fields;
+      fields.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DIABLO_ASSIGN_OR_RETURN(uint32_t len, GetU32(data, offset));
+        if (*offset + len > data.size()) return Truncated();
+        std::string name = data.substr(*offset, len);
+        *offset += len;
+        DIABLO_ASSIGN_OR_RETURN(Value v, DeserializeValue(data, offset));
+        fields.emplace_back(std::move(name), std::move(v));
+      }
+      return Value::MakeRecord(std::move(fields));
+    }
+    default:
+      return Status::RuntimeError(
+          StrCat("unknown tag '", std::string(1, tag),
+                 "' in serialized value"));
+  }
+}
+
+StatusOr<Value> Deserialize(const std::string& data) {
+  size_t offset = 0;
+  DIABLO_ASSIGN_OR_RETURN(Value v, DeserializeValue(data, &offset));
+  if (offset != data.size()) {
+    return Status::RuntimeError("trailing bytes after serialized value");
+  }
+  return v;
+}
+
+}  // namespace diablo::runtime

@@ -1,0 +1,36 @@
+#ifndef DIABLO_RUNTIME_SERIALIZE_H_
+#define DIABLO_RUNTIME_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/value.h"
+
+namespace diablo::runtime {
+
+/// Binary serialization of Values — the wire format rows would take
+/// across a real shuffle. Format: one tag byte per node, little-endian
+/// fixed-width scalars, varint-free u32 lengths for strings and
+/// sequences. Deterministic: equal values serialize to equal bytes.
+///
+/// The engine can be configured (EngineConfig::serialize_shuffles) to
+/// round-trip every shuffled row through this codec, validating it under
+/// load and making SerializedBytes() an exact figure rather than an
+/// estimate.
+
+/// Appends the encoding of `v` to `out`.
+void SerializeValue(const Value& v, std::string* out);
+
+/// Convenience: the encoding of `v`.
+std::string Serialize(const Value& v);
+
+/// Decodes one value from `data` starting at `*offset`, advancing it.
+/// Errors on truncated or corrupt input.
+StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset);
+
+/// Decodes a buffer that contains exactly one value.
+StatusOr<Value> Deserialize(const std::string& data);
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_SERIALIZE_H_

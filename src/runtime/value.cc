@@ -1,0 +1,206 @@
+#include "runtime/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace diablo::runtime {
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  // Boost-style combiner.
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+const Value* Value::FindField(const std::string& name) const {
+  for (const auto& [fname, fval] : fields()) {
+    if (fname == name) return &fval;
+  }
+  return nullptr;
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1 : 1;
+  }
+  switch (kind()) {
+    case Kind::kUnit:
+      return 0;
+    case Kind::kBool:
+      return (AsBool() == other.AsBool()) ? 0 : (AsBool() ? 1 : -1);
+    case Kind::kInt: {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Kind::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Kind::kString:
+      return AsString().compare(other.AsString());
+    case Kind::kTuple:
+    case Kind::kBag: {
+      const ValueVec& a = is_tuple() ? tuple() : bag();
+      const ValueVec& b = other.is_tuple() ? other.tuple() : other.bag();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+    }
+    case Kind::kRecord: {
+      const FieldVec& a = fields();
+      const FieldVec& b = other.fields();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].first.compare(b[i].first);
+        if (c != 0) return c;
+        c = a[i].second.Compare(b[i].second);
+        if (c != 0) return c;
+      }
+      return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind()) * 0x9e3779b9u;
+  switch (kind()) {
+    case Kind::kUnit:
+      return seed;
+    case Kind::kBool:
+      return HashCombine(seed, AsBool() ? 1u : 0u);
+    case Kind::kInt:
+      return HashCombine(seed, std::hash<int64_t>()(AsInt()));
+    case Kind::kDouble:
+      return HashCombine(seed, std::hash<double>()(AsDouble()));
+    case Kind::kString:
+      return HashCombine(seed, std::hash<std::string>()(AsString()));
+    case Kind::kTuple:
+    case Kind::kBag: {
+      const ValueVec& elems = is_tuple() ? tuple() : bag();
+      for (const Value& v : elems) seed = HashCombine(seed, v.Hash());
+      return seed;
+    }
+    case Kind::kRecord: {
+      for (const auto& [name, v] : fields()) {
+        seed = HashCombine(seed, std::hash<std::string>()(name));
+        seed = HashCombine(seed, v.Hash());
+      }
+      return seed;
+    }
+  }
+  return seed;
+}
+
+int64_t Value::SerializedBytes() const {
+  switch (kind()) {
+    case Kind::kUnit:
+      return 1;
+    case Kind::kBool:
+      return 1;
+    case Kind::kInt:
+    case Kind::kDouble:
+      return 8;
+    case Kind::kString:
+      return 4 + static_cast<int64_t>(AsString().size());
+    case Kind::kTuple:
+    case Kind::kBag: {
+      const ValueVec& elems = is_tuple() ? tuple() : bag();
+      int64_t n = 4;
+      for (const Value& v : elems) n += v.SerializedBytes();
+      return n;
+    }
+    case Kind::kRecord: {
+      int64_t n = 4;
+      for (const auto& [name, v] : fields()) {
+        n += 4 + static_cast<int64_t>(name.size()) + v.SerializedBytes();
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kUnit:
+      os << "()";
+      break;
+    case Kind::kBool:
+      os << (AsBool() ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << AsInt();
+      break;
+    case Kind::kDouble:
+      os << AsDouble();
+      break;
+    case Kind::kString:
+      os << '"' << AsString() << '"';
+      break;
+    case Kind::kTuple: {
+      os << '(';
+      for (size_t i = 0; i < tuple().size(); ++i) {
+        if (i != 0) os << ',';
+        os << tuple()[i].ToString();
+      }
+      os << ')';
+      break;
+    }
+    case Kind::kRecord: {
+      os << '<';
+      for (size_t i = 0; i < fields().size(); ++i) {
+        if (i != 0) os << ',';
+        os << fields()[i].first << '=' << fields()[i].second.ToString();
+      }
+      os << '>';
+      break;
+    }
+    case Kind::kBag: {
+      os << '{';
+      for (size_t i = 0; i < bag().size(); ++i) {
+        if (i != 0) os << ',';
+        os << bag()[i].ToString();
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+const char* KindName(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kUnit:
+      return "unit";
+    case Value::Kind::kBool:
+      return "bool";
+    case Value::Kind::kInt:
+      return "int";
+    case Value::Kind::kDouble:
+      return "double";
+    case Value::Kind::kString:
+      return "string";
+    case Value::Kind::kTuple:
+      return "tuple";
+    case Value::Kind::kRecord:
+      return "record";
+    case Value::Kind::kBag:
+      return "bag";
+  }
+  return "unknown";
+}
+
+}  // namespace diablo::runtime

@@ -1,0 +1,156 @@
+#ifndef DIABLO_RUNTIME_VALUE_H_
+#define DIABLO_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diablo::runtime {
+
+class Value;
+
+/// The element container shared by tuples and bags. Bags and tuples are
+/// immutable once constructed, so the payload is shared between copies of a
+/// Value — copying a Value is always O(1).
+using ValueVec = std::vector<Value>;
+using SharedValues = std::shared_ptr<const ValueVec>;
+
+/// A field list for record values: name/value pairs in declaration order.
+using FieldVec = std::vector<std::pair<std::string, Value>>;
+using SharedFields = std::shared_ptr<const FieldVec>;
+
+/// A dynamically-typed runtime value.
+///
+/// This is the single value representation used across the whole system:
+/// the reference interpreter of the loop language, the comprehension plan
+/// evaluator, and the distributed dataset engine. The paper's sparse arrays
+/// `{(K,T)}` are bags of (key, value) tuples of Values.
+///
+/// Supported kinds:
+///  - Unit           the empty tuple `()`, used as the trivial group-by key
+///  - Bool, Int (64-bit), Double, String
+///  - Tuple          fixed-arity heterogeneous sequence
+///  - Record         named fields, `<A = 1, B = "x">`
+///  - Bag            an unordered multiset (represented as a vector)
+class Value {
+ public:
+  enum class Kind { kUnit, kBool, kInt, kDouble, kString, kTuple, kRecord, kBag };
+
+  /// Constructs the unit value.
+  Value() : rep_(Unit{}) {}
+
+  static Value MakeUnit() { return Value(); }
+  static Value MakeBool(bool b) { return Value(Rep(b)); }
+  static Value MakeInt(int64_t i) { return Value(Rep(i)); }
+  static Value MakeDouble(double d) { return Value(Rep(d)); }
+  static Value MakeString(std::string s) {
+    return Value(Rep(std::make_shared<const std::string>(std::move(s))));
+  }
+  static Value MakeTuple(ValueVec elems) {
+    return Value(Rep(TupleRep{std::make_shared<const ValueVec>(std::move(elems))}));
+  }
+  static Value MakePair(Value a, Value b) {
+    ValueVec v;
+    v.reserve(2);
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return MakeTuple(std::move(v));
+  }
+  static Value MakeRecord(FieldVec fields) {
+    return Value(Rep(RecordRep{std::make_shared<const FieldVec>(std::move(fields))}));
+  }
+  static Value MakeBag(ValueVec elems) {
+    return Value(Rep(BagRep{std::make_shared<const ValueVec>(std::move(elems))}));
+  }
+  static Value EmptyBag() { return MakeBag({}); }
+  /// The singleton bag {v}.
+  static Value SingletonBag(Value v) {
+    ValueVec e;
+    e.push_back(std::move(v));
+    return MakeBag(std::move(e));
+  }
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+
+  bool is_unit() const { return kind() == Kind::kUnit; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_tuple() const { return kind() == Kind::kTuple; }
+  bool is_record() const { return kind() == Kind::kRecord; }
+  bool is_bag() const { return kind() == Kind::kBag; }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const {
+    return *std::get<std::shared_ptr<const std::string>>(rep_);
+  }
+  /// Numeric value widened to double; requires is_numeric().
+  double ToDouble() const { return is_int() ? static_cast<double>(AsInt()) : AsDouble(); }
+
+  /// Tuple elements; requires is_tuple().
+  const ValueVec& tuple() const { return *std::get<TupleRep>(rep_).elems; }
+  /// Record fields; requires is_record().
+  const FieldVec& fields() const { return *std::get<RecordRep>(rep_).fields; }
+  /// Bag elements; requires is_bag().
+  const ValueVec& bag() const { return *std::get<BagRep>(rep_).elems; }
+
+  /// Looks up a record field by name; nullptr if absent.
+  const Value* FindField(const std::string& name) const;
+
+  /// Structural equality. Int and Double compare equal only to the same
+  /// kind; bags compare as *sequences* here (multiset comparison is
+  /// provided by BagEquals in operators.h).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// A deterministic total order across all kinds (kind index first, then
+  /// value; sequences lexicographically). Used for stable output ordering.
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  int Compare(const Value& other) const;
+
+  /// A stable hash suitable for partitioning and hash joins.
+  size_t Hash() const;
+
+  /// Approximate serialized size in bytes, used by the engine's shuffle
+  /// accounting (mirrors the paper's Java-serialization size estimates).
+  int64_t SerializedBytes() const;
+
+  /// Renders the value in comprehension-literal syntax, e.g.
+  /// `((3,4),1.5)` or `{(1,10),(2,20)}`.
+  std::string ToString() const;
+
+ private:
+  struct Unit {};
+  struct TupleRep { SharedValues elems; };
+  struct RecordRep { SharedFields fields; };
+  struct BagRep { SharedValues elems; };
+
+  using Rep = std::variant<Unit, bool, int64_t, double,
+                           std::shared_ptr<const std::string>, TupleRep,
+                           RecordRep, BagRep>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Hash functor so Values can key std::unordered_map.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Convenience: the name of a value kind, for error messages.
+const char* KindName(Value::Kind kind);
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_VALUE_H_

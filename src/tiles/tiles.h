@@ -1,0 +1,70 @@
+#ifndef DIABLO_TILES_TILES_H_
+#define DIABLO_TILES_TILES_H_
+
+#include "common/status.h"
+#include "runtime/dataset.h"
+#include "runtime/engine.h"
+
+namespace diablo::tiles {
+
+/// Packed (tiled) matrices — paper §5.
+///
+/// A sparse matrix is a dataset of ((i,j), v) rows. A *tiled* matrix
+/// groups elements into fixed-size dense tiles: a dataset of
+/// ((ti,tj), tile) rows where (ti,tj) is the tile grid coordinate and
+/// `tile` is a bag of tile_rows*tile_cols doubles in row-major order
+/// (missing elements are 0). Tiles are the unit of distribution.
+struct TileConfig {
+  int64_t tile_rows = 32;
+  int64_t tile_cols = 32;
+};
+
+/// pack(M): sparse {((i,j),v)} -> tiled {((ti,tj), dense-tile)}.
+/// Equivalent to the comprehension
+///   { ((i/n, j/m), form(z, n*m)) | ((i,j),v) <- M,
+///     let z = (i%n)*m + (j%m), group by (i/n, j/m) }.
+/// One shuffle (a groupBy).
+StatusOr<runtime::Dataset> Pack(runtime::Engine& engine,
+                                const runtime::Dataset& sparse,
+                                const TileConfig& config);
+
+/// unpack(N): tiled -> sparse with every element of every tile emitted
+/// (zeros included: a packed matrix is dense within its tiles). Narrow
+/// (a flatMap, no shuffle).
+StatusOr<runtime::Dataset> Unpack(runtime::Engine& engine,
+                                  const runtime::Dataset& tiled,
+                                  const TileConfig& config);
+
+/// Re-partitions a keyed dataset so equal keys land in fixed partitions
+/// (hash partitioning), enabling shuffle-free zip merges.
+StatusOr<runtime::Dataset> PartitionByKey(runtime::Engine& engine,
+                                          const runtime::Dataset& ds);
+
+/// Tiled merge N ⊳' D: combines two *co-partitioned* tiled matrices
+/// partition-by-partition without any shuffle (Spark's zipPartitions, as
+/// §5 describes). Tiles present on both sides are combined elementwise
+/// with +; tiles on one side pass through. Both inputs must have been
+/// produced by PartitionByKey (or Pack, which partitions by tile key)
+/// with the same partition count.
+StatusOr<runtime::Dataset> ZipMergeAdd(runtime::Engine& engine,
+                                       const runtime::Dataset& a,
+                                       const runtime::Dataset& b);
+
+/// Elementwise addition of two tiled matrices the slow way (coGroup, one
+/// shuffle) — the baseline ZipMergeAdd avoids.
+StatusOr<runtime::Dataset> CoGroupMergeAdd(runtime::Engine& engine,
+                                           const runtime::Dataset& a,
+                                           const runtime::Dataset& b);
+
+/// Tiled matrix multiplication R = A × B on tile grid dimensions
+/// (a_tiles_rows × k) · (k × b_tiles_cols): joins tiles on the shared
+/// grid dimension, multiplies tile pairs densely, and reduces partial
+/// tiles by key. Tiles must be square (tile_rows == tile_cols).
+StatusOr<runtime::Dataset> TiledMatMul(runtime::Engine& engine,
+                                       const runtime::Dataset& a,
+                                       const runtime::Dataset& b,
+                                       const TileConfig& config);
+
+}  // namespace diablo::tiles
+
+#endif  // DIABLO_TILES_TILES_H_

@@ -1,0 +1,84 @@
+#ifndef DIABLO_TRANSLATE_TRANSLATE_H_
+#define DIABLO_TRANSLATE_TRANSLATE_H_
+
+#include <map>
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "comp/comp.h"
+
+namespace diablo::translate {
+
+/// What the translator learned about each program variable.
+struct VarInfo {
+  /// Arrays become distributed datasets; everything else is a driver
+  /// scalar.
+  bool is_array = false;
+  /// Declared in the program (vs. a free input bound by the host).
+  bool declared = false;
+};
+
+/// The result of translating a loop-based program: target code (§3.8)
+/// plus the variable table the executor needs.
+struct TranslationResult {
+  comp::TargetProgram program;
+  std::map<std::string, VarInfo> vars;
+};
+
+/// Translates a loop-based program to target code by the compositional
+/// rules of Figure 2 (functions E, K, D, U, S).
+///
+/// The input program must already satisfy the restrictions of
+/// Definition 3.1 (see analysis::CheckRestrictions); Translate itself only
+/// performs the structural checks it needs.
+///
+/// Deviations from the literal Figure-2 rules, documented in DESIGN.md:
+///  * Rule (15a)'s old-value join `w <- D[d](k)` is emitted as the
+///    combining array merge `V ⊳⊕ delta` (implemented as one coGroup,
+///    exactly how the paper implements ⊳ on Spark). Missing elements
+///    default to the identity of ⊕.
+///  * A for-range loop whose body contains a while-loop is lowered to
+///    sequential target code (the paper treats such loops as
+///    while-loops).
+///  * Incremental/plain updates whose destination is a record field of an
+///    array element are not translated (kUnsupported).
+StatusOr<TranslationResult> Translate(const ast::Program& program);
+
+/// Exposed pieces of the Figure-2 semantic functions, used by tests to
+/// check the paper's worked derivations (§3.9) rule by rule. All operate
+/// on an expression context that maps array names; see Translate for the
+/// driver.
+class Rules {
+ public:
+  explicit Rules(std::map<std::string, VarInfo> vars)
+      : vars_(std::move(vars)), names_("v") {}
+
+  /// E[e]: lifts an expression to a bag-valued comprehension term
+  /// (Equations 11a-11g).
+  StatusOr<comp::CExprPtr> E(const ast::Expr& e);
+
+  /// K[d]: the destination-index term of an L-value (Equations 12a-12c).
+  StatusOr<comp::CExprPtr> K(const ast::LValue& d);
+
+  /// D[d](k): recovers the current destination value from index k
+  /// (Equations 13a-13c).
+  StatusOr<comp::CExprPtr> D(const ast::LValue& d, const comp::CExprPtr& k);
+
+  comp::NameGen& names() { return names_; }
+
+ private:
+  StatusOr<comp::CExprPtr> LValueRead(const ast::LValue& d);
+
+  std::map<std::string, VarInfo> vars_;
+  comp::NameGen names_;
+};
+
+/// Scans a program and infers the variable table: declared variables take
+/// their declared kind; undeclared names are arrays iff they are indexed
+/// or iterated with for-in.
+std::map<std::string, VarInfo> InferVars(const ast::Program& program);
+
+}  // namespace diablo::translate
+
+#endif  // DIABLO_TRANSLATE_TRANSLATE_H_

@@ -1,0 +1,281 @@
+// Tests for the local algebra evaluator — the direct implementation of
+// the §3.3 comprehension semantics — including the three-way agreement
+// property: reference interpreter == local algebra == distributed plan
+// on every benchmark program.
+
+#include "algebra/local.h"
+
+#include <gtest/gtest.h>
+
+#include "normalize/normalize.h"
+#include "opt/optimize.h"
+#include "tests/test_util.h"
+#include "workloads/programs.h"
+
+namespace diablo::algebra {
+namespace {
+
+using comp::MakeBag;
+using comp::MakeBin;
+using comp::MakeComp;
+using comp::MakeInt;
+using comp::MakeRange;
+using comp::MakeReduce;
+using comp::MakeTuple;
+using comp::MakeVar;
+using comp::Pattern;
+using comp::Qualifier;
+using runtime::BinOp;
+using runtime::Value;
+using runtime::ValueVec;
+using testing::Bag;
+using testing::IV;
+using testing::Pair;
+
+std::map<std::string, Value> NoGlobals() { return {}; }
+
+TEST(LocalComprehension, GeneratorFlatMaps) {
+  // { i * i | i <- range(1,4) } = {1,4,9,16}.
+  comp::CompPtr c = MakeComp(
+      MakeBin(BinOp::kMul, MakeVar("i"), MakeVar("i")),
+      {Qualifier::Generator(Pattern::Var("i"),
+                            MakeRange(MakeInt(1), MakeInt(4)))});
+  auto out = EvalComprehension(c, {}, NoGlobals());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->ToString(), "{1,4,9,16}");
+}
+
+TEST(LocalComprehension, ConditionsFilter) {
+  comp::CompPtr c = MakeComp(
+      MakeVar("i"),
+      {Qualifier::Generator(Pattern::Var("i"),
+                            MakeRange(MakeInt(0), MakeInt(9))),
+       Qualifier::Condition(
+           MakeBin(BinOp::kEq,
+                   MakeBin(BinOp::kMod, MakeVar("i"), MakeInt(3)),
+                   MakeInt(0)))});
+  auto out = EvalComprehension(c, {}, NoGlobals());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->ToString(), "{0,3,6,9}");
+}
+
+TEST(LocalComprehension, GroupByLiftsVariables) {
+  // The paper's introduction: { (k, +/v) | (i,k,v) <- A, group by k : k }.
+  ValueVec rows = {
+      Value::MakeTuple({IV(3), IV(3), IV(10)}),
+      Value::MakeTuple({IV(8), IV(5), IV(25)}),
+      Value::MakeTuple({IV(5), IV(3), IV(13)}),
+  };
+  std::map<std::string, Value> globals{{"A", Value::MakeBag(rows)}};
+  comp::CompPtr c = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v"))}),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("k"),
+                           Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"), MakeVar("k"))});
+  auto out = EvalComprehension(c, {}, NoGlobals().empty() ? globals : globals);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // C(3)=23, C(5)=25 — the paper's expected output.
+  ValueVec result = out->bag();
+  std::sort(result.begin(), result.end());
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].ToString(), "(3,23)");
+  EXPECT_EQ(result[1].ToString(), "(5,25)");
+}
+
+TEST(LocalComprehension, GroupByLiftingSeesOnlyGroupMembers) {
+  // { (k, +/v, max/i) | (i,v) <- A, group by k : i % 2 }.
+  std::map<std::string, Value> globals{
+      {"A", Bag({Pair(IV(1), IV(10)), Pair(IV(2), IV(20)),
+                 Pair(IV(3), IV(30)), Pair(IV(4), IV(40))})}};
+  comp::CompPtr c = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v")),
+                 MakeReduce(BinOp::kMax, MakeVar("i"))}),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"),
+                          MakeBin(BinOp::kMod, MakeVar("i"), MakeInt(2)))});
+  auto out = EvalComprehension(c, {}, globals);
+  ASSERT_TRUE(out.ok());
+  ValueVec result = out->bag();
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result[0].ToString(), "(0,60,4)");  // evens: 20+40, max i 4
+  EXPECT_EQ(result[1].ToString(), "(1,40,3)");  // odds: 10+30, max i 3
+}
+
+TEST(LocalComprehension, NestedComprehensionsRecurse) {
+  // { +/{ j | j <- range(1,i) } | i <- range(1,3) } = {1,3,6}.
+  comp::CompPtr inner = MakeComp(
+      MakeVar("j"), {Qualifier::Generator(
+                        Pattern::Var("j"),
+                        MakeRange(MakeInt(1), MakeVar("i")))});
+  comp::CompPtr outer = MakeComp(
+      MakeReduce(BinOp::kAdd, comp::MakeNested(inner)),
+      {Qualifier::Generator(Pattern::Var("i"),
+                            MakeRange(MakeInt(1), MakeInt(3)))});
+  auto out = EvalComprehension(outer, {}, NoGlobals());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->ToString(), "{1,3,6}");
+}
+
+TEST(LocalComprehension, QualifiersAfterGroupByRun) {
+  // { k | (i,v) <- A, group by k : v, k > 5 }.
+  std::map<std::string, Value> globals{
+      {"A", Bag({Pair(IV(0), IV(3)), Pair(IV(1), IV(9)),
+                 Pair(IV(2), IV(9))})}};
+  comp::CompPtr c = MakeComp(
+      MakeVar("k"),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"), MakeVar("v")),
+       Qualifier::Condition(MakeBin(BinOp::kGt, MakeVar("k"), MakeInt(5)))});
+  auto out = EvalComprehension(c, {}, globals);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->ToString(), "{9}");
+}
+
+// ------------- rewrite soundness on random comprehensions -------------------
+
+/// Builds a random flat comprehension over the global arrays A (vector of
+/// ints) and B (vector of ints), with optional join condition, lets,
+/// filters and a final group-by.
+comp::CompPtr RandomComprehension(std::mt19937_64& rng) {
+  std::vector<Qualifier> quals;
+  quals.push_back(Qualifier::Generator(
+      Pattern::Tuple({Pattern::Var("i"), Pattern::Var("v")}), MakeVar("A")));
+  bool with_b = rng() % 2 == 0;
+  if (with_b) {
+    quals.push_back(Qualifier::Generator(
+        Pattern::Tuple({Pattern::Var("j"), Pattern::Var("w")}),
+        MakeVar("B")));
+    quals.push_back(Qualifier::Condition(
+        MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("i"))));
+  }
+  if (rng() % 2 == 0) {
+    quals.push_back(Qualifier::Condition(MakeBin(
+        BinOp::kLt, MakeVar("v"), MakeInt(static_cast<int64_t>(rng() % 40)))));
+  }
+  quals.push_back(Qualifier::Let(
+      Pattern::Var("x"),
+      MakeBin(rng() % 2 == 0 ? BinOp::kAdd : BinOp::kMul, MakeVar("v"),
+              MakeInt(1 + static_cast<int64_t>(rng() % 3)))));
+  comp::CExprPtr head;
+  if (rng() % 2 == 0) {
+    quals.push_back(Qualifier::GroupBy(
+        Pattern::Var("k"),
+        MakeBin(BinOp::kMod, MakeVar("i"),
+                MakeInt(2 + static_cast<int64_t>(rng() % 3)))));
+    head = MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("x"))});
+  } else {
+    head = MakeTuple({MakeVar("i"), MakeVar("x")});
+  }
+  return MakeComp(head, std::move(quals));
+}
+
+class RewriteSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriteSoundnessTest, NormalizeAndOptimizePreserveLocalSemantics) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 7907 + 23);
+  ValueVec a_rows, b_rows;
+  for (int64_t i = 0; i < 24; ++i) {
+    a_rows.push_back(Pair(IV(i), IV(static_cast<int64_t>(rng() % 50))));
+    if (i % 2 == 0) {
+      b_rows.push_back(Pair(IV(i), IV(static_cast<int64_t>(rng() % 50))));
+    }
+  }
+  std::map<std::string, Value> globals{{"A", Bag(a_rows)},
+                                       {"B", Bag(b_rows)}};
+  for (int trial = 0; trial < 10; ++trial) {
+    comp::CompPtr original = RandomComprehension(rng);
+    auto before = EvalComprehension(original, {}, globals);
+    ASSERT_TRUE(before.ok()) << original->ToString() << "\n"
+                             << before.status().ToString();
+    comp::NameGen names("t");
+    comp::CExprPtr rewritten = opt::OptimizeExpr(
+        normalize::NormalizeExpr(comp::MakeNested(original), &names),
+        &names);
+    auto after = EvalExpr(rewritten, {}, globals);
+    ASSERT_TRUE(after.ok()) << rewritten->ToString() << "\n"
+                            << after.status().ToString();
+    EXPECT_TRUE(runtime::BagEquals(*after, *before))
+        << "original: " << original->ToString()
+        << "\nrewritten: " << rewritten->ToString()
+        << "\nbefore: " << before->ToString()
+        << "\nafter: " << after->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteSoundnessTest,
+                         ::testing::Range(0, 10));
+
+// ---------------------- three-way agreement --------------------------------
+
+class ThreeWayAgreementTest : public ::testing::TestWithParam<std::string> {};
+
+int64_t SmallScale(const std::string& name) {
+  if (name == "matrix_addition") return 8;
+  if (name == "matrix_multiplication") return 6;
+  if (name == "pagerank") return 4;
+  if (name == "kmeans") return 50;
+  if (name == "matrix_factorization") return 8;
+  return 120;
+}
+
+TEST_P(ThreeWayAgreementTest, LocalAlgebraMatchesReferenceAndDistributed) {
+  const bench::ProgramSpec& spec = bench::GetProgram(GetParam());
+  std::mt19937_64 rng(99);
+  Bindings inputs = spec.make_inputs(SmallScale(spec.name), rng);
+
+  auto compiled = Compile(spec.source);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  LocalExecutor local;
+  Status st = local.Run(compiled->target, inputs);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  auto reference = RunReference(spec.source, inputs);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  runtime::Engine engine;
+  auto distributed = ::diablo::Run(*compiled, &engine, inputs);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+
+  for (const std::string& name : spec.scalar_outputs) {
+    auto l = local.GetScalar(name);
+    ASSERT_TRUE(l.ok()) << name << ": " << l.status().ToString();
+    auto r = (*reference)->GetScalar(name);
+    ASSERT_TRUE(r.ok());
+    auto d = distributed->Scalar(name);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(runtime::AlmostEquals(*l, *r, spec.tolerance))
+        << name << " local=" << l->ToString() << " ref=" << r->ToString();
+    EXPECT_TRUE(runtime::AlmostEquals(*l, *d, spec.tolerance)) << name;
+  }
+  for (const std::string& name : spec.array_outputs) {
+    auto l = local.GetArray(name);
+    ASSERT_TRUE(l.ok()) << name << ": " << l.status().ToString();
+    auto r = (*reference)->GetArray(name);
+    ASSERT_TRUE(r.ok());
+    auto d = distributed->Array(name);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(runtime::BagAlmostEquals(*l, *r, spec.tolerance))
+        << name << " local=" << l->ToString() << "\nref=" << r->ToString();
+    EXPECT_TRUE(runtime::BagAlmostEquals(*l, *d, spec.tolerance)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, ThreeWayAgreementTest,
+    ::testing::Values("conditional_sum", "equal", "string_match",
+                      "word_count", "histogram", "linear_regression",
+                      "group_by", "matrix_addition", "matrix_multiplication",
+                      "pagerank", "kmeans", "matrix_factorization"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace diablo::algebra

@@ -1,0 +1,100 @@
+// Unit tests for the sparse-array operations: the merge operator ⊳
+// (local and distributed), lifted indexing, and dense-to-sparse
+// conversion helpers.
+
+#include "runtime/array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/operators.h"
+
+namespace diablo::runtime {
+namespace {
+
+Value I(int64_t v) { return Value::MakeInt(v); }
+
+ValueVec Pairs(std::vector<std::pair<int64_t, int64_t>> kvs) {
+  ValueVec out;
+  for (auto [k, v] : kvs) out.push_back(Value::MakePair(I(k), I(v)));
+  return out;
+}
+
+TEST(ArrayMergeLocal, PaperExample) {
+  // {(3,10),(1,20)} ⊳ {(1,30),(4,40)} = {(3,10),(1,30),(4,40)}.
+  auto merged = ArrayMergeLocal(Pairs({{3, 10}, {1, 20}}),
+                                Pairs({{1, 30}, {4, 40}}));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(BagEquals(Value::MakeBag(*merged),
+                        Value::MakeBag(Pairs({{3, 10}, {1, 30}, {4, 40}}))));
+}
+
+TEST(ArrayMergeLocal, RightBiasWithinRight) {
+  // Several updates to the same key in the right operand: last wins.
+  auto merged = ArrayMergeLocal({}, Pairs({{1, 10}, {1, 20}, {1, 30}}));
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 1u);
+  EXPECT_EQ((*merged)[0].tuple()[1].AsInt(), 30);
+}
+
+TEST(ArrayMergeLocal, EmptyOperands) {
+  auto left_empty = ArrayMergeLocal({}, Pairs({{1, 1}}));
+  ASSERT_TRUE(left_empty.ok());
+  EXPECT_EQ(left_empty->size(), 1u);
+  auto right_empty = ArrayMergeLocal(Pairs({{1, 1}}), {});
+  ASSERT_TRUE(right_empty.ok());
+  EXPECT_EQ(right_empty->size(), 1u);
+  auto both = ArrayMergeLocal({}, {});
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->empty());
+}
+
+TEST(ArrayMergeLocal, RejectsNonPairs) {
+  EXPECT_FALSE(ArrayMergeLocal({I(3)}, {}).ok());
+}
+
+TEST(ArrayMergeDistributed, AgreesWithLocal) {
+  for (int parts : {1, 3, 8}) {
+    EngineConfig config;
+    config.num_partitions = parts;
+    Engine engine(config);
+    ValueVec x = Pairs({{1, 10}, {2, 20}, {3, 30}, {5, 50}});
+    ValueVec y = Pairs({{2, 200}, {4, 400}});
+    auto expected = ArrayMergeLocal(x, y);
+    ASSERT_TRUE(expected.ok());
+    auto merged = ArrayMerge(engine, engine.Parallelize(x),
+                             engine.Parallelize(y));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ValueVec got = engine.Collect(*merged);
+    EXPECT_TRUE(BagEquals(Value::MakeBag(got), Value::MakeBag(*expected)))
+        << parts << " partitions";
+  }
+}
+
+TEST(ArrayIndexLocal, LiftedSemantics) {
+  ValueVec arr = Pairs({{1, 10}, {2, 20}});
+  Value hit = ArrayIndexLocal(arr, I(2));
+  ASSERT_TRUE(hit.is_bag());
+  ASSERT_EQ(hit.bag().size(), 1u);
+  EXPECT_EQ(hit.bag()[0].AsInt(), 20);
+  Value miss = ArrayIndexLocal(arr, I(9));
+  EXPECT_TRUE(miss.is_bag());
+  EXPECT_TRUE(miss.bag().empty());
+}
+
+TEST(DenseConversions, VectorAndMatrix) {
+  ValueVec vec = DenseToSparseVector({1.5, 2.5});
+  ASSERT_EQ(vec.size(), 2u);
+  EXPECT_EQ(vec[1].tuple()[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(vec[1].tuple()[1].AsDouble(), 2.5);
+
+  ValueVec mat = DenseToSparseMatrix({{1, 2}, {3, 4}});
+  ASSERT_EQ(mat.size(), 4u);
+  // Row-major: last element is ((1,1),4).
+  EXPECT_EQ(mat[3].tuple()[0], MatrixKey(1, 1));
+  EXPECT_DOUBLE_EQ(mat[3].tuple()[1].AsDouble(), 4);
+}
+
+}  // namespace
+}  // namespace diablo::runtime

@@ -1,0 +1,147 @@
+// Unit tests for the comprehension IR: printing, structural equality,
+// free variables and capture-avoiding substitution.
+
+#include "comp/comp.h"
+
+#include <gtest/gtest.h>
+
+namespace diablo::comp {
+namespace {
+
+using runtime::BinOp;
+
+TEST(Pattern, VarsAndPrinting) {
+  Pattern p = Pattern::Tuple({Pattern::Var("i"),
+                              Pattern::Tuple({Pattern::Var("j"),
+                                              Pattern::Var("_")}),
+                              Pattern::Var("v")});
+  EXPECT_EQ(p.ToString(), "(i,(j,_),v)");
+  EXPECT_EQ(p.Vars(), (std::vector<std::string>{"i", "j", "v"}));
+}
+
+TEST(Comprehension, PrintsLikeThePaper) {
+  // { (k, +/v) | (i,k,v) <- A, group by k : k }.
+  CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v"))}),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("k"),
+                           Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"), MakeVar("k"))});
+  EXPECT_EQ(comp->ToString(),
+            "{ (k,+/v) | (i,k,v) <- A, group by k : k }");
+}
+
+TEST(Comprehension, QualifierPrinting) {
+  EXPECT_EQ(Qualifier::Let(Pattern::Var("x"), MakeInt(1)).ToString(),
+            "let x = 1");
+  EXPECT_EQ(Qualifier::Condition(
+                MakeBin(BinOp::kEq, MakeVar("a"), MakeVar("b")))
+                .ToString(),
+            "(a == b)");
+  EXPECT_EQ(
+      Qualifier::Generator(Pattern::Var("i"), MakeRange(MakeInt(0), MakeInt(9)))
+          .ToString(),
+      "i <- range(0,9)");
+}
+
+TEST(Comprehension, MergePrinting) {
+  EXPECT_EQ(MakeMerge(MakeVar("V"), MakeVar("X"))->ToString(), "V <| X");
+  EXPECT_EQ(MakeMergeOp(BinOp::kAdd, MakeVar("V"), MakeVar("X"))->ToString(),
+            "V <|+ X");
+}
+
+TEST(Equals, Structural) {
+  CExprPtr a = MakeBin(BinOp::kMul, MakeVar("m"), MakeVar("n"));
+  CExprPtr b = MakeBin(BinOp::kMul, MakeVar("m"), MakeVar("n"));
+  CExprPtr c = MakeBin(BinOp::kMul, MakeVar("m"), MakeVar("k"));
+  EXPECT_TRUE(Equals(a, b));
+  EXPECT_FALSE(Equals(a, c));
+  EXPECT_FALSE(Equals(a, MakeBin(BinOp::kAdd, MakeVar("m"), MakeVar("n"))));
+  EXPECT_TRUE(Equals(MakeMergeOp(BinOp::kAdd, MakeVar("V"), MakeVar("X")),
+                     MakeMergeOp(BinOp::kAdd, MakeVar("V"), MakeVar("X"))));
+  EXPECT_FALSE(Equals(MakeMergeOp(BinOp::kAdd, MakeVar("V"), MakeVar("X")),
+                      MakeMerge(MakeVar("V"), MakeVar("X"))));
+}
+
+TEST(FreeVars, SimpleExpressions) {
+  CExprPtr e = MakeBin(BinOp::kAdd, MakeVar("x"),
+                       MakeProj(MakeVar("y"), "f"));
+  EXPECT_EQ(FreeVars(e), (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(FreeVars(MakeInt(3)).empty());
+}
+
+TEST(FreeVars, GeneratorsBind) {
+  // { x + v | (i,v) <- A, i == k }: free are x, A, k.
+  CompPtr comp = MakeComp(
+      MakeBin(BinOp::kAdd, MakeVar("x"), MakeVar("v")),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("i"), MakeVar("k")))});
+  EXPECT_EQ(FreeVars(MakeNested(comp)),
+            (std::set<std::string>{"x", "A", "k"}));
+}
+
+TEST(FreeVars, GroupByKeyReadsBeforeBinding) {
+  // { k | (i,v) <- A, group by k : i }: k is bound by the group-by, i by
+  // the generator; only A is free.
+  CompPtr comp = MakeComp(
+      MakeVar("k"),
+      {Qualifier::Generator(
+           Pattern::Tuple({Pattern::Var("i"), Pattern::Var("v")}),
+           MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"), MakeVar("i"))});
+  EXPECT_EQ(FreeVars(MakeNested(comp)), (std::set<std::string>{"A"}));
+}
+
+TEST(Substitute, ReplacesFreeOnly) {
+  std::map<std::string, CExprPtr> subst{{"x", MakeInt(7)}};
+  CExprPtr e = MakeBin(BinOp::kAdd, MakeVar("x"), MakeVar("y"));
+  EXPECT_EQ(Substitute(e, subst)->ToString(), "(7 + y)");
+}
+
+TEST(Substitute, StopsAtRebinding) {
+  // { x | let x = 1 }: the binder shadows the outer x.
+  CompPtr comp = MakeComp(MakeVar("x"),
+                          {Qualifier::Let(Pattern::Var("x"), MakeInt(1))});
+  std::map<std::string, CExprPtr> subst{{"x", MakeInt(7)}};
+  CExprPtr out = Substitute(MakeNested(comp), subst);
+  const auto& inner = out->as<CExpr::Nested>().comp;
+  EXPECT_EQ(inner->head->ToString(), "x");  // still the bound x
+}
+
+TEST(Substitute, AppliesInDomainBeforeBinding) {
+  // { v | v <- x }: x in the domain is free even though v binds after.
+  CompPtr comp = MakeComp(
+      MakeVar("v"), {Qualifier::Generator(Pattern::Var("v"), MakeVar("x"))});
+  std::map<std::string, CExprPtr> subst{{"x", MakeVar("A")}};
+  CExprPtr out = Substitute(MakeNested(comp), subst);
+  EXPECT_EQ(out->as<CExpr::Nested>().comp->qualifiers[0].expr->ToString(),
+            "A");
+}
+
+TEST(NameGen, FreshNamesAreDistinct) {
+  NameGen names("v");
+  std::string a = names.Fresh();
+  std::string b = names.Fresh();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.substr(0, 2), "v$");
+}
+
+TEST(TargetProgram, Printing) {
+  TargetProgram program;
+  program.stmts.push_back(MakeDeclare("V", true, nullptr));
+  program.stmts.push_back(
+      MakeAssign("V", MakeMerge(MakeVar("V"), MakeVar("X")), true));
+  program.stmts.push_back(MakeWhile(
+      MakeBag({MakeBool(true)}),
+      {MakeAssign("n", MakeBag({MakeInt(1)}), false)}));
+  std::string printed = program.ToString();
+  EXPECT_NE(printed.find("declare V : array"), std::string::npos);
+  EXPECT_NE(printed.find("V := V <| X;"), std::string::npos);
+  EXPECT_NE(printed.find("while ({true})"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diablo::comp

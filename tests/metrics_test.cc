@@ -1,0 +1,99 @@
+// Unit tests for the cluster cost model: LPT makespan, stage accounting
+// and scaling behaviour of SimulatedSeconds.
+
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace diablo::runtime {
+namespace {
+
+TEST(Lpt, EmptyAndTrivial) {
+  EXPECT_EQ(LptMakespan({}, 4), 0);
+  EXPECT_EQ(LptMakespan({10}, 4), 10);
+  EXPECT_EQ(LptMakespan({10, 10, 10, 10}, 4), 10);
+}
+
+TEST(Lpt, BalancesLoad) {
+  // 6 tasks of 2 on 3 workers -> 4 each.
+  EXPECT_EQ(LptMakespan({2, 2, 2, 2, 2, 2}, 3), 4);
+  // A dominant task bounds the makespan.
+  EXPECT_EQ(LptMakespan({100, 1, 1, 1}, 4), 100);
+  // One worker serializes everything.
+  EXPECT_EQ(LptMakespan({3, 4, 5}, 1), 12);
+}
+
+TEST(Lpt, NeverBelowLowerBounds) {
+  std::vector<int64_t> tasks = {7, 3, 9, 2, 8, 4, 4};
+  int64_t total = 0, biggest = 0;
+  for (int64_t t : tasks) {
+    total += t;
+    biggest = std::max(biggest, t);
+  }
+  for (int workers : {1, 2, 3, 5, 10}) {
+    int64_t makespan = LptMakespan(tasks, workers);
+    EXPECT_GE(makespan, biggest);
+    EXPECT_GE(makespan, (total + workers - 1) / workers);
+    EXPECT_LE(makespan, total);
+  }
+}
+
+TEST(Metrics, Accumulation) {
+  Metrics metrics;
+  metrics.AddStage({"map", false, {10, 20}, {}, 0});
+  metrics.AddStage({"reduce", true, {30}, {15}, 1000});
+  EXPECT_EQ(metrics.num_stages(), 2);
+  EXPECT_EQ(metrics.num_wide_stages(), 1);
+  EXPECT_EQ(metrics.total_work(), 75);
+  EXPECT_EQ(metrics.total_shuffle_bytes(), 1000);
+  metrics.Clear();
+  EXPECT_EQ(metrics.num_stages(), 0);
+}
+
+TEST(Metrics, MoreWorkersNeverSlower) {
+  Metrics metrics;
+  std::vector<int64_t> tasks;
+  for (int i = 0; i < 32; ++i) tasks.push_back(1000 + i * 17);
+  metrics.AddStage({"stage", true, tasks, tasks, 1 << 20});
+  ClusterModel model;
+  double prev = 1e100;
+  for (int workers : {1, 2, 4, 8, 16}) {
+    model.num_workers = workers;
+    double t = metrics.SimulatedSeconds(model);
+    EXPECT_LE(t, prev) << workers;
+    prev = t;
+  }
+}
+
+TEST(Metrics, ShuffleBytesCost) {
+  ClusterModel model;
+  model.num_workers = 2;
+  model.wide_stage_latency_seconds = 0;
+  model.narrow_stage_latency_seconds = 0;
+  model.seconds_per_work_unit = 0;
+  Metrics light, heavy;
+  light.AddStage({"s", true, {}, {}, 1000});
+  heavy.AddStage({"s", true, {}, {}, 100000});
+  EXPECT_GT(heavy.SimulatedSeconds(model), light.SimulatedSeconds(model));
+  EXPECT_DOUBLE_EQ(heavy.SimulatedSeconds(model),
+                   100.0 * light.SimulatedSeconds(model));
+}
+
+TEST(Metrics, WideStagesPayLatency) {
+  ClusterModel model;
+  Metrics narrow, wide;
+  narrow.AddStage({"n", false, {1}, {}, 0});
+  wide.AddStage({"w", true, {1}, {}, 0});
+  EXPECT_GT(wide.SimulatedSeconds(model), narrow.SimulatedSeconds(model));
+}
+
+TEST(Metrics, Report) {
+  Metrics metrics;
+  metrics.AddStage({"join", true, {5}, {3}, 42});
+  std::string report = metrics.Report();
+  EXPECT_NE(report.find("join"), std::string::npos);
+  EXPECT_NE(report.find("shuffle_bytes=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diablo::runtime

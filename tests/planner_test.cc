@@ -1,0 +1,367 @@
+// Unit tests for the comprehension planner: operator selection (scan,
+// join, cartesian, reduceByKey vs groupBy), join-key inference, and plan
+// execution details.
+
+#include "plan/plan.h"
+#include "plan/spark_emitter.h"
+
+#include <gtest/gtest.h>
+
+#include "comp/comp.h"
+
+namespace diablo::plan {
+namespace {
+
+using comp::MakeBag;
+using comp::MakeBin;
+using comp::MakeCall;
+using comp::MakeComp;
+using comp::MakeInt;
+using comp::MakeRange;
+using comp::MakeReduce;
+using comp::MakeTuple;
+using comp::MakeVar;
+using comp::Pattern;
+using comp::Qualifier;
+using runtime::BinOp;
+using runtime::Value;
+using runtime::ValueVec;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    state_.engine = &engine_;
+    state_.scalars = &scalars_;
+    state_.arrays = &arrays_;
+  }
+
+  void AddArray(const std::string& name,
+                std::vector<std::pair<int64_t, int64_t>> kvs) {
+    ValueVec rows;
+    for (auto [k, v] : kvs) {
+      rows.push_back(Value::MakePair(Value::MakeInt(k), Value::MakeInt(v)));
+    }
+    arrays_[name] = engine_.Parallelize(std::move(rows));
+  }
+
+  ValueVec Execute(const comp::CompPtr& comp) {
+    auto plan = BuildPlan(comp, state_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    auto ds = ExecutePlan(*plan, state_);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    ValueVec rows = engine_.Collect(*ds);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  runtime::Engine engine_;
+  std::map<std::string, Value> scalars_;
+  std::map<std::string, runtime::Dataset> arrays_;
+  ExecState state_;
+};
+
+Pattern PairPat(const std::string& a, const std::string& b) {
+  return Pattern::Tuple({Pattern::Var(a), Pattern::Var(b)});
+}
+
+TEST_F(PlannerTest, ScanBecomesSourceArray) {
+  AddArray("A", {{1, 10}, {2, 20}});
+  comp::CompPtr comp = MakeComp(
+      MakeVar("v"),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A"))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 1u);
+  EXPECT_EQ(plan->ops[0].kind, StreamOp::Kind::kSourceArray);
+  EXPECT_EQ(plan->NumShuffles(), 0);
+  EXPECT_FALSE(plan->driver_only);
+}
+
+TEST_F(PlannerTest, EquiConditionBecomesJoin) {
+  AddArray("A", {{1, 10}, {2, 20}, {3, 30}});
+  AddArray("B", {{1, 100}, {3, 300}});
+  // { (i, v + w) | (i,v) <- A, (j,w) <- B, j == i }.
+  comp::CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("i"), MakeBin(BinOp::kAdd, MakeVar("v"),
+                                       MakeVar("w"))}),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("i")))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 2u);
+  EXPECT_EQ(plan->ops[1].kind, StreamOp::Kind::kJoinArray);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tuple()[1].AsInt(), 110);
+  EXPECT_EQ(rows[1].tuple()[1].AsInt(), 330);
+}
+
+TEST_F(PlannerTest, SmallArraysBroadcastWhenEnabled) {
+  runtime::EngineConfig config;
+  config.broadcast_join_threshold_bytes = 1 << 20;
+  runtime::Engine engine(config);
+  std::map<std::string, Value> scalars;
+  std::map<std::string, runtime::Dataset> arrays;
+  ExecState state{&engine, &scalars, &arrays};
+  ValueVec a_rows, b_rows;
+  for (int64_t i = 0; i < 10; ++i) {
+    a_rows.push_back(Value::MakePair(Value::MakeInt(i),
+                                     Value::MakeInt(i * 10)));
+    if (i % 2 == 0) {
+      b_rows.push_back(Value::MakePair(Value::MakeInt(i),
+                                       Value::MakeInt(i * 100)));
+    }
+  }
+  arrays["A"] = engine.Parallelize(a_rows);
+  arrays["B"] = engine.Parallelize(b_rows);
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kAdd, MakeVar("v"), MakeVar("w")),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("i")))});
+  auto plan = BuildPlan(comp, state);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops[1].kind, StreamOp::Kind::kBroadcastJoinArray);
+  EXPECT_EQ(plan->NumShuffles(), 0);  // broadcast joins don't shuffle
+  auto ds = ExecutePlan(*plan, state);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ValueVec rows = engine.Collect(*ds);
+  std::sort(rows.begin(), rows.end());
+  ASSERT_EQ(rows.size(), 5u);  // even keys only
+  EXPECT_EQ(rows[1].AsInt(), 220);  // A[2]=20 + B[2]=200
+}
+
+TEST_F(PlannerTest, BroadcastJoinMatchesShuffleJoin) {
+  // Same comprehension planned both ways must agree.
+  ValueVec a_rows, b_rows;
+  for (int64_t i = 0; i < 40; ++i) {
+    a_rows.push_back(Value::MakePair(Value::MakeInt(i % 13),
+                                     Value::MakeInt(i)));
+    b_rows.push_back(Value::MakePair(Value::MakeInt(i % 7),
+                                     Value::MakeInt(1000 + i)));
+  }
+  comp::CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("i"), MakeVar("v"), MakeVar("w")}),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("i")))});
+  ValueVec results[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    runtime::EngineConfig config;
+    config.broadcast_join_threshold_bytes = mode == 0 ? 0 : (1 << 20);
+    runtime::Engine engine(config);
+    std::map<std::string, Value> scalars;
+    std::map<std::string, runtime::Dataset> arrays;
+    arrays["A"] = engine.Parallelize(a_rows);
+    arrays["B"] = engine.Parallelize(b_rows);
+    ExecState state{&engine, &scalars, &arrays};
+    auto plan = BuildPlan(comp, state);
+    ASSERT_TRUE(plan.ok());
+    auto ds = ExecutePlan(*plan, state);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    results[mode] = engine.Collect(*ds);
+    std::sort(results[mode].begin(), results[mode].end());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST_F(PlannerTest, NoConditionBecomesCartesian) {
+  AddArray("A", {{1, 10}, {2, 20}});
+  AddArray("B", {{1, 1}, {2, 2}, {3, 3}});
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kMul, MakeVar("v"), MakeVar("w")),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B"))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ops[1].kind, StreamOp::Kind::kCartesianArray);
+  EXPECT_EQ(Execute(comp).size(), 6u);
+}
+
+TEST_F(PlannerTest, LaterBoundVariablesAreNotJoinKeys) {
+  // { v | (i,v) <- A, (j,w) <- B, (k,u) <- C, j == k } — when B's
+  // generator scans forward for join conditions it sees j == k, but k
+  // binds only at C; the condition must become C's join key, not B's.
+  AddArray("A", {{1, 10}});
+  AddArray("B", {{1, 1}, {2, 2}});
+  AddArray("C", {{2, 5}});
+  comp::CompPtr comp = MakeComp(
+      MakeVar("v"),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B")),
+       Qualifier::Generator(PairPat("k", "u"), MakeVar("C")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("k")))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ops[1].kind, StreamOp::Kind::kCartesianArray);
+  // The condition is consumed by C's join (k is new there).
+  EXPECT_EQ(plan->ops[2].kind, StreamOp::Kind::kJoinArray);
+  ValueVec rows = Execute(comp);
+  // Only B's j=2 row joins C's k=2 row.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].AsInt(), 10);
+}
+
+TEST_F(PlannerTest, MultiKeyJoin) {
+  // Matrix-style join on two key components.
+  ValueVec m_rows, n_rows;
+  auto mk = [](int64_t i, int64_t j, int64_t v) {
+    return Value::MakePair(
+        Value::MakeTuple({Value::MakeInt(i), Value::MakeInt(j)}),
+        Value::MakeInt(v));
+  };
+  arrays_["M"] = engine_.Parallelize({mk(0, 0, 1), mk(0, 1, 2)});
+  arrays_["N"] = engine_.Parallelize({mk(0, 0, 10), mk(1, 0, 20)});
+  Pattern mat_pat_m = Pattern::Tuple({Pattern::Tuple({Pattern::Var("i"),
+                                                      Pattern::Var("j")}),
+                                      Pattern::Var("m")});
+  Pattern mat_pat_n = Pattern::Tuple({Pattern::Tuple({Pattern::Var("a"),
+                                                      Pattern::Var("b")}),
+                                      Pattern::Var("n")});
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kAdd, MakeVar("m"), MakeVar("n")),
+      {Qualifier::Generator(mat_pat_m, MakeVar("M")),
+       Qualifier::Generator(mat_pat_n, MakeVar("N")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("a"), MakeVar("i"))),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("b"), MakeVar("j")))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops[1].kind, StreamOp::Kind::kJoinArray);
+  EXPECT_EQ(plan->ops[1].left_keys.size(), 2u);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].AsInt(), 11);  // M[0,0] + N[0,0]
+}
+
+TEST_F(PlannerTest, GroupByWithSingleReduceBecomesReduceByKey) {
+  AddArray("A", {{1, 10}, {2, 20}, {3, 30}});
+  // { (k, +/v) | (i,v) <- A, group by k : i % 2 }  — parity buckets.
+  comp::CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v"))}),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"),
+                          MakeBin(BinOp::kMod, MakeVar("i"), MakeInt(2)))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 2u);
+  EXPECT_EQ(plan->ops[1].kind, StreamOp::Kind::kReduceByKey);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tuple()[1].AsInt(), 20);  // key 0: i=2
+  EXPECT_EQ(rows[1].tuple()[1].AsInt(), 40);  // key 1: i=1,3
+}
+
+TEST_F(PlannerTest, GroupByWithBagUseFallsBackToGroupBy) {
+  AddArray("A", {{1, 10}, {2, 20}});
+  // Head uses the lifted bag both reduced and as +/ twice with different
+  // ops: no reduceByKey rewrite.
+  comp::CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v")),
+                 MakeReduce(BinOp::kMax, MakeVar("v"))}),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::GroupBy(Pattern::Var("k"), MakeInt(0))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ops[1].kind, StreamOp::Kind::kGroupBy);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple()[1].AsInt(), 30);
+  EXPECT_EQ(rows[0].tuple()[2].AsInt(), 20);
+}
+
+TEST_F(PlannerTest, DriverOnlyComprehension) {
+  scalars_["n"] = Value::MakeInt(5);
+  // { n + 1 | n > 0 }.
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kAdd, MakeVar("n"), MakeInt(1)),
+      {Qualifier::Condition(MakeBin(BinOp::kGt, MakeVar("n"), MakeInt(0)))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->driver_only);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].AsInt(), 6);
+}
+
+TEST_F(PlannerTest, DriverFilterCanEmptyTheResult) {
+  scalars_["n"] = Value::MakeInt(-1);
+  comp::CompPtr comp = MakeComp(
+      MakeVar("n"),
+      {Qualifier::Condition(MakeBin(BinOp::kGt, MakeVar("n"), MakeInt(0)))});
+  EXPECT_TRUE(Execute(comp).empty());
+}
+
+TEST_F(PlannerTest, RangeSource) {
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kMul, MakeVar("i"), MakeVar("i")),
+      {Qualifier::Generator(Pattern::Var("i"),
+                            MakeRange(MakeInt(1), MakeInt(4)))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ops[0].kind, StreamOp::Kind::kSourceRange);
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.back().AsInt(), 16);
+}
+
+TEST_F(PlannerTest, GeneratorAfterLetSeesPrefix) {
+  AddArray("A", {{1, 10}, {2, 20}});
+  scalars_["c"] = Value::MakeInt(3);
+  // { v * f | let f = c + 1, (i,v) <- A }.
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kMul, MakeVar("v"), MakeVar("f")),
+      {Qualifier::Let(Pattern::Var("f"),
+                      MakeBin(BinOp::kAdd, MakeVar("c"), MakeInt(1))),
+       Qualifier::Generator(PairPat("i", "v"), MakeVar("A"))});
+  ValueVec rows = Execute(comp);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].AsInt(), 40);
+  EXPECT_EQ(rows[1].AsInt(), 80);
+}
+
+TEST_F(PlannerTest, SparkEmitterRendersChains) {
+  AddArray("A", {{1, 10}, {2, 20}});
+  AddArray("B", {{1, 100}});
+  comp::CompPtr comp = MakeComp(
+      MakeTuple({MakeVar("k"), MakeReduce(BinOp::kAdd, MakeVar("v"))}),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Generator(PairPat("j", "w"), MakeVar("B")),
+       Qualifier::Condition(MakeBin(BinOp::kEq, MakeVar("j"), MakeVar("i"))),
+       Qualifier::GroupBy(Pattern::Var("k"),
+                          MakeBin(BinOp::kMod, MakeVar("i"), MakeInt(2)))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  std::string spark = ToSparkLike(*plan);
+  EXPECT_EQ(spark.rfind("A", 0), 0u) << spark;  // chain starts at A
+  EXPECT_NE(spark.find(".join(B"), std::string::npos) << spark;
+  EXPECT_NE(spark.find(".reduceByKey(_+_)"), std::string::npos) << spark;
+}
+
+TEST_F(PlannerTest, SparkEmitterDriverOnly) {
+  scalars_["n"] = Value::MakeInt(1);
+  comp::CompPtr comp = MakeComp(
+      MakeBin(BinOp::kAdd, MakeVar("n"), MakeInt(1)),
+      {Qualifier::Condition(MakeBin(BinOp::kGt, MakeVar("n"), MakeInt(0)))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(ToSparkLike(*plan).find("driver {"), std::string::npos);
+}
+
+TEST_F(PlannerTest, PlanPrinting) {
+  AddArray("A", {{1, 10}});
+  comp::CompPtr comp = MakeComp(
+      MakeVar("v"),
+      {Qualifier::Generator(PairPat("i", "v"), MakeVar("A")),
+       Qualifier::Condition(MakeCall("inRange", {MakeVar("i"), MakeInt(0),
+                                                 MakeInt(9)}))});
+  auto plan = BuildPlan(comp, state_);
+  ASSERT_TRUE(plan.ok());
+  std::string printed = plan->ToString();
+  EXPECT_NE(printed.find("sourceArray A"), std::string::npos);
+  EXPECT_NE(printed.find("filter inRange"), std::string::npos);
+  EXPECT_NE(printed.find("yield v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diablo::plan

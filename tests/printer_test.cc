@@ -1,0 +1,67 @@
+// Tests for the AST pretty-printer: parse -> print -> parse round trips.
+
+#include "ast/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace diablo::ast {
+namespace {
+
+TEST(Printer, StatementShapes) {
+  auto p = parser::ParseProgram(R"(
+    var sum: double = 0.0;
+    for v in V do
+      if (v < 100.0)
+        sum += v;
+  )");
+  ASSERT_TRUE(p.ok());
+  std::string printed = PrintProgram(*p);
+  EXPECT_NE(printed.find("var sum: double = 0.5"), std::string::npos + 1);
+  EXPECT_NE(printed.find("for v in V do"), std::string::npos);
+  EXPECT_NE(printed.find("sum += v;"), std::string::npos);
+}
+
+TEST(Printer, ParsePrintParseIsStable) {
+  const char* sources[] = {
+      "for i = 1, 10 do V[i] := W[i];",
+      "for i = 0, 9 do { R[i,0] := 0.0; for k = 0, 4 do R[i,k] += "
+      "M[i,k]*N[k,0]; }",
+      "var C: map[string,int] = map();\nfor w in words do C[w] += 1;",
+      "while (k < 10) { k += 1; }",
+      "if (x == 1) y := 2; else y := 3;",
+      "best argmin= (d, j);",
+      "lo min= v; hi max= v;",
+      "r := <A = 1, B = (x, y)>;",
+  };
+  for (const char* src : sources) {
+    auto first = parser::ParseProgram(src);
+    ASSERT_TRUE(first.ok()) << src << ": " << first.status().ToString();
+    std::string printed1 = PrintProgram(*first);
+    auto second = parser::ParseProgram(printed1);
+    ASSERT_TRUE(second.ok()) << printed1 << ": "
+                             << second.status().ToString();
+    std::string printed2 = PrintProgram(*second);
+    EXPECT_EQ(printed1, printed2) << src;
+  }
+}
+
+TEST(Printer, DoubleLiteralsStayDoubles) {
+  auto p = parser::ParseProgram("x := 1.0;");
+  ASSERT_TRUE(p.ok());
+  std::string printed = PrintProgram(*p);
+  EXPECT_NE(printed.find("1.0"), std::string::npos) << printed;
+}
+
+TEST(Printer, IndentationOfNestedLoops) {
+  auto p = parser::ParseProgram(
+      "for i = 0, 1 do for j = 0, 1 do M[i,j] := 0.0;");
+  ASSERT_TRUE(p.ok());
+  std::string printed = PrintProgram(*p);
+  EXPECT_NE(printed.find("\n  for j"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("\n    M[i,j]"), std::string::npos) << printed;
+}
+
+}  // namespace
+}  // namespace diablo::ast

@@ -1,0 +1,246 @@
+// The Definition 3.1 accept/reject suite: every program the paper accepts
+// or rejects appears here, plus the canonicalization of d := d ⊕ e.
+
+#include "analysis/restrictions.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "workloads/programs.h"
+
+namespace diablo::analysis {
+namespace {
+
+RestrictionReport Check(const std::string& src) {
+  auto p = parser::ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return CheckProgram(CanonicalizeIncrements(*p));
+}
+
+void ExpectAccepted(const std::string& src) {
+  RestrictionReport report = Check(src);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+void ExpectRejected(const std::string& src,
+                    const std::string& message_fragment = "") {
+  RestrictionReport report = Check(src);
+  EXPECT_FALSE(report.ok) << src;
+  if (!message_fragment.empty() && !report.ok) {
+    EXPECT_NE(report.ToString().find(message_fragment), std::string::npos)
+        << report.ToString();
+  }
+}
+
+// ------------------------- programs the paper accepts ----------------------
+
+TEST(Restrictions, AcceptsGroupLikeIncrement) {
+  // §3.2: "for i do C[V[i].K] += V[i].D ... satisfies our restrictions
+  // since it increments but does not read C".
+  ExpectAccepted("for i = 0, 9 do C[V[i].K] += V[i].D;");
+}
+
+TEST(Restrictions, AcceptsIncrementThenReadSameLocation) {
+  // §3.2's exception (b) example:
+  // for i do { for j do V[i] += 1; W[i] := V[i] }.
+  ExpectAccepted(R"(
+    for i = 0, 9 do {
+      for j = 0, 9 do
+        V[i] += 1;
+      W[i] := V[i];
+    }
+  )");
+}
+
+TEST(Restrictions, AcceptsWriteThenReadSameLocation) {
+  // Exception (a): read after write at the same affine location.
+  ExpectAccepted("for i = 0, 9 do { V[i] := W[i]; X[i] := V[i]; }");
+}
+
+TEST(Restrictions, AcceptsMatrixMultiplication) {
+  ExpectAccepted(R"(
+    for i = 0, 9 do
+      for j = 0, 9 do {
+        R[i,j] := 0.0;
+        for k = 0, 9 do
+          R[i,j] += M[i,k]*N[k,j];
+      }
+  )");
+}
+
+TEST(Restrictions, AcceptsFixedMatrixFactorization) {
+  // §3.2: the pq/err version with matrices instead of scalars.
+  ExpectAccepted(R"(
+    for i = 0, 9 do
+      for j = 0, 9 do {
+        for k = 0, 1 do
+          pq[i,j] += P0[i,k]*Q0[k,j];
+        err[i,j] := R[i,j] - pq[i,j];
+        for k = 0, 1 do {
+          P[i,k] += a*(2.0*err[i,j]*Q0[k,j] - b*P0[i,k]);
+          Q[k,j] += a*(2.0*err[i,j]*P0[i,k] - b*Q0[k,j]);
+        }
+      }
+  )");
+}
+
+TEST(Restrictions, AcceptsAllBenchmarkPrograms) {
+  for (const auto& spec : bench::BenchmarkPrograms()) {
+    auto p = parser::ParseProgram(spec.source);
+    ASSERT_TRUE(p.ok()) << spec.name << ": " << p.status().ToString();
+    RestrictionReport report =
+        CheckProgram(CanonicalizeIncrements(*p));
+    EXPECT_TRUE(report.ok) << spec.name << ":\n" << report.ToString();
+  }
+}
+
+// ------------------------- programs the paper rejects ----------------------
+
+TEST(Restrictions, RejectsStencilRecurrence) {
+  // §3.2: "for i do V[i] := (V[i-1] + V[i+1])/2 will be rejected because
+  // V is both a reader and a writer".
+  ExpectRejected("for i = 1, 8 do V[i] := (V[i-1] + V[i+1]) / 2.0;",
+                 "recurrence");
+}
+
+TEST(Restrictions, AcceptsStencilAfterManualRewrite) {
+  // The paper's rewrite via a copy: two separate loops are fine.
+  ExpectAccepted(R"(
+    for i = 0, 9 do V2[i] := V[i];
+    for i = 1, 8 do V[i] := (V2[i-1] + V2[i+1]) / 2.0;
+  )");
+}
+
+TEST(Restrictions, RejectsNonAffineScalarInLoop) {
+  // §3.2: "for i do { n := V[i]; W[i] := f(n) } is also rejected because
+  // n is not affine".
+  ExpectRejected("for i = 0, 9 do { n := V[i]; W[i] := n * 2.0; }",
+                 "not affine");
+}
+
+TEST(Restrictions, AcceptsVectorizedScalarRewrite) {
+  // The paper's fix: give n an array dimension.
+  ExpectAccepted(
+      "for i = 0, 9 do { nv[i] := V[i]; W[i] := nv[i] * 2.0; }");
+}
+
+TEST(Restrictions, RejectsUnfixedMatrixFactorization) {
+  // §3.2: the pq/error-as-scalars version is rejected.
+  ExpectRejected(R"(
+    for i = 0, 9 do
+      for j = 0, 9 do {
+        pq := 0.0;
+        for k = 0, 1 do
+          pq += P0[i,k]*Q0[k,j];
+        error := R[i,j] - pq;
+        for k = 0, 1 do {
+          P[i,k] += a*(2.0*error*Q0[k,j] - b*P0[i,k]);
+          Q[k,j] += a*(2.0*error*P0[i,k] - b*Q0[k,j]);
+        }
+      }
+  )");
+}
+
+TEST(Restrictions, RejectsBubbleSortStyleSwap) {
+  // §1: "bubble-sort which requires swapping vector elements" is
+  // rejected (read and write of V at different locations).
+  ExpectRejected(R"(
+    for i = 0, 8 do {
+      t := V[i];
+      V[i] := V[i+1];
+      V[i+1] := t;
+    }
+  )");
+}
+
+TEST(Restrictions, RejectsIncrementReadUnderWrongContext) {
+  // §3.2: "If there were another statement M[i,j] := V[i] inside the
+  // inner loop, this would violate Exception (b)".
+  ExpectRejected(R"(
+    for i = 0, 9 do {
+      for j = 0, 9 do {
+        V[i] += 1;
+        M[i,j] := V[i];
+      }
+    }
+  )");
+}
+
+TEST(Restrictions, RejectsReadBeforeWrite) {
+  // Exception (a) requires the write to precede the read.
+  ExpectRejected("for i = 0, 9 do { X[i] := V[i]; V[i] := W[i]; }");
+}
+
+// ------------------------- structural rules --------------------------------
+
+TEST(Restrictions, RejectsDeclInsideParallelFor) {
+  ExpectRejected("for i = 0, 9 do { var t: double = 0.0; V[i] := t; }",
+                 "declaration");
+}
+
+TEST(Restrictions, AllowsDeclInsideSequentialFor) {
+  ExpectAccepted(R"(
+    for i = 1, 3 do {
+      var j: int = 0;
+      while (j < i) j += 1;
+      total += j;
+    }
+  )");
+}
+
+TEST(Restrictions, RejectsDuplicateLoopIndexes) {
+  ExpectRejected("for i = 0, 9 do for i = 0, 9 do V[i] += 1;",
+                 "duplicate loop index");
+}
+
+TEST(Restrictions, RejectsForInContainingWhile) {
+  ExpectRejected(R"(
+    for v in V do {
+      while (v > 0.0) x += 1;
+    }
+  )",
+                 "while");
+}
+
+// ------------------------- canonicalization --------------------------------
+
+TEST(Canonicalize, RewritesSelfUpdateToIncrement) {
+  auto p = parser::ParseProgram("eq := eq && v == x;");
+  ASSERT_TRUE(p.ok());
+  ast::Program canon = CanonicalizeIncrements(*p);
+  ASSERT_TRUE(canon.stmts[0]->is<ast::Stmt::Incr>());
+  EXPECT_EQ(canon.stmts[0]->as<ast::Stmt::Incr>().op, runtime::BinOp::kAnd);
+}
+
+TEST(Canonicalize, HandlesRightOperandForm) {
+  auto p = parser::ParseProgram("s := v + s;");
+  ASSERT_TRUE(p.ok());
+  ast::Program canon = CanonicalizeIncrements(*p);
+  ASSERT_TRUE(canon.stmts[0]->is<ast::Stmt::Incr>());
+}
+
+TEST(Canonicalize, LeavesNonCommutativeAlone) {
+  auto p = parser::ParseProgram("s := s - v;");
+  ASSERT_TRUE(p.ok());
+  ast::Program canon = CanonicalizeIncrements(*p);
+  EXPECT_TRUE(canon.stmts[0]->is<ast::Stmt::Assign>());
+}
+
+TEST(Canonicalize, LeavesDifferentDestinationsAlone) {
+  auto p = parser::ParseProgram("for i = 0, 5 do V[i] := V[i+1] + 1.0;");
+  ASSERT_TRUE(p.ok());
+  ast::Program canon = CanonicalizeIncrements(*p);
+  EXPECT_TRUE(canon.stmts[0]->as<ast::Stmt::ForRange>()
+                  .body->is<ast::Stmt::Assign>());
+}
+
+TEST(Canonicalize, RewritesInsideLoops) {
+  auto p = parser::ParseProgram("for v in V do c := c || v == 1.0;");
+  ASSERT_TRUE(p.ok());
+  ast::Program canon = CanonicalizeIncrements(*p);
+  EXPECT_TRUE(canon.stmts[0]->as<ast::Stmt::ForEach>()
+                  .body->is<ast::Stmt::Incr>());
+}
+
+}  // namespace
+}  // namespace diablo::analysis

@@ -1,0 +1,153 @@
+// Tests for the binary Value codec: round trips over every kind,
+// randomized deep values, corruption rejection, determinism, and the
+// engine's serialize-shuffles mode.
+
+#include "runtime/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "runtime/engine.h"
+#include "runtime/operators.h"
+
+namespace diablo::runtime {
+namespace {
+
+Value I(int64_t v) { return Value::MakeInt(v); }
+Value D(double v) { return Value::MakeDouble(v); }
+
+void ExpectRoundTrip(const Value& v) {
+  std::string wire = Serialize(v);
+  auto back = Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << v.ToString() << ": "
+                         << back.status().ToString();
+  EXPECT_EQ(*back, v) << "wire size " << wire.size();
+}
+
+TEST(Serialize, AllKindsRoundTrip) {
+  ExpectRoundTrip(Value::MakeUnit());
+  ExpectRoundTrip(Value::MakeBool(true));
+  ExpectRoundTrip(Value::MakeBool(false));
+  ExpectRoundTrip(I(0));
+  ExpectRoundTrip(I(-1));
+  ExpectRoundTrip(I(std::numeric_limits<int64_t>::min()));
+  ExpectRoundTrip(I(std::numeric_limits<int64_t>::max()));
+  ExpectRoundTrip(D(0.0));
+  ExpectRoundTrip(D(-3.25e-300));
+  ExpectRoundTrip(D(std::numeric_limits<double>::infinity()));
+  ExpectRoundTrip(Value::MakeString(""));
+  ExpectRoundTrip(Value::MakeString("hello \x01\x02 world"));
+  ExpectRoundTrip(Value::MakeTuple({}));
+  ExpectRoundTrip(Value::MakeTuple({I(1), D(2.5), Value::MakeString("x")}));
+  ExpectRoundTrip(Value::MakeRecord({{"red", I(1)}, {"green", I(2)}}));
+  ExpectRoundTrip(Value::EmptyBag());
+  ExpectRoundTrip(Value::MakeBag({I(1), I(2), I(3)}));
+}
+
+Value RandomValue(std::mt19937_64& rng, int depth) {
+  switch (rng() % (depth > 0 ? 7 : 4)) {
+    case 0:
+      return I(static_cast<int64_t>(rng()));
+    case 1:
+      return D(static_cast<double>(rng()) / 7.3);
+    case 2:
+      return Value::MakeBool(rng() % 2 == 0);
+    case 3: {
+      std::string s;
+      for (uint64_t i = 0; i < rng() % 12; ++i) {
+        s.push_back(static_cast<char>('a' + rng() % 26));
+      }
+      return Value::MakeString(std::move(s));
+    }
+    case 4: {
+      ValueVec elems;
+      for (uint64_t i = 0; i < 1 + rng() % 3; ++i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::MakeTuple(std::move(elems));
+    }
+    case 5: {
+      ValueVec elems;
+      for (uint64_t i = 0; i < rng() % 4; ++i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::MakeBag(std::move(elems));
+    }
+    default: {
+      FieldVec fields;
+      for (uint64_t i = 0; i < 1 + rng() % 3; ++i) {
+        fields.emplace_back(std::string(1, static_cast<char>('A' + i)),
+                            RandomValue(rng, depth - 1));
+      }
+      return Value::MakeRecord(std::move(fields));
+    }
+  }
+}
+
+TEST(Serialize, RandomDeepValuesRoundTrip) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    ExpectRoundTrip(RandomValue(rng, 3));
+  }
+}
+
+TEST(Serialize, Deterministic) {
+  Value a = Value::MakeTuple({I(3), Value::MakeString("k"), D(1.5)});
+  Value b = Value::MakeTuple({I(3), Value::MakeString("k"), D(1.5)});
+  EXPECT_EQ(Serialize(a), Serialize(b));
+}
+
+TEST(Serialize, RejectsTruncation) {
+  std::string wire =
+      Serialize(Value::MakeTuple({I(1), Value::MakeString("abcdef")}));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto back = Deserialize(wire.substr(0, cut));
+    EXPECT_FALSE(back.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+  std::string wire = Serialize(I(7)) + "x";
+  EXPECT_FALSE(Deserialize(wire).ok());
+}
+
+TEST(Serialize, RejectsUnknownTagsAndCorruptBools) {
+  EXPECT_FALSE(Deserialize("Z").ok());
+  std::string bad_bool = "b";
+  bad_bool.push_back(7);
+  EXPECT_FALSE(Deserialize(bad_bool).ok());
+}
+
+TEST(Serialize, RejectsHugeDeclaredLengths) {
+  // A bag claiming 2^31 elements in a 5-byte buffer must fail fast.
+  std::string wire = "g";
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0x7f));
+  EXPECT_FALSE(Deserialize(wire).ok());
+}
+
+TEST(Serialize, EngineShuffleRoundTripsRows) {
+  EngineConfig config;
+  config.serialize_shuffles = true;
+  Engine engine(config);
+  ValueVec rows;
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back(Value::MakePair(I(i % 9), RandomValue(rng, 2)));
+  }
+  auto grouped = engine.GroupByKey(engine.Parallelize(rows));
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  // Compare against a non-serializing engine.
+  Engine plain;
+  auto expected = plain.GroupByKey(plain.Parallelize(rows));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(BagEquals(Value::MakeBag(engine.Collect(*grouped)),
+                        Value::MakeBag(plain.Collect(*expected))));
+  EXPECT_GT(engine.metrics().total_shuffle_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace diablo::runtime

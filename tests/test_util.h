@@ -1,0 +1,142 @@
+#ifndef DIABLO_TESTS_TEST_UTIL_H_
+#define DIABLO_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "diablo/diablo.h"
+#include "runtime/operators.h"
+#include "runtime/value.h"
+
+namespace diablo::testing {
+
+using runtime::Value;
+using runtime::ValueVec;
+
+inline Value IV(int64_t v) { return Value::MakeInt(v); }
+inline Value DV(double v) { return Value::MakeDouble(v); }
+inline Value SV(std::string v) { return Value::MakeString(std::move(v)); }
+inline Value BV(bool v) { return Value::MakeBool(v); }
+inline Value Pair(Value a, Value b) {
+  return Value::MakePair(std::move(a), std::move(b));
+}
+inline Value Tup(ValueVec elems) { return Value::MakeTuple(std::move(elems)); }
+inline Value Bag(ValueVec elems) { return Value::MakeBag(std::move(elems)); }
+
+/// Sparse vector {(0,v0), (1,v1), ...} from dense doubles.
+inline Value DoubleVector(const std::vector<double>& values) {
+  ValueVec rows;
+  for (size_t i = 0; i < values.size(); ++i) {
+    rows.push_back(Pair(IV(static_cast<int64_t>(i)), DV(values[i])));
+  }
+  return Bag(std::move(rows));
+}
+
+/// Sparse vector of int values.
+inline Value IntVector(const std::vector<int64_t>& values) {
+  ValueVec rows;
+  for (size_t i = 0; i < values.size(); ++i) {
+    rows.push_back(Pair(IV(static_cast<int64_t>(i)), IV(values[i])));
+  }
+  return Bag(std::move(rows));
+}
+
+/// Sparse matrix {((i,j),v)} from dense rows.
+inline Value DoubleMatrix(const std::vector<std::vector<double>>& rows) {
+  ValueVec out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      out.push_back(Pair(Tup({IV(static_cast<int64_t>(i)),
+                              IV(static_cast<int64_t>(j))}),
+                         DV(rows[i][j])));
+    }
+  }
+  return Bag(std::move(out));
+}
+
+/// Runs `source` through the full DIABLO pipeline (distributed engine),
+/// through the single-process local algebra backend, and through the
+/// sequential reference interpreter, then asserts that the named outputs
+/// agree across all three semantics (bags as multisets, doubles within
+/// tolerance).
+class PipelineChecker {
+ public:
+  PipelineChecker(std::string source, Bindings inputs)
+      : source_(std::move(source)), inputs_(std::move(inputs)) {}
+
+  PipelineChecker& WithOptions(const CompileOptions& options) {
+    options_ = options;
+    return *this;
+  }
+
+  /// Checks one scalar output.
+  void ExpectScalarAgrees(const std::string& name, double tol = 1e-9) {
+    Setup();
+    if (HasFatalFailure()) return;
+    auto ref = reference_->GetScalar(name);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    auto got = run_->Scalar(name);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(runtime::AlmostEquals(*got, *ref, tol))
+        << "DIABLO: " << got->ToString() << "\nreference: " << ref->ToString();
+    auto local = local_->GetScalar(name);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    EXPECT_TRUE(runtime::AlmostEquals(*local, *ref, tol))
+        << "local algebra: " << local->ToString()
+        << "\nreference: " << ref->ToString();
+  }
+
+  /// Checks one array output.
+  void ExpectArrayAgrees(const std::string& name, double tol = 1e-9) {
+    Setup();
+    if (HasFatalFailure()) return;
+    auto ref = reference_->GetArray(name);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    auto got = run_->Array(name);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(runtime::BagAlmostEquals(*got, *ref, tol))
+        << "DIABLO: " << got->ToString() << "\nreference: " << ref->ToString();
+    auto local = local_->GetArray(name);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    EXPECT_TRUE(runtime::BagAlmostEquals(*local, *ref, tol))
+        << "local algebra: " << local->ToString()
+        << "\nreference: " << ref->ToString();
+  }
+
+ private:
+  static bool HasFatalFailure() {
+    return ::testing::Test::HasFatalFailure();
+  }
+
+  void Setup() {
+    if (run_ != nullptr || reference_ != nullptr) return;
+    auto compiled = Compile(source_, options_);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    engine_ = std::make_unique<runtime::Engine>();
+    auto run = Run(*compiled, engine_.get(), inputs_);
+    ASSERT_TRUE(run.ok()) << run.status().ToString()
+                          << "\ntarget:\n" << compiled->TargetToString();
+    run_ = std::make_unique<ProgramRun>(std::move(*run));
+    auto local = RunLocal(*compiled, inputs_);
+    ASSERT_TRUE(local.ok()) << local.status().ToString()
+                            << "\ntarget:\n" << compiled->TargetToString();
+    local_ = std::move(*local);
+    auto ref = RunReference(source_, inputs_);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    reference_ = std::move(*ref);
+  }
+
+  std::string source_;
+  Bindings inputs_;
+  CompileOptions options_;
+  std::unique_ptr<runtime::Engine> engine_;
+  std::unique_ptr<ProgramRun> run_;
+  std::unique_ptr<algebra::LocalExecutor> local_;
+  std::unique_ptr<exec::ReferenceInterpreter> reference_;
+};
+
+}  // namespace diablo::testing
+
+#endif  // DIABLO_TESTS_TEST_UTIL_H_

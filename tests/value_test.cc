@@ -1,0 +1,119 @@
+// Unit tests for runtime::Value: construction, equality, ordering,
+// hashing, serialization sizes and printing.
+
+#include "runtime/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace diablo::runtime {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_unit());
+  EXPECT_TRUE(Value::MakeBool(true).AsBool());
+  EXPECT_EQ(Value::MakeInt(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::MakeDouble(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::MakeString("abc").AsString(), "abc");
+  Value t = Value::MakeTuple({Value::MakeInt(1), Value::MakeInt(2)});
+  ASSERT_TRUE(t.is_tuple());
+  EXPECT_EQ(t.tuple().size(), 2u);
+  Value b = Value::MakeBag({Value::MakeInt(1)});
+  ASSERT_TRUE(b.is_bag());
+  EXPECT_EQ(b.bag().size(), 1u);
+}
+
+TEST(Value, ToDoubleWidensInts) {
+  EXPECT_DOUBLE_EQ(Value::MakeInt(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::MakeDouble(3.5).ToDouble(), 3.5);
+}
+
+TEST(Value, StructuralEquality) {
+  Value a = Value::MakePair(Value::MakeInt(1), Value::MakeString("x"));
+  Value b = Value::MakePair(Value::MakeInt(1), Value::MakeString("x"));
+  Value c = Value::MakePair(Value::MakeInt(2), Value::MakeString("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Int and Double are different kinds under structural equality.
+  EXPECT_NE(Value::MakeInt(1), Value::MakeDouble(1.0));
+}
+
+TEST(Value, TotalOrderIsConsistent) {
+  ValueVec values = {
+      Value::MakeUnit(),
+      Value::MakeBool(false),
+      Value::MakeInt(-5),
+      Value::MakeInt(7),
+      Value::MakeDouble(1.5),
+      Value::MakeString("a"),
+      Value::MakeString("b"),
+      Value::MakeTuple({Value::MakeInt(1)}),
+      Value::MakeTuple({Value::MakeInt(1), Value::MakeInt(2)}),
+  };
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i].Compare(values[i]), 0) << i;
+    for (size_t j = 0; j < values.size(); ++j) {
+      int ij = values[i].Compare(values[j]);
+      int ji = values[j].Compare(values[i]);
+      EXPECT_EQ(ij, -ji) << i << "," << j;  // antisymmetry
+    }
+  }
+  // Tuples order lexicographically, then by length.
+  EXPECT_LT(Value::MakeTuple({Value::MakeInt(1)}),
+            Value::MakeTuple({Value::MakeInt(1), Value::MakeInt(0)}));
+  EXPECT_LT(Value::MakeTuple({Value::MakeInt(1), Value::MakeInt(9)}),
+            Value::MakeTuple({Value::MakeInt(2)}));
+}
+
+TEST(Value, HashAgreesWithEquality) {
+  Value a = Value::MakeTuple({Value::MakeInt(3), Value::MakeString("k")});
+  Value b = Value::MakeTuple({Value::MakeInt(3), Value::MakeString("k")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+}
+
+TEST(Value, RecordFieldLookup) {
+  Value r = Value::MakeRecord({{"red", Value::MakeInt(1)},
+                               {"green", Value::MakeInt(2)}});
+  ASSERT_NE(r.FindField("green"), nullptr);
+  EXPECT_EQ(r.FindField("green")->AsInt(), 2);
+  EXPECT_EQ(r.FindField("blue"), nullptr);
+}
+
+TEST(Value, SerializedBytes) {
+  EXPECT_EQ(Value::MakeInt(1).SerializedBytes(), 8);
+  EXPECT_EQ(Value::MakeDouble(1).SerializedBytes(), 8);
+  EXPECT_EQ(Value::MakeString("abcd").SerializedBytes(), 8);
+  // Pair of (long,long) tuple and double mirrors the paper's accounting
+  // shape: nested sizes accumulate.
+  Value row = Value::MakePair(
+      Value::MakeTuple({Value::MakeInt(0), Value::MakeInt(0)}),
+      Value::MakeDouble(1));
+  EXPECT_EQ(row.SerializedBytes(), 4 + (4 + 8 + 8) + 8);
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::MakeUnit().ToString(), "()");
+  EXPECT_EQ(Value::MakeBool(true).ToString(), "true");
+  EXPECT_EQ(Value::MakeString("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::MakePair(Value::MakeInt(1), Value::MakeInt(2)).ToString(),
+            "(1,2)");
+  EXPECT_EQ(Value::MakeBag({Value::MakeInt(1), Value::MakeInt(2)}).ToString(),
+            "{1,2}");
+  EXPECT_EQ(
+      Value::MakeRecord({{"a", Value::MakeInt(1)}}).ToString(), "<a=1>");
+}
+
+TEST(Value, CopyIsShallowAndCheap) {
+  ValueVec big;
+  for (int i = 0; i < 1000; ++i) big.push_back(Value::MakeInt(i));
+  Value bag = Value::MakeBag(std::move(big));
+  Value copy = bag;  // shares the payload
+  EXPECT_EQ(&bag.bag(), &copy.bag());
+}
+
+}  // namespace
+}  // namespace diablo::runtime

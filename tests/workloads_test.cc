@@ -1,0 +1,177 @@
+// Sanity tests for the benchmark workload generators: shapes, ranges,
+// determinism under fixed seeds, and the per-program input contracts.
+
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/programs.h"
+
+namespace diablo::bench {
+namespace {
+
+TEST(Workloads, RandomDoubleVectorShape) {
+  std::mt19937_64 rng(1);
+  Value v = RandomDoubleVector(100, 50.0, rng);
+  ASSERT_TRUE(v.is_bag());
+  ASSERT_EQ(v.bag().size(), 100u);
+  for (const Value& row : v.bag()) {
+    ASSERT_TRUE(row.tuple()[0].is_int());
+    double x = row.tuple()[1].ToDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 50.0);
+  }
+}
+
+TEST(Workloads, DeterministicUnderSeed) {
+  std::mt19937_64 a(42), b(42), c(43);
+  EXPECT_EQ(RandomDoubleVector(50, 10, a), RandomDoubleVector(50, 10, b));
+  EXPECT_NE(RandomDoubleVector(50, 10, a), RandomDoubleVector(50, 10, c));
+}
+
+TEST(Workloads, StringsComeFromBoundedVocabulary) {
+  std::mt19937_64 rng(5);
+  Value v = RandomStringVector(500, 7, rng);
+  std::set<std::string> seen;
+  for (const Value& row : v.bag()) {
+    seen.insert(row.tuple()[1].AsString());
+  }
+  EXPECT_LE(seen.size(), 7u);
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(Workloads, PixelsHaveRgbFields) {
+  std::mt19937_64 rng(5);
+  Value v = RandomPixelVector(10, rng);
+  for (const Value& row : v.bag()) {
+    const Value& px = row.tuple()[1];
+    ASSERT_TRUE(px.is_record());
+    for (const char* f : {"red", "green", "blue"}) {
+      ASSERT_NE(px.FindField(f), nullptr);
+      int64_t c = px.FindField(f)->AsInt();
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 256);
+    }
+  }
+}
+
+TEST(Workloads, RegressionPointsFollowTheLine) {
+  std::mt19937_64 rng(5);
+  Value v = RegressionPoints(200, rng);
+  for (const Value& row : v.bag()) {
+    double x = row.tuple()[1].tuple()[0].ToDouble();
+    double y = row.tuple()[1].tuple()[1].ToDouble();
+    // (x+dx, x-dx): the sum is 2x in [0, 2000), the difference 2dx in
+    // [0, 20).
+    EXPECT_GE(x - y, 0.0);
+    EXPECT_LT(x - y, 20.0);
+    EXPECT_LT(x + y, 2020.0);
+  }
+}
+
+TEST(Workloads, RmatGraphWithinVertexBounds) {
+  std::mt19937_64 rng(5);
+  Value g = RmatGraph(/*scale=*/5, /*edges_per_vertex=*/10, rng);
+  const int64_t vertices = 32;
+  std::set<Value> keys;
+  for (const Value& row : g.bag()) {
+    int64_t i = row.tuple()[0].tuple()[0].AsInt();
+    int64_t j = row.tuple()[0].tuple()[1].AsInt();
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, vertices);
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, vertices);
+    EXPECT_TRUE(keys.insert(row.tuple()[0]).second) << "duplicate edge";
+  }
+  // Deduplicated, so at most vertices^2 and at most the attempts.
+  EXPECT_LE(static_cast<int64_t>(g.bag().size()), vertices * 10);
+  EXPECT_GT(g.bag().size(), 0u);
+}
+
+TEST(Workloads, RmatIsSkewed) {
+  // The Kronecker parameters favour low vertex ids: the low corner of
+  // the id space sends far more edges than the high corner.
+  std::mt19937_64 rng(7);
+  const int64_t vertices = 512;
+  Value g = RmatGraph(/*scale=*/9, /*edges_per_vertex=*/5, rng);
+  int64_t low_eighth = 0, high_eighth = 0;
+  for (const Value& row : g.bag()) {
+    int64_t src = row.tuple()[0].tuple()[0].AsInt();
+    if (src < vertices / 8) ++low_eighth;
+    if (src >= vertices - vertices / 8) ++high_eighth;
+  }
+  // With a=0.30, b=0.25, c=0.25, d=0.20 the row marginal is 0.55/0.45
+  // per bit, i.e. a (0.55/0.45)^3 ≈ 1.8x gap between the extreme
+  // eighths of the id space.
+  EXPECT_GT(static_cast<double>(low_eighth),
+            1.4 * static_cast<double>(std::max<int64_t>(1, high_eighth)));
+}
+
+TEST(Workloads, GridPointsInsideTheirSquares) {
+  std::mt19937_64 rng(5);
+  Value pts = GridPoints(300, /*grid=*/10, rng);
+  for (const Value& row : pts.bag()) {
+    double x = row.tuple()[1].tuple()[0].ToDouble();
+    double y = row.tuple()[1].tuple()[1].ToDouble();
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 20.0);
+    EXPECT_GE(y, 1.0);
+    EXPECT_LE(y, 20.0);
+  }
+}
+
+TEST(Workloads, GridCentroidsMatchThePaper) {
+  Value c = GridCentroids(10);
+  ASSERT_EQ(c.bag().size(), 100u);
+  // (i*2 + 1.2, j*2 + 1.2); centroid 0 is (1.2, 1.2).
+  EXPECT_DOUBLE_EQ(c.bag()[0].tuple()[1].tuple()[0].AsDouble(), 1.2);
+  EXPECT_DOUBLE_EQ(c.bag()[0].tuple()[1].tuple()[1].AsDouble(), 1.2);
+}
+
+TEST(Workloads, SparseMatrixDensity) {
+  std::mt19937_64 rng(5);
+  Value m = SparseRandomMatrix(100, 100, 0.1, rng);
+  double density = static_cast<double>(m.bag().size()) / 10000.0;
+  EXPECT_GT(density, 0.05);
+  EXPECT_LT(density, 0.15);
+  for (const Value& row : m.bag()) {
+    double v = row.tuple()[1].ToDouble();
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(Programs, EverySpecBuildsInputsAndCompiles) {
+  for (const ProgramSpec& spec : BenchmarkPrograms()) {
+    std::mt19937_64 rng(3);
+    int64_t scale = spec.name == "pagerank" ? 4 : 8;
+    Bindings inputs = spec.make_inputs(scale, rng);
+    EXPECT_FALSE(inputs.empty()) << spec.name;
+    auto compiled = Compile(spec.source);
+    EXPECT_TRUE(compiled.ok())
+        << spec.name << ": " << compiled.status().ToString();
+    // Outputs are named.
+    EXPECT_FALSE(spec.scalar_outputs.empty() && spec.array_outputs.empty())
+        << spec.name;
+  }
+}
+
+TEST(Programs, Table1CoversAllBenchmarks) {
+  std::set<std::string> table1;
+  for (const auto& entry : Table1Programs()) table1.insert(entry.name);
+  for (const ProgramSpec& spec : BenchmarkPrograms()) {
+    if (spec.name == "group_by" || spec.name == "matrix_addition" ||
+        spec.name == "conditional_sum") {
+      continue;  // Table 1 lists a slightly different program set
+    }
+    EXPECT_TRUE(table1.count(spec.name) != 0 ||
+                spec.name == "group_by")
+        << spec.name;
+  }
+  EXPECT_EQ(table1.size(), 16u);
+}
+
+}  // namespace
+}  // namespace diablo::bench

@@ -1,0 +1,110 @@
+// diablo_dump: prints the translated target code (and optionally the
+// physical plan) of a benchmark program or a program read from a file.
+//
+// Usage:
+//   diablo_dump <benchmark-name>          e.g. diablo_dump kmeans
+//   diablo_dump --file <path>             compile a .diablo source file
+//   diablo_dump --no-opt <benchmark-name> skip the optimizer
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "diablo/diablo.h"
+#include "plan/plan.h"
+#include "plan/spark_emitter.h"
+#include "workloads/programs.h"
+
+namespace {
+
+/// Prints the physical plan of every comprehension in an assignment,
+/// planning against a state where every inferred array exists (empty).
+/// With `spark` set, plans render as pseudo-Spark chains instead.
+void DumpPlans(const diablo::CompiledProgram& compiled, bool spark) {
+  diablo::runtime::Engine engine;
+  std::map<std::string, diablo::runtime::Value> scalars;
+  std::map<std::string, diablo::runtime::Dataset> arrays;
+  for (const auto& [name, info] : compiled.vars) {
+    if (info.is_array) arrays[name] = diablo::runtime::Dataset();
+  }
+  diablo::plan::ExecState state{&engine, &scalars, &arrays};
+  std::function<void(const diablo::comp::CExprPtr&)> dump_expr =
+      [&](const diablo::comp::CExprPtr& e) {
+        if (e == nullptr) return;
+        if (e->is<diablo::comp::CExpr::Nested>()) {
+          auto plan = diablo::plan::BuildPlan(
+              e->as<diablo::comp::CExpr::Nested>().comp, state);
+          if (plan.ok()) {
+            if (spark) {
+              std::printf("%s\n",
+                          diablo::plan::ToSparkLike(*plan).c_str());
+            } else {
+              std::printf("%s", plan->ToString().c_str());
+            }
+          } else {
+            std::printf("plan error: %s\n",
+                        plan.status().ToString().c_str());
+          }
+          return;
+        }
+        if (e->is<diablo::comp::CExpr::Merge>()) {
+          dump_expr(e->as<diablo::comp::CExpr::Merge>().left);
+          dump_expr(e->as<diablo::comp::CExpr::Merge>().right);
+        }
+      };
+  std::function<void(const std::vector<diablo::comp::TargetStmtPtr>&)>
+      dump_stmts = [&](const std::vector<diablo::comp::TargetStmtPtr>& stmts) {
+        for (const auto& s : stmts) {
+          if (s->is<diablo::comp::TargetStmt::Assign>()) {
+            const auto& a = s->as<diablo::comp::TargetStmt::Assign>();
+            std::printf("-- %s :=\n", a.var.c_str());
+            dump_expr(a.value);
+          } else if (s->is<diablo::comp::TargetStmt::While>()) {
+            dump_stmts(s->as<diablo::comp::TargetStmt::While>().body);
+          }
+        }
+      };
+  dump_stmts(compiled.target.stmts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diablo::CompileOptions options;
+  std::string source;
+  std::string name;
+  bool spark = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--spark") {
+      spark = true;
+    } else if (arg == "--no-opt") {
+      options.enable_optimizer = false;
+    } else if (arg == "--file" && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    } else {
+      name = arg;
+    }
+  }
+  if (source.empty()) {
+    if (name.empty()) {
+      std::fprintf(stderr, "usage: diablo_dump [--no-opt] <name|--file f>\n");
+      return 2;
+    }
+    source = diablo::bench::GetProgram(name).source;
+  }
+  std::printf("=== source ===\n%s\n", source.c_str());
+  auto compiled = diablo::Compile(source, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== target ===\n%s", compiled->TargetToString().c_str());
+  std::printf(spark ? "=== pseudo-Spark ===\n" : "=== plans ===\n");
+  DumpPlans(*compiled, spark);
+  return 0;
+}

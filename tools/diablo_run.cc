@@ -1,0 +1,255 @@
+// diablo_run: compile and execute a loop-language program from a file,
+// binding inputs from the command line or from CSV files, and print the
+// requested outputs.
+//
+// Usage:
+//   diablo_run PROGRAM.diablo [options]
+//
+// Options:
+//   --scalar NAME=VALUE      bind a scalar input (int, double, bool or
+//                            quoted string, inferred from the spelling)
+//   --vector NAME=FILE.csv   bind a sparse vector: each line `key,value`
+//   --matrix NAME=FILE.csv   bind a sparse matrix: each line `i,j,value`
+//   --print NAME             print a scalar or array output (repeatable)
+//   --target                 print the translated target code
+//   --plan-report            print the engine stage report after the run
+//   --partitions N           engine partitions (default 8)
+//   --workers N              simulated cluster workers (default 4)
+//   --broadcast-mb N         enable broadcast joins for arrays <= N MB
+//   --tiled NAME             store the named matrix as packed tiles (§5;
+//                            repeatable)
+//   --tile-rows R            tile rows (default 32)
+//   --tile-cols C            tile columns (default 32)
+//   --no-opt                 disable the comprehension optimizer
+//   --local                  run on the single-process local algebra
+//                            backend instead of the distributed engine
+//   --reference              run the sequential reference interpreter
+//                            instead of the distributed engine
+//
+// Example:
+//   diablo_run wordcount.diablo --vector words=words.csv --print C
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diablo/diablo.h"
+
+namespace {
+
+using diablo::runtime::Value;
+using diablo::runtime::ValueVec;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "diablo_run: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Die("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses a literal: bool, int, double, or quoted/bare string.
+Value ParseScalar(const std::string& text) {
+  if (text == "true") return Value::MakeBool(true);
+  if (text == "false") return Value::MakeBool(false);
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    return Value::MakeString(text.substr(1, text.size() - 2));
+  }
+  char* end = nullptr;
+  long long as_int = std::strtoll(text.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !text.empty()) {
+    return Value::MakeInt(as_int);
+  }
+  end = nullptr;
+  double as_double = std::strtod(text.c_str(), &end);
+  if (end != nullptr && *end == '\0' && !text.empty()) {
+    return Value::MakeDouble(as_double);
+  }
+  return Value::MakeString(text);
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+/// Loads `key,value` lines into a sparse vector, or `i,j,value` lines
+/// into a sparse matrix when `matrix` is set.
+Value LoadCsv(const std::string& path, bool matrix) {
+  std::ifstream in(path);
+  if (!in) Die("cannot open " + path);
+  ValueVec rows;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    size_t expected = matrix ? 3 : 2;
+    if (fields.size() != expected) {
+      Die(path + ":" + std::to_string(lineno) + ": expected " +
+          std::to_string(expected) + " fields");
+    }
+    Value key = matrix ? Value::MakeTuple({ParseScalar(fields[0]),
+                                           ParseScalar(fields[1])})
+                       : ParseScalar(fields[0]);
+    rows.push_back(Value::MakePair(key, ParseScalar(fields.back())));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+struct NameValue {
+  std::string name;
+  std::string value;
+};
+
+NameValue SplitBinding(const std::string& arg) {
+  size_t eq = arg.find('=');
+  if (eq == std::string::npos) Die("expected NAME=VALUE, got " + arg);
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_path;
+  diablo::Bindings inputs;
+  std::vector<std::string> prints;
+  diablo::CompileOptions compile_options;
+  diablo::runtime::EngineConfig engine_config;
+  diablo::RunOptions run_options;
+  bool show_target = false, plan_report = false, use_reference = false;
+  bool use_local = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Die(arg + " needs an argument");
+      return argv[++i];
+    };
+    if (arg == "--scalar") {
+      NameValue nv = SplitBinding(next());
+      inputs[nv.name] = ParseScalar(nv.value);
+    } else if (arg == "--vector") {
+      NameValue nv = SplitBinding(next());
+      inputs[nv.name] = LoadCsv(nv.value, /*matrix=*/false);
+    } else if (arg == "--matrix") {
+      NameValue nv = SplitBinding(next());
+      inputs[nv.name] = LoadCsv(nv.value, /*matrix=*/true);
+    } else if (arg == "--print") {
+      prints.push_back(next());
+    } else if (arg == "--target") {
+      show_target = true;
+    } else if (arg == "--plan-report") {
+      plan_report = true;
+    } else if (arg == "--partitions") {
+      engine_config.num_partitions = std::atoi(next().c_str());
+    } else if (arg == "--workers") {
+      engine_config.cluster.num_workers = std::atoi(next().c_str());
+    } else if (arg == "--broadcast-mb") {
+      engine_config.broadcast_join_threshold_bytes =
+          std::atoll(next().c_str()) << 20;
+    } else if (arg == "--tiled") {
+      run_options.tiled_arrays.insert(next());
+    } else if (arg == "--tile-rows") {
+      run_options.tile_config.tile_rows = std::atoll(next().c_str());
+    } else if (arg == "--tile-cols") {
+      run_options.tile_config.tile_cols = std::atoll(next().c_str());
+    } else if (arg == "--no-opt") {
+      compile_options.enable_optimizer = false;
+    } else if (arg == "--local") {
+      use_local = true;
+    } else if (arg == "--reference") {
+      use_reference = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      Die("unknown option " + arg);
+    } else if (program_path.empty()) {
+      program_path = arg;
+    } else {
+      Die("multiple program files given");
+    }
+  }
+  if (program_path.empty()) {
+    Die("usage: diablo_run PROGRAM.diablo [options]; see the file header");
+  }
+
+  std::string source = ReadFile(program_path);
+
+  if (use_reference) {
+    auto ref = diablo::RunReference(source, inputs);
+    if (!ref.ok()) Die(ref.status().ToString());
+    for (const std::string& name : prints) {
+      auto scalar = (*ref)->GetScalar(name);
+      if (scalar.ok()) {
+        std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
+        continue;
+      }
+      auto array = (*ref)->GetArray(name);
+      if (!array.ok()) Die(array.status().ToString());
+      std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
+    }
+    return 0;
+  }
+
+  auto compiled = diablo::Compile(source, compile_options);
+  if (!compiled.ok()) Die(compiled.status().ToString());
+  if (show_target) {
+    std::printf("=== target ===\n%s\n", compiled->TargetToString().c_str());
+  }
+
+  if (use_local) {
+    auto local = diablo::RunLocal(*compiled, inputs);
+    if (!local.ok()) Die(local.status().ToString());
+    for (const std::string& name : prints) {
+      auto scalar = (*local)->GetScalar(name);
+      if (scalar.ok()) {
+        std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
+        continue;
+      }
+      auto array = (*local)->GetArray(name);
+      if (!array.ok()) Die(array.status().ToString());
+      std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
+    }
+    return 0;
+  }
+
+  diablo::runtime::Engine engine(engine_config);
+  auto run = diablo::Run(*compiled, &engine, inputs, run_options);
+  if (!run.ok()) Die(run.status().ToString());
+
+  for (const std::string& name : prints) {
+    auto scalar = run->Scalar(name);
+    if (scalar.ok()) {
+      std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
+      continue;
+    }
+    auto array = run->Array(name);
+    if (!array.ok()) Die(array.status().ToString());
+    std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
+  }
+  if (plan_report) {
+    std::printf("=== stages ===\n%s", engine.metrics().Report().c_str());
+    std::printf("simulated cluster time: %.4f s (%d workers)\n",
+                engine.metrics().SimulatedSeconds(engine_config.cluster),
+                engine_config.cluster.num_workers);
+  }
+  return 0;
+}
