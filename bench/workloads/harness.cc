@@ -289,6 +289,13 @@ StatusOr<Value> HwPageRank(Engine& engine, const Bindings& inputs) {
           out.push_back(Value::MakePair(row.tuple()[0], DV(r)));
           return out;
         }, "pr.newRanks"));
+    // Under fault injection, persist the loop-carried ranks each step so
+    // a lost partition replays at most one iteration, not the whole
+    // chain back to pr.init (Spark jobs checkpoint iterative RDDs for
+    // the same reason).
+    if (engine.config().faults.enabled()) {
+      DIABLO_ASSIGN_OR_RETURN(ranks, engine.Checkpoint(ranks, "pr.ckpt"));
+    }
   }
   return CollectSorted(engine, ranks);
 }
@@ -493,6 +500,11 @@ StatusOr<RunStats> Measure(
   stats.shuffles = engine.metrics().num_wide_stages();
   stats.shuffle_bytes = engine.metrics().total_shuffle_bytes();
   stats.work_units = engine.metrics().total_work();
+  stats.attempts = engine.metrics().total_attempts();
+  stats.recomputed_partitions = engine.metrics().total_recomputed_partitions();
+  stats.recovery_seconds = engine.metrics().total_recovery_seconds();
+  stats.fault_free_seconds =
+      engine.metrics().SimulatedFaultFreeSeconds(config.cluster);
   return stats;
 }
 

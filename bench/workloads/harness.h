@@ -19,6 +19,14 @@ struct RunStats {
   int64_t shuffles = 0;
   int64_t shuffle_bytes = 0;
   int64_t work_units = 0;
+  /// Fault-tolerance accounting (zero on fault-free configs): task
+  /// attempts, partitions rebuilt from lineage, simulated seconds spent
+  /// on recovery, and what the run would have cost with no faults
+  /// (simulated_seconds == fault_free_seconds + recovery_seconds).
+  int64_t attempts = 0;
+  int64_t recomputed_partitions = 0;
+  double recovery_seconds = 0;
+  double fault_free_seconds = 0;
   /// Primary output, for cross-validation between systems.
   runtime::Value output;
 };

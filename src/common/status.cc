@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "InvalidArgument";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kTaskLost:
+      return "TaskLost";
   }
   return "Unknown";
 }

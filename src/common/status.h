@@ -27,6 +27,11 @@ enum class StatusCode {
   /// The requested feature exists in the paper but was explicitly out of
   /// scope for a component (e.g. baseline translators on complex loops).
   kUnsupported,
+  /// A simulated fault injected by the runtime fault injector (killed
+  /// task attempt, corrupted shuffle payload). Retryable: the engine's
+  /// task scheduler re-runs the attempt instead of aborting the job, so
+  /// this code never escapes a healthy run. See runtime/fault.h.
+  kTaskLost,
 };
 
 /// Returns a human-readable name for a status code ("ParseError", ...).
@@ -61,6 +66,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status TaskLost(std::string msg) {
+    return Status(StatusCode::kTaskLost, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -183,7 +183,23 @@ Status TargetExecutor::ExecStmt(const comp::TargetStmtPtr& stmt) {
     for (const auto& child : w.body) {
       DIABLO_RETURN_IF_ERROR(ExecStmt(child));
     }
+    DIABLO_RETURN_IF_ERROR(CheckpointLoopArrays());
   }
+}
+
+Status TargetExecutor::CheckpointLoopArrays() {
+  const runtime::EngineConfig& config = engine_->config();
+  const int threshold = config.faults.lineage_checkpoint_depth;
+  if (!config.faults.enabled() || threshold <= 0) return Status::OK();
+  for (auto& [name, ds] : arrays_) {
+    // Dirty entries are stale sparse views of tiled arrays; they are
+    // rebuilt from the tiled store on next use, so nothing to protect.
+    if (dirty_.count(name) != 0) continue;
+    if (ds.lineage_depth() < threshold) continue;
+    DIABLO_ASSIGN_OR_RETURN(
+        ds, engine_->Checkpoint(ds, StrCat("checkpoint[", name, "]")));
+  }
+  return Status::OK();
 }
 
 StatusOr<Value> TargetExecutor::GetScalar(const std::string& name) const {

@@ -81,6 +81,12 @@ class TargetExecutor {
   /// unpacking eagerly).
   Status RefreshReferencedArrays(const comp::CExprPtr& e);
   Status RefreshArray(const std::string& name) const;
+  /// End-of-loop-iteration hook: when the engine runs with fault
+  /// injection, checkpoints every live array whose lineage has grown to
+  /// FaultConfig::lineage_checkpoint_depth operators, bounding recovery
+  /// cost in iterative programs (PageRank-style loops would otherwise
+  /// accumulate one lineage chain per iteration). No-op otherwise.
+  Status CheckpointLoopArrays();
 
   runtime::Engine* engine_;
   std::map<std::string, runtime::Value> scalars_;

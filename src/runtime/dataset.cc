@@ -2,6 +2,17 @@
 
 namespace diablo::runtime {
 
+const std::shared_ptr<const LineageNode>& Dataset::SourceLineage() {
+  static const std::shared_ptr<const LineageNode> kSource = [] {
+    auto node = std::make_shared<LineageNode>();
+    node->kind = "source";
+    node->label = "source";
+    node->durable = true;
+    return node;
+  }();
+  return kSource;
+}
+
 int64_t Dataset::TotalRows() const {
   int64_t n = 0;
   for (const auto& p : *partitions_) n += static_cast<int64_t>(p.size());

@@ -1,25 +1,74 @@
 #ifndef DIABLO_RUNTIME_DATASET_H_
 #define DIABLO_RUNTIME_DATASET_H_
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "runtime/value.h"
 
 namespace diablo::runtime {
 
+/// One node of a dataset's lineage graph — the recipe for rebuilding a
+/// lost partition from its ancestors, the way Spark recovers RDD
+/// partitions after an executor death. The engine attaches a node to
+/// every dataset it produces; `recompute` re-derives one partition from
+/// the (materialized) parent datasets captured in its closure and must
+/// reproduce the original computation bit-for-bit, evaluation order
+/// included, so recovered runs equal fault-free runs exactly.
+struct LineageNode {
+  /// Recomputes partition `p`, adding the rows scanned to `*work` (the
+  /// cost model prices recovery from it).
+  using RecomputeFn = std::function<StatusOr<ValueVec>(int p, int64_t* work)>;
+
+  /// Operator kind: "source", "checkpoint", "map", "shuffle", ...
+  std::string kind;
+  /// The stage label of the operator that produced the dataset.
+  std::string label;
+  /// Durable data (job input or checkpoint): partitions can be re-read
+  /// from stable storage, no recomputation needed. Depth is 0.
+  bool durable = false;
+  std::vector<std::shared_ptr<const LineageNode>> parents;
+  /// Null for durable nodes, and for every node when the engine runs
+  /// without fault injection (no recovery can be asked, so no closures
+  /// — and no ancestor datasets — are retained).
+  RecomputeFn recompute;
+  /// Length of the longest chain of non-durable ancestors, this node
+  /// included. Checkpoint() resets it to 0; iterative loops use it to
+  /// decide when lineage has grown long enough to truncate.
+  int depth = 0;
+};
+
 /// An immutable, partitioned collection of Values — the analogue of a
 /// Spark RDD. Datasets are cheap to copy (the partition payload is
 /// shared) and are only created through Engine operations, which record
-/// execution statistics for the cluster cost model.
+/// execution statistics for the cluster cost model and attach the
+/// lineage node used for fault recovery.
 class Dataset {
  public:
   /// An empty dataset with zero partitions.
-  Dataset() : partitions_(std::make_shared<const std::vector<ValueVec>>()) {}
+  Dataset()
+      : partitions_(std::make_shared<const std::vector<ValueVec>>()),
+        lineage_(SourceLineage()) {}
 
+  /// A source dataset (durable lineage), e.g. parallelized job input.
   explicit Dataset(std::vector<ValueVec> partitions)
+      : Dataset(std::move(partitions), SourceLineage()) {}
+
+  /// A derived dataset with an explicit lineage node.
+  Dataset(std::vector<ValueVec> partitions,
+          std::shared_ptr<const LineageNode> lineage)
       : partitions_(std::make_shared<const std::vector<ValueVec>>(
-            std::move(partitions))) {}
+            std::move(partitions))),
+        lineage_(std::move(lineage)) {}
+
+  /// Shares `base`'s partitions under a new lineage node (used by
+  /// Checkpoint() to truncate lineage without copying data).
+  Dataset(const Dataset& base, std::shared_ptr<const LineageNode> lineage)
+      : partitions_(base.partitions_), lineage_(std::move(lineage)) {}
 
   int num_partitions() const {
     return static_cast<int>(partitions_->size());
@@ -27,14 +76,24 @@ class Dataset {
   const ValueVec& partition(int i) const { return (*partitions_)[i]; }
   const std::vector<ValueVec>& partitions() const { return *partitions_; }
 
+  const std::shared_ptr<const LineageNode>& lineage() const {
+    return lineage_;
+  }
+  /// Convenience: lineage depth (0 for sources and checkpoints).
+  int lineage_depth() const { return lineage_ == nullptr ? 0 : lineage_->depth; }
+
   /// Total number of rows across all partitions.
   int64_t TotalRows() const;
 
   /// Approximate serialized size of all rows, for workload reporting.
   int64_t TotalBytes() const;
 
+  /// The shared lineage node of durable source data.
+  static const std::shared_ptr<const LineageNode>& SourceLineage();
+
  private:
   std::shared_ptr<const std::vector<ValueVec>> partitions_;
+  std::shared_ptr<const LineageNode> lineage_;
 };
 
 }  // namespace diablo::runtime

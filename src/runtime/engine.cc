@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
+#include <utility>
 
 #include "common/strings.h"
 #include "runtime/serialize.h"
@@ -29,11 +30,24 @@ std::vector<int64_t> RowCounts(const Dataset& ds) {
   return RowCounts(ds.partitions());
 }
 
+/// Simulated scheduler backoff charged before retrying after `attempt`
+/// failed: base * 2^attempt, with the exponent capped so the charge can
+/// never overflow to infinity on absurd budgets.
+double RetryBackoff(const FaultConfig& fc, int attempt) {
+  return fc.retry_backoff_seconds * std::ldexp(1.0, std::min(attempt, 16));
+}
+
+int ShuffleDestination(const Value& key, int out_parts) {
+  return static_cast<int>(key.Hash() % static_cast<size_t>(out_parts));
+}
+
 }  // namespace
 
-Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), injector_(config_.faults) {
   if (config_.num_partitions < 1) config_.num_partitions = 1;
   if (config_.host_threads < 1) config_.host_threads = 1;
+  if (config_.faults.max_task_attempts < 1) config_.faults.max_task_attempts = 1;
 }
 
 Dataset Engine::Parallelize(ValueVec rows) const {
@@ -93,51 +107,219 @@ Status Engine::RunPerPartition(int n,
   return first_error;
 }
 
+Status Engine::RunTaskWave(const std::string& label, int stage,
+                           const std::vector<int64_t>& task_work,
+                           const std::function<Status(int, int)>& fn,
+                           StageRecovery* rec) {
+  const int n = static_cast<int>(task_work.size());
+  if (n == 0) return Status::OK();
+  if (!config_.faults.enabled()) {
+    // Fault-free fast path: every task succeeds on its first attempt and
+    // no retry bookkeeping is kept.
+    rec->attempts += n;
+    return RunPerPartition(n, [&](int p) { return fn(p, 0); });
+  }
+  const FaultConfig& fc = config_.faults;
+  const int budget = fc.max_task_attempts;
+  // Per-task tallies, merged in index order below so the floating-point
+  // sums are identical for every host_threads setting.
+  std::vector<int64_t> attempts(n, 0);
+  std::vector<double> recovery(n, 0.0);
+  Status st = RunPerPartition(n, [&](int p) -> Status {
+    const double task_seconds = static_cast<double>(task_work[p]) *
+                                config_.cluster.seconds_per_work_unit;
+    for (int attempt = 0; attempt < budget; ++attempt) {
+      ++attempts[p];
+      if (injector_.TaskAttemptFails(stage, p, attempt)) {
+        // The attempt dies partway through: its work is wasted and the
+        // scheduler waits out a backoff before relaunching.
+        recovery[p] += task_seconds + RetryBackoff(fc, attempt);
+        continue;
+      }
+      Status run = fn(p, attempt);
+      if (run.ok()) {
+        const double mult = injector_.StragglerMultiplier(stage, p, attempt);
+        if (mult > 1.0) recovery[p] += (mult - 1.0) * task_seconds;
+        return Status::OK();
+      }
+      // Only simulated faults are retryable; a genuine callback error
+      // aborts the stage unchanged.
+      if (run.code() != StatusCode::kTaskLost) return run;
+      recovery[p] += task_seconds + RetryBackoff(fc, attempt);
+    }
+    return Status::RuntimeError(
+        StrCat("stage #", stage, " '", label, "': partition ", p,
+               " failed after ", budget, " attempts; retry budget (", budget,
+               ") exhausted"));
+  });
+  for (int p = 0; p < n; ++p) {
+    rec->attempts += attempts[p];
+    rec->recovery_seconds += recovery[p];
+  }
+  return st;
+}
+
+StatusOr<Dataset> Engine::RecoverInput(const Dataset& in, int stage,
+                                       int input_index, StageRecovery* rec) {
+  if (!config_.faults.enabled()) return in;
+  std::vector<int> lost =
+      injector_.LostPartitions(stage, input_index, in.num_partitions());
+  if (lost.empty()) return in;
+  const std::shared_ptr<const LineageNode>& lineage = in.lineage();
+  std::vector<ValueVec> parts = in.partitions();
+  for (int p : lost) {
+    rec->recomputed_partitions += 1;
+    if (lineage == nullptr || lineage->durable) {
+      // Durable data (source or checkpoint): re-read from stable
+      // storage. The rows survive; only the re-read scan is charged.
+      rec->recovery_seconds += static_cast<double>(parts[p].size()) *
+                               config_.cluster.seconds_per_work_unit;
+      continue;
+    }
+    if (!lineage->recompute) {
+      return Status::RuntimeError(
+          StrCat("stage #", stage, ": input partition ", p,
+                 " lost and no lineage recompute is available (dataset '",
+                 lineage->label, "')"));
+    }
+    int64_t work = 0;
+    DIABLO_ASSIGN_OR_RETURN(parts[p], lineage->recompute(p, &work));
+    rec->recovery_seconds +=
+        static_cast<double>(work) * config_.cluster.seconds_per_work_unit;
+  }
+  return Dataset(std::move(parts), lineage);
+}
+
+void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
+  stats.attempts = rec.attempts;
+  stats.recomputed_partitions = rec.recomputed_partitions;
+  stats.recovery_seconds = rec.recovery_seconds;
+  metrics_.AddStage(std::move(stats));
+}
+
+std::shared_ptr<const LineageNode> Engine::MakeLineage(
+    std::string kind, std::string label,
+    std::vector<std::shared_ptr<const LineageNode>> parents,
+    LineageNode::RecomputeFn recompute) const {
+  auto node = std::make_shared<LineageNode>();
+  node->kind = std::move(kind);
+  node->label = std::move(label);
+  int depth = 0;
+  for (const auto& parent : parents) {
+    if (parent != nullptr) depth = std::max(depth, parent->depth);
+  }
+  node->depth = depth + 1;
+  node->parents = std::move(parents);
+  // Without fault injection no recovery can ever be requested, so the
+  // closure (and the ancestor datasets it captures) is dropped here —
+  // fault-free runs retain no extra memory.
+  if (config_.faults.enabled()) node->recompute = std::move(recompute);
+  return node;
+}
+
 StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
                               const std::string& label) {
-  std::vector<ValueVec> out(in.num_partitions());
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    const ValueVec& rows = in.partition(p);
-    out[p].reserve(rows.size());
-    for (const Value& row : rows) {
-      DIABLO_ASSIGN_OR_RETURN(Value v, fn(row));
-      out[p].push_back(std::move(v));
-    }
-    return Status::OK();
-  });
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  std::vector<ValueVec> out(src.num_partitions());
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        const ValueVec& rows = src.partition(p);
+        out[p].clear();
+        out[p].reserve(rows.size());
+        for (const Value& row : rows) {
+          DIABLO_ASSIGN_OR_RETURN(Value v, fn(row));
+          out[p].push_back(std::move(v));
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  auto lineage = MakeLineage(
+      "map", label, {src.lineage()},
+      [src, fn](int p, int64_t* work) -> StatusOr<ValueVec> {
+        const ValueVec& rows = src.partition(p);
+        *work += static_cast<int64_t>(rows.size());
+        ValueVec rebuilt;
+        rebuilt.reserve(rows.size());
+        for (const Value& row : rows) {
+          DIABLO_ASSIGN_OR_RETURN(Value v, fn(row));
+          rebuilt.push_back(std::move(v));
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
                                  const std::string& label) {
-  std::vector<ValueVec> out(in.num_partitions());
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    for (const Value& row : in.partition(p)) {
-      DIABLO_ASSIGN_OR_RETURN(bool keep, pred(row));
-      if (keep) out[p].push_back(row);
-    }
-    return Status::OK();
-  });
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  std::vector<ValueVec> out(src.num_partitions());
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        out[p].clear();
+        for (const Value& row : src.partition(p)) {
+          DIABLO_ASSIGN_OR_RETURN(bool keep, pred(row));
+          if (keep) out[p].push_back(row);
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  auto lineage = MakeLineage(
+      "filter", label, {src.lineage()},
+      [src, pred](int p, int64_t* work) -> StatusOr<ValueVec> {
+        const ValueVec& rows = src.partition(p);
+        *work += static_cast<int64_t>(rows.size());
+        ValueVec rebuilt;
+        for (const Value& row : rows) {
+          DIABLO_ASSIGN_OR_RETURN(bool keep, pred(row));
+          if (keep) rebuilt.push_back(row);
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
                                   const std::string& label) {
-  std::vector<ValueVec> out(in.num_partitions());
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    for (const Value& row : in.partition(p)) {
-      DIABLO_ASSIGN_OR_RETURN(ValueVec vs, fn(row));
-      for (Value& v : vs) out[p].push_back(std::move(v));
-    }
-    return Status::OK();
-  });
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  std::vector<ValueVec> out(src.num_partitions());
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        out[p].clear();
+        for (const Value& row : src.partition(p)) {
+          DIABLO_ASSIGN_OR_RETURN(ValueVec vs, fn(row));
+          for (Value& v : vs) out[p].push_back(std::move(v));
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  auto lineage = MakeLineage(
+      "flatMap", label, {src.lineage()},
+      [src, fn](int p, int64_t* work) -> StatusOr<ValueVec> {
+        const ValueVec& rows = src.partition(p);
+        *work += static_cast<int64_t>(rows.size());
+        ValueVec rebuilt;
+        for (const Value& row : rows) {
+          DIABLO_ASSIGN_OR_RETURN(ValueVec vs, fn(row));
+          for (Value& v : vs) rebuilt.push_back(std::move(v));
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<const Value*> Engine::RowKey(const Value& row) {
@@ -148,34 +330,61 @@ StatusOr<const Value*> Engine::RowKey(const Value& row) {
   return &row.tuple()[0];
 }
 
-StatusOr<std::vector<ValueVec>> Engine::Shuffle(const Dataset& in,
-                                                int64_t* shuffle_bytes) const {
+StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
+                                                    int stage,
+                                                    int64_t* shuffle_bytes,
+                                                    StageRecovery* rec) {
   const int out_parts = config_.num_partitions;
+  const int n = in.num_partitions();
   // buckets[src][dst]
-  std::vector<std::vector<ValueVec>> buckets(
-      in.num_partitions(), std::vector<ValueVec>(out_parts));
-  std::vector<int64_t> moved_bytes(in.num_partitions(), 0);
+  std::vector<std::vector<ValueVec>> buckets(n,
+                                             std::vector<ValueVec>(out_parts));
+  std::vector<int64_t> moved_bytes(n, 0);
   const bool serialize = config_.serialize_shuffles;
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    for (const Value& row : in.partition(p)) {
-      DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-      int dst = static_cast<int>(key->Hash() % static_cast<size_t>(out_parts));
-      // Rows that stay on the same simulated node are still accounted:
-      // with many workers almost every row crosses the network, so we
-      // charge all of them (Spark's shuffle write does the same).
-      if (serialize) {
-        // Ship the encoded bytes, exactly as a real shuffle would.
-        std::string wire = Serialize(row);
-        moved_bytes[p] += static_cast<int64_t>(wire.size());
-        DIABLO_ASSIGN_OR_RETURN(Value decoded, Deserialize(wire));
-        buckets[p][dst].push_back(std::move(decoded));
-      } else {
-        moved_bytes[p] += row.SerializedBytes();
-        buckets[p][dst].push_back(row);
-      }
-    }
-    return Status::OK();
-  });
+  const bool inject = config_.faults.enabled();
+  Status st = RunTaskWave(
+      "shuffle", stage, RowCounts(in),
+      [&](int p, int attempt) -> Status {
+        // Restartable: wipe any partial output of a failed attempt.
+        buckets[p].assign(out_parts, ValueVec());
+        moved_bytes[p] = 0;
+        int64_t row_idx = 0;
+        for (const Value& row : in.partition(p)) {
+          DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+          const int dst = ShuffleDestination(*key, out_parts);
+          // Rows that stay on the same simulated node are still
+          // accounted: with many workers almost every row crosses the
+          // network, so we charge all of them (Spark's shuffle write
+          // does the same).
+          if (serialize) {
+            // Ship the encoded bytes, exactly as a real shuffle would.
+            std::string wire = Serialize(row);
+            moved_bytes[p] += static_cast<int64_t>(wire.size());
+            if (inject &&
+                injector_.CorruptShuffleRow(stage, p, attempt, row_idx)) {
+              // Flip one byte in flight. The decoder must survive the
+              // damaged buffer (hardened in runtime/serialize.cc); the
+              // simulated checksum then flags the payload and the task
+              // is relaunched.
+              wire[injector_.CorruptByteIndex(stage, p, row_idx,
+                                              wire.size())] ^= 0x2d;
+              StatusOr<Value> decoded = Deserialize(wire);
+              (void)decoded;
+              return Status::TaskLost(
+                  StrCat("shuffle payload of stage #", stage, " task ", p,
+                         " corrupted in flight (row ", row_idx, ")"));
+            }
+            DIABLO_ASSIGN_OR_RETURN(Value decoded, Deserialize(wire));
+            buckets[p][dst].push_back(std::move(decoded));
+          } else {
+            moved_bytes[p] += row.SerializedBytes();
+            buckets[p][dst].push_back(row);
+          }
+          ++row_idx;
+        }
+        return Status::OK();
+      },
+      rec);
   if (!st.ok()) return st;
   if (shuffle_bytes != nullptr) {
     *shuffle_bytes = 0;
@@ -184,11 +393,9 @@ StatusOr<std::vector<ValueVec>> Engine::Shuffle(const Dataset& in,
   std::vector<ValueVec> out(out_parts);
   for (int dst = 0; dst < out_parts; ++dst) {
     size_t total = 0;
-    for (int src = 0; src < in.num_partitions(); ++src) {
-      total += buckets[src][dst].size();
-    }
+    for (int src = 0; src < n; ++src) total += buckets[src][dst].size();
     out[dst].reserve(total);
-    for (int src = 0; src < in.num_partitions(); ++src) {
+    for (int src = 0; src < n; ++src) {
       for (Value& v : buckets[src][dst]) out[dst].push_back(std::move(v));
     }
   }
@@ -197,13 +404,20 @@ StatusOr<std::vector<ValueVec>> Engine::Shuffle(const Dataset& in,
 
 StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
                                      const std::string& label) {
+  const int shuffle_stage = NextStageId();
+  const int reduce_stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled, Shuffle(in, &bytes));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
+                          ShuffleWave(src, shuffle_stage, &bytes, &rec));
   std::vector<ValueVec> out(shuffled.size());
-  Status st = RunPerPartition(
-      static_cast<int>(shuffled.size()), [&](int p) -> Status {
+  Status st = RunTaskWave(
+      label, reduce_stage, RowCounts(shuffled),
+      [&](int p, int) -> Status {
+        out[p].clear();
         OrderedGroups groups;
-        for (Value& row : shuffled[p]) {
+        for (const Value& row : shuffled[p]) {
           const ValueVec& kv = row.tuple();
           groups[kv[0]].push_back(kv[1]);
         }
@@ -213,64 +427,144 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
               Value::MakePair(key, Value::MakeBag(std::move(vals))));
         }
         return Status::OK();
-      });
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage(
-      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/true, RowCounts(src), RowCounts(shuffled), bytes},
+              rec);
+  const int out_parts = config_.num_partitions;
+  auto lineage = MakeLineage(
+      "groupByKey", label, {src.lineage()},
+      [src, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
+        // Replay the shuffle restricted to destination p: scanning the
+        // source partitions in order reproduces the arrival order of the
+        // lost reduce partition exactly.
+        OrderedGroups groups;
+        for (int s = 0; s < src.num_partitions(); ++s) {
+          for (const Value& row : src.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) != p) continue;
+            groups[*key].push_back(row.tuple()[1]);
+          }
+        }
+        ValueVec rebuilt;
+        rebuilt.reserve(groups.size());
+        for (auto& [key, vals] : groups) {
+          rebuilt.push_back(
+              Value::MakePair(key, Value::MakeBag(std::move(vals))));
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
                                       const std::string& label) {
+  const int combine_stage = NextStageId();
+  const int shuffle_stage = NextStageId();
+  const int reduce_stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, combine_stage, 0, &rec));
   // Map-side combine (like Spark): fold each input partition first so the
   // shuffle only moves one pair per (partition, key).
-  std::vector<ValueVec> combined(in.num_partitions());
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    OrderedGroups acc;
-    for (const Value& row : in.partition(p)) {
-      DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-      auto it = acc.find(*key);
-      if (it == acc.end()) {
-        acc.emplace(*key, ValueVec{row.tuple()[1]});
-      } else {
-        DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                fn(it->second[0], row.tuple()[1]));
-      }
-    }
-    combined[p].reserve(acc.size());
-    for (auto& [key, vals] : acc) {
-      combined[p].push_back(Value::MakePair(key, std::move(vals[0])));
-    }
-    return Status::OK();
-  });
+  std::vector<ValueVec> combined(src.num_partitions());
+  Status st = RunTaskWave(
+      label + ".combine", combine_stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        combined[p].clear();
+        OrderedGroups acc;
+        for (const Value& row : src.partition(p)) {
+          DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+          auto it = acc.find(*key);
+          if (it == acc.end()) {
+            acc.emplace(*key, ValueVec{row.tuple()[1]});
+          } else {
+            DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                    fn(it->second[0], row.tuple()[1]));
+          }
+        }
+        combined[p].reserve(acc.size());
+        for (auto& [key, vals] : acc) {
+          combined[p].push_back(Value::MakePair(key, std::move(vals[0])));
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
 
   Dataset combined_ds(std::move(combined));
   int64_t bytes = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
-                          Shuffle(combined_ds, &bytes));
+                          ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec));
   std::vector<ValueVec> out(shuffled.size());
-  st = RunPerPartition(static_cast<int>(shuffled.size()), [&](int p) -> Status {
-    OrderedGroups acc;
-    for (Value& row : shuffled[p]) {
-      const ValueVec& kv = row.tuple();
-      auto it = acc.find(kv[0]);
-      if (it == acc.end()) {
-        acc.emplace(kv[0], ValueVec{kv[1]});
-      } else {
-        DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
-      }
-    }
-    out[p].reserve(acc.size());
-    for (auto& [key, vals] : acc) {
-      out[p].push_back(Value::MakePair(key, std::move(vals[0])));
-    }
-    return Status::OK();
-  });
+  st = RunTaskWave(
+      label, reduce_stage, RowCounts(shuffled),
+      [&](int p, int) -> Status {
+        out[p].clear();
+        OrderedGroups acc;
+        for (const Value& row : shuffled[p]) {
+          const ValueVec& kv = row.tuple();
+          auto it = acc.find(kv[0]);
+          if (it == acc.end()) {
+            acc.emplace(kv[0], ValueVec{kv[1]});
+          } else {
+            DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
+          }
+        }
+        out[p].reserve(acc.size());
+        for (auto& [key, vals] : acc) {
+          out[p].push_back(Value::MakePair(key, std::move(vals[0])));
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage(
-      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/true, RowCounts(src), RowCounts(shuffled), bytes},
+              rec);
+  const int out_parts = config_.num_partitions;
+  auto lineage = MakeLineage(
+      "reduceByKey", label, {src.lineage()},
+      [src, fn, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
+        // Reproduce combine -> shuffle -> fold for destination p only.
+        // Restricting the map-side combine to keys hashing to p keeps
+        // every per-key fold order identical to the original run, so
+        // floating-point results match bit for bit.
+        OrderedGroups acc;
+        for (int s = 0; s < src.num_partitions(); ++s) {
+          OrderedGroups part;
+          for (const Value& row : src.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) != p) continue;
+            auto it = part.find(*key);
+            if (it == part.end()) {
+              part.emplace(*key, ValueVec{row.tuple()[1]});
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                      fn(it->second[0], row.tuple()[1]));
+            }
+          }
+          // Each source partition's combined pairs arrive in sorted key
+          // order (the combine emits them that way).
+          for (auto& [key, vals] : part) {
+            auto it = acc.find(key);
+            if (it == acc.end()) {
+              acc.emplace(key, ValueVec{std::move(vals[0])});
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                      fn(it->second[0], vals[0]));
+            }
+          }
+        }
+        ValueVec rebuilt;
+        rebuilt.reserve(acc.size());
+        for (auto& [key, vals] : acc) {
+          rebuilt.push_back(Value::MakePair(key, std::move(vals[0])));
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
@@ -283,72 +577,167 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
 
 StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
                                const std::string& label) {
+  const int left_stage = NextStageId();
+  const int right_stage = NextStageId();
+  const int join_stage = NextStageId();
+  StageRecovery rec;
+  // Loss directives address both inputs at the operator's first stage:
+  // input 0 is the left side, input 1 the right.
+  DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
+  DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls, Shuffle(left, &bytes_l));
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs, Shuffle(right, &bytes_r));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
+                          ShuffleWave(l, left_stage, &bytes_l, &rec));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
+                          ShuffleWave(r, right_stage, &bytes_r, &rec));
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
-  Status st = RunPerPartition(static_cast<int>(ls.size()), [&](int p) -> Status {
-    OrderedGroups build;
-    for (Value& row : ls[p]) {
-      const ValueVec& kv = row.tuple();
-      build[kv[0]].push_back(kv[1]);
-    }
-    reduce_work[p] = static_cast<int64_t>(ls[p].size());
-    for (Value& row : rs[p]) {
-      const ValueVec& kv = row.tuple();
-      reduce_work[p] += 1;
-      auto it = build.find(kv[0]);
-      if (it == build.end()) continue;
-      for (const Value& lv : it->second) {
-        out[p].push_back(
-            Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
-        reduce_work[p] += 1;
-      }
-    }
-    return Status::OK();
-  });
+  Status st = RunTaskWave(
+      label, join_stage, RowCounts(ls),
+      [&](int p, int) -> Status {
+        out[p].clear();
+        OrderedGroups build;
+        for (const Value& row : ls[p]) {
+          const ValueVec& kv = row.tuple();
+          build[kv[0]].push_back(kv[1]);
+        }
+        reduce_work[p] = static_cast<int64_t>(ls[p].size());
+        for (const Value& row : rs[p]) {
+          const ValueVec& kv = row.tuple();
+          reduce_work[p] += 1;
+          auto it = build.find(kv[0]);
+          if (it == build.end()) continue;
+          for (const Value& lv : it->second) {
+            out[p].push_back(Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+            reduce_work[p] += 1;
+          }
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  std::vector<int64_t> map_work = RowCounts(left);
-  for (int64_t c : RowCounts(right)) map_work.push_back(c);
-  metrics_.AddStage(
-      {label, /*wide=*/true, map_work, reduce_work, bytes_l + bytes_r});
-  return Dataset(std::move(out));
+  std::vector<int64_t> map_work = RowCounts(l);
+  for (int64_t c : RowCounts(r)) map_work.push_back(c);
+  FinishStage({label, /*wide=*/true, std::move(map_work), std::move(reduce_work),
+               bytes_l + bytes_r},
+              rec);
+  const int out_parts = config_.num_partitions;
+  auto lineage = MakeLineage(
+      "join", label, {l.lineage(), r.lineage()},
+      [l, r, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
+        // Rebuild the two post-shuffle partitions, then replay the hash
+        // join. Scanning sources in order restores the arrival order.
+        ValueVec lrows, rrows;
+        for (int s = 0; s < l.num_partitions(); ++s) {
+          for (const Value& row : l.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) == p) lrows.push_back(row);
+          }
+        }
+        for (int s = 0; s < r.num_partitions(); ++s) {
+          for (const Value& row : r.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) == p) rrows.push_back(row);
+          }
+        }
+        OrderedGroups build;
+        for (const Value& row : lrows) {
+          const ValueVec& kv = row.tuple();
+          build[kv[0]].push_back(kv[1]);
+        }
+        ValueVec rebuilt;
+        for (const Value& row : rrows) {
+          const ValueVec& kv = row.tuple();
+          auto it = build.find(kv[0]);
+          if (it == build.end()) continue;
+          for (const Value& lv : it->second) {
+            rebuilt.push_back(
+                Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+          }
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
                                   const std::string& label) {
+  const int left_stage = NextStageId();
+  const int right_stage = NextStageId();
+  const int cogroup_stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
+  DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls, Shuffle(left, &bytes_l));
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs, Shuffle(right, &bytes_r));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
+                          ShuffleWave(l, left_stage, &bytes_l, &rec));
+  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
+                          ShuffleWave(r, right_stage, &bytes_r, &rec));
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
-  Status st = RunPerPartition(static_cast<int>(ls.size()), [&](int p) -> Status {
-    std::map<Value, std::pair<ValueVec, ValueVec>> groups;
-    for (Value& row : ls[p]) {
-      const ValueVec& kv = row.tuple();
-      groups[kv[0]].first.push_back(kv[1]);
-    }
-    for (Value& row : rs[p]) {
-      const ValueVec& kv = row.tuple();
-      groups[kv[0]].second.push_back(kv[1]);
-    }
-    reduce_work[p] =
-        static_cast<int64_t>(ls[p].size()) + static_cast<int64_t>(rs[p].size());
-    out[p].reserve(groups.size());
-    for (auto& [key, sides] : groups) {
-      out[p].push_back(Value::MakePair(
-          key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
-                               Value::MakeBag(std::move(sides.second)))));
-    }
-    return Status::OK();
-  });
+  Status st = RunTaskWave(
+      label, cogroup_stage, RowCounts(ls),
+      [&](int p, int) -> Status {
+        out[p].clear();
+        std::map<Value, std::pair<ValueVec, ValueVec>> groups;
+        for (const Value& row : ls[p]) {
+          const ValueVec& kv = row.tuple();
+          groups[kv[0]].first.push_back(kv[1]);
+        }
+        for (const Value& row : rs[p]) {
+          const ValueVec& kv = row.tuple();
+          groups[kv[0]].second.push_back(kv[1]);
+        }
+        reduce_work[p] = static_cast<int64_t>(ls[p].size()) +
+                         static_cast<int64_t>(rs[p].size());
+        out[p].reserve(groups.size());
+        for (auto& [key, sides] : groups) {
+          out[p].push_back(Value::MakePair(
+              key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
+                                   Value::MakeBag(std::move(sides.second)))));
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  std::vector<int64_t> map_work = RowCounts(left);
-  for (int64_t c : RowCounts(right)) map_work.push_back(c);
-  metrics_.AddStage(
-      {label, /*wide=*/true, map_work, reduce_work, bytes_l + bytes_r});
-  return Dataset(std::move(out));
+  std::vector<int64_t> map_work = RowCounts(l);
+  for (int64_t c : RowCounts(r)) map_work.push_back(c);
+  FinishStage({label, /*wide=*/true, std::move(map_work), std::move(reduce_work),
+               bytes_l + bytes_r},
+              rec);
+  const int out_parts = config_.num_partitions;
+  auto lineage = MakeLineage(
+      "coGroup", label, {l.lineage(), r.lineage()},
+      [l, r, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
+        std::map<Value, std::pair<ValueVec, ValueVec>> groups;
+        for (int s = 0; s < l.num_partitions(); ++s) {
+          for (const Value& row : l.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) != p) continue;
+            groups[*key].first.push_back(row.tuple()[1]);
+          }
+        }
+        for (int s = 0; s < r.num_partitions(); ++s) {
+          for (const Value& row : r.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) != p) continue;
+            groups[*key].second.push_back(row.tuple()[1]);
+          }
+        }
+        ValueVec rebuilt;
+        rebuilt.reserve(groups.size());
+        for (auto& [key, sides] : groups) {
+          rebuilt.push_back(Value::MakePair(
+              key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
+                                   Value::MakeBag(std::move(sides.second)))));
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 Dataset Engine::Union(const Dataset& a, const Dataset& b) {
@@ -360,8 +749,22 @@ Dataset Engine::Union(const Dataset& a, const Dataset& b) {
   for (int p = 0; p < b.num_partitions(); ++p) {
     for (const Value& v : b.partition(p)) out[p].push_back(v);
   }
-  metrics_.AddStage({"union", /*wide=*/false, RowCounts(out), {}, 0});
-  return Dataset(std::move(out));
+  FinishStage({"union", /*wide=*/false, RowCounts(out), {}, 0}, StageRecovery());
+  auto lineage = MakeLineage(
+      "union", "union", {a.lineage(), b.lineage()},
+      [a, b](int p, int64_t* work) -> StatusOr<ValueVec> {
+        ValueVec rebuilt;
+        if (p < a.num_partitions()) {
+          *work += static_cast<int64_t>(a.partition(p).size());
+          for (const Value& v : a.partition(p)) rebuilt.push_back(v);
+        }
+        if (p < b.num_partitions()) {
+          *work += static_cast<int64_t>(b.partition(p).size());
+          for (const Value& v : b.partition(p)) rebuilt.push_back(v);
+        }
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
 }
 
 StatusOr<Dataset> Engine::Distinct(const Dataset& in,
@@ -372,41 +775,105 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
       Map(in, [](const Value& v) -> StatusOr<Value> {
         return Value::MakePair(v, Value::MakeUnit());
       }, label + ".key"));
+  const int shuffle_stage = NextStageId();
+  const int dedup_stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src,
+                          RecoverInput(keyed, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
-                          Shuffle(keyed, &bytes));
+                          ShuffleWave(src, shuffle_stage, &bytes, &rec));
   std::vector<ValueVec> out(shuffled.size());
-  Status st = RunPerPartition(
-      static_cast<int>(shuffled.size()), [&](int p) -> Status {
+  Status st = RunTaskWave(
+      label, dedup_stage, RowCounts(shuffled),
+      [&](int p, int) -> Status {
+        out[p].clear();
         std::map<Value, bool> seen;
-        for (Value& row : shuffled[p]) seen.emplace(row.tuple()[0], true);
+        for (const Value& row : shuffled[p]) seen.emplace(row.tuple()[0], true);
         out[p].reserve(seen.size());
         for (auto& [v, unused] : seen) out[p].push_back(v);
         return Status::OK();
-      });
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage(
-      {label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes});
-  return Dataset(std::move(out));
+  FinishStage({label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes},
+              rec);
+  const int out_parts = config_.num_partitions;
+  auto lineage = MakeLineage(
+      "distinct", label, {src.lineage()},
+      [src, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
+        std::map<Value, bool> seen;
+        for (int s = 0; s < src.num_partitions(); ++s) {
+          for (const Value& row : src.partition(s)) {
+            *work += 1;
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            if (ShuffleDestination(*key, out_parts) != p) continue;
+            seen.emplace(*key, true);
+          }
+        }
+        ValueVec rebuilt;
+        rebuilt.reserve(seen.size());
+        for (auto& [v, unused] : seen) rebuilt.push_back(v);
+        return rebuilt;
+      });
+  return Dataset(std::move(out), std::move(lineage));
+}
+
+StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
+                                     const std::string& label) {
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  // The "write": each task serializes its partition to (simulated)
+  // stable storage. Charged as a narrow stage whose shuffle_bytes are
+  // the bytes written.
+  std::vector<int64_t> written(src.num_partitions(), 0);
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        int64_t bytes = 0;
+        for (const Value& row : src.partition(p)) bytes += row.SerializedBytes();
+        written[p] = bytes;
+        return Status::OK();
+      },
+      &rec);
+  if (!st.ok()) return st;
+  int64_t total_bytes = 0;
+  for (int64_t b : written) total_bytes += b;
+  FinishStage({label, /*wide=*/false, RowCounts(src), {}, total_bytes}, rec);
+  // Durable node: recoveries stop here, and lineage depth resets to 0.
+  auto node = std::make_shared<LineageNode>();
+  node->kind = "checkpoint";
+  node->label = label;
+  node->durable = true;
+  node->parents = {src.lineage()};
+  return Dataset(src, std::move(node));
 }
 
 StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
                                               const ReduceFn& fn,
                                               const std::string& label) {
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   // Per-partition partial reduce, then combine partials on the driver.
-  std::vector<std::optional<Value>> partials(in.num_partitions());
-  Status st = RunPerPartition(in.num_partitions(), [&](int p) -> Status {
-    for (const Value& row : in.partition(p)) {
-      if (!partials[p].has_value()) {
-        partials[p] = row;
-      } else {
-        DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], row));
-      }
-    }
-    return Status::OK();
-  });
+  std::vector<std::optional<Value>> partials(src.num_partitions());
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        partials[p].reset();
+        for (const Value& row : src.partition(p)) {
+          if (!partials[p].has_value()) {
+            partials[p] = row;
+          } else {
+            DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], row));
+          }
+        }
+        return Status::OK();
+      },
+      &rec);
   if (!st.ok()) return st;
-  metrics_.AddStage({label, /*wide=*/false, RowCounts(in), {}, 0});
+  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
   std::optional<Value> acc;
   for (auto& part : partials) {
     if (!part.has_value()) continue;
@@ -436,7 +903,7 @@ StatusOr<Value> Engine::First(const Dataset& in) const {
 }
 
 int64_t Engine::Count(const Dataset& in) {
-  metrics_.AddStage({"count", /*wide=*/false, RowCounts(in), {}, 0});
+  FinishStage({"count", /*wide=*/false, RowCounts(in), {}, 0}, StageRecovery());
   return in.TotalRows();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "runtime/dataset.h"
+#include "runtime/fault.h"
 #include "runtime/metrics.h"
 #include "runtime/operators.h"
 #include "runtime/value.h"
@@ -36,6 +37,17 @@ struct EngineConfig {
   /// shuffle bytes the exact encoded size. Off by default (the
   /// SerializedBytes() estimate is used instead).
   bool serialize_shuffles = false;
+  /// Deterministic fault injection and recovery policy (runtime/fault.h).
+  /// Off by default: with no fault class enabled the engine skips all
+  /// fault bookkeeping and retains no lineage closures.
+  FaultConfig faults;
+};
+
+/// Per-stage fault-handling tallies, merged into the recorded StageStats.
+struct StageRecovery {
+  int64_t attempts = 0;
+  int64_t recomputed_partitions = 0;
+  double recovery_seconds = 0;
 };
 
 /// The DIABLO execution substrate: a from-scratch, in-process
@@ -51,8 +63,20 @@ struct EngineConfig {
 /// Rows of keyed datasets are pair tuples (key, value); the key may be any
 /// Value (ints, tuples of ints, strings, ...).
 ///
-/// All operator callbacks may fail; the first error aborts the stage and is
-/// returned. Callbacks must be thread-safe when host_threads > 1.
+/// Fault tolerance (DESIGN.md §"Fault model"): when EngineConfig::faults
+/// enables injection, every partition task runs under a bounded retry
+/// budget; injected failures (killed attempts, corrupted shuffle
+/// payloads) are retried with deterministic simulated backoff, and lost
+/// input partitions are recomputed from dataset lineage — Checkpoint()
+/// truncates lineage inside iterative loops. All recovery work is
+/// charged to StageStats::recovery_seconds. The invariant: a run that
+/// completes under injection produces bit-identical results to the
+/// fault-free run.
+///
+/// All operator callbacks may fail; a genuine callback error is never
+/// retried — the first one aborts the stage and is returned. Callbacks
+/// must be thread-safe when host_threads > 1 and must be restartable
+/// (they may run more than once for the same partition under retries).
 class Engine {
  public:
   using MapFn = std::function<StatusOr<Value>(const Value&)>;
@@ -65,6 +89,14 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+
+  /// Clears recorded metrics and restarts stage numbering, so a fresh
+  /// run on this engine sees the same fault schedule as the previous one
+  /// (stage ids are the injector's coordinates).
+  void ResetRunState() {
+    metrics_.Clear();
+    next_stage_id_ = 0;
+  }
 
   /// Splits `rows` into num_partitions contiguous chunks. No stage is
   /// recorded: loading input data is not charged to any plan.
@@ -109,12 +141,22 @@ class Engine {
   StatusOr<Dataset> CoGroup(const Dataset& left, const Dataset& right,
                             const std::string& label = "coGroup");
 
-  /// Narrow: bag union (concatenation) of the two datasets.
+  /// Narrow: bag union (concatenation) of the two datasets. Metadata
+  /// only (like Spark's union): no tasks run, so no faults can hit it.
   Dataset Union(const Dataset& a, const Dataset& b);
 
   /// Wide: removes duplicate rows.
   StatusOr<Dataset> Distinct(const Dataset& in,
                              const std::string& label = "distinct");
+
+  /// Writes the dataset to (simulated) stable storage and truncates its
+  /// lineage: the result is durable, so recoveries stop here instead of
+  /// walking further back. Use inside iterative loops (PageRank,
+  /// K-means) to bound both recovery cost and lineage depth. The write
+  /// is charged as a narrow stage whose shuffle_bytes are the
+  /// serialized dataset size.
+  StatusOr<Dataset> Checkpoint(const Dataset& in,
+                               const std::string& label = "checkpoint");
 
   /// Action: combines all rows with `fn`; nullopt for an empty dataset.
   StatusOr<std::optional<Value>> Reduce(const Dataset& in, const ReduceFn& fn,
@@ -134,15 +176,49 @@ class Engine {
   /// the first error encountered.
   Status RunPerPartition(int n, const std::function<Status(int)>& fn) const;
 
-  /// Hash-partitions keyed rows of `in` into num_partitions buckets,
-  /// returning them and the number of bytes that crossed partitions.
-  StatusOr<std::vector<ValueVec>> Shuffle(const Dataset& in,
-                                          int64_t* shuffle_bytes) const;
+  /// Allocates the next task-wave id (the injector's stage coordinate).
+  int NextStageId() { return next_stage_id_++; }
+
+  /// Runs one wave of tasks (one per entry of `task_work`) under the
+  /// fault model: injected kills and TaskLost results are retried up to
+  /// the budget with simulated backoff charged to `rec`; genuine errors
+  /// abort immediately. `fn(partition, attempt)` must be restartable.
+  Status RunTaskWave(const std::string& label, int stage,
+                     const std::vector<int64_t>& task_work,
+                     const std::function<Status(int, int)>& fn,
+                     StageRecovery* rec);
+
+  /// Applies any one-shot lost-partition directives targeting
+  /// (stage, input_index): rebuilds the lost partitions from `in`'s
+  /// lineage, charging the recomputation to `rec`. Returns `in`
+  /// unchanged when nothing was lost.
+  StatusOr<Dataset> RecoverInput(const Dataset& in, int stage,
+                                 int input_index, StageRecovery* rec);
+
+  /// Hash-partitions keyed rows of `in` into num_partitions buckets as
+  /// one task wave (with optional wire-format round-trip and payload
+  /// corruption injection), returning them and the number of bytes that
+  /// crossed partitions.
+  StatusOr<std::vector<ValueVec>> ShuffleWave(const Dataset& in, int stage,
+                                              int64_t* shuffle_bytes,
+                                              StageRecovery* rec);
+
+  /// Merges `rec` into `stats` and records the stage.
+  void FinishStage(StageStats stats, const StageRecovery& rec);
+
+  /// Builds a lineage node for a dataset produced by this engine. The
+  /// recompute closure is only retained when fault injection is on.
+  std::shared_ptr<const LineageNode> MakeLineage(
+      std::string kind, std::string label,
+      std::vector<std::shared_ptr<const LineageNode>> parents,
+      LineageNode::RecomputeFn recompute) const;
 
   static StatusOr<const Value*> RowKey(const Value& row);
 
   EngineConfig config_;
   Metrics metrics_;
+  FaultInjector injector_;
+  int next_stage_id_ = 0;
 };
 
 }  // namespace diablo::runtime

@@ -47,7 +47,25 @@ int64_t Metrics::total_shuffle_bytes() const {
   return n;
 }
 
-double Metrics::SimulatedSeconds(const ClusterModel& model) const {
+int64_t Metrics::total_attempts() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.attempts;
+  return n;
+}
+
+int64_t Metrics::total_recomputed_partitions() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.recomputed_partitions;
+  return n;
+}
+
+double Metrics::total_recovery_seconds() const {
+  double n = 0;
+  for (const auto& s : stages_) n += s.recovery_seconds;
+  return n;
+}
+
+double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {
     total += static_cast<double>(LptMakespan(s.map_work, model.num_workers)) *
@@ -65,6 +83,10 @@ double Metrics::SimulatedSeconds(const ClusterModel& model) const {
   return total;
 }
 
+double Metrics::SimulatedSeconds(const ClusterModel& model) const {
+  return SimulatedFaultFreeSeconds(model) + total_recovery_seconds();
+}
+
 std::string Metrics::Report() const {
   std::ostringstream os;
   for (const auto& s : stages_) {
@@ -73,7 +95,12 @@ std::string Metrics::Report() const {
     for (int64_t w : s.reduce_work) reduce_total += w;
     os << (s.wide ? "[wide]   " : "[narrow] ") << s.label << ": map_work="
        << map_total << " reduce_work=" << reduce_total
-       << " shuffle_bytes=" << s.shuffle_bytes << "\n";
+       << " shuffle_bytes=" << s.shuffle_bytes << " attempts=" << s.attempts;
+    if (s.recomputed_partitions > 0 || s.recovery_seconds > 0) {
+      os << " recomputed=" << s.recomputed_partitions
+         << " recovery_s=" << s.recovery_seconds;
+    }
+    os << "\n";
   }
   return os.str();
 }

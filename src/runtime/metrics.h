@@ -22,6 +22,18 @@ struct StageStats {
   std::vector<int64_t> reduce_work;
   /// Approximate bytes exchanged between workers during the shuffle.
   int64_t shuffle_bytes = 0;
+  /// Fault-tolerance accounting (runtime/fault.h). `attempts` counts
+  /// every task attempt across the stage's internal waves (== the task
+  /// count on a fault-free run; 0 for driver-side metadata stages).
+  int64_t attempts = 0;
+  /// Input partitions rebuilt from lineage before the stage could run.
+  int64_t recomputed_partitions = 0;
+  /// Simulated seconds spent on recovery: wasted work of failed
+  /// attempts, retry backoff, straggler delay, and lineage
+  /// recomputation — priced by the engine's own ClusterModel at
+  /// execution time. SimulatedSeconds() includes it; the fault-free
+  /// figure is SimulatedFaultFreeSeconds().
+  double recovery_seconds = 0;
 };
 
 /// Parameters of the deterministic cluster cost model.
@@ -60,9 +72,21 @@ class Metrics {
   int64_t num_wide_stages() const;
   int64_t total_work() const;
   int64_t total_shuffle_bytes() const;
+  /// Task attempts across all stages (fault tolerance; see StageStats).
+  int64_t total_attempts() const;
+  /// Partitions recomputed from lineage across all stages.
+  int64_t total_recomputed_partitions() const;
+  /// Simulated seconds of recovery work across all stages.
+  double total_recovery_seconds() const;
 
-  /// Simulated wall-clock seconds on a cluster described by `model`.
+  /// Simulated wall-clock seconds on a cluster described by `model`,
+  /// recovery overhead included.
   double SimulatedSeconds(const ClusterModel& model) const;
+
+  /// The same run priced as if no fault had fired (recovery excluded);
+  /// SimulatedSeconds() - SimulatedFaultFreeSeconds() is the recovery
+  /// overhead the fault model charges.
+  double SimulatedFaultFreeSeconds(const ClusterModel& model) const;
 
   /// One line per stage: label, tasks, work, shuffled bytes.
   std::string Report() const;

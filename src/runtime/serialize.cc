@@ -37,6 +37,12 @@ Status Truncated() {
   return Status::RuntimeError("truncated serialized value");
 }
 
+/// Nesting bound for the decoder. Honest encodings never come close
+/// (engine rows are pairs of scalars/bags, depth < 10); a corrupted or
+/// adversarial buffer full of nested tuple headers must fail with a
+/// Status instead of overflowing the stack.
+constexpr int kMaxDeserializeDepth = 64;
+
 StatusOr<uint32_t> GetU32(const std::string& data, size_t* offset) {
   if (*offset + 4 > data.size()) return Truncated();
   uint32_t v = 0;
@@ -109,7 +115,13 @@ std::string Serialize(const Value& v) {
   return out;
 }
 
-StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
+namespace {
+
+StatusOr<Value> DeserializeValueAtDepth(const std::string& data, size_t* offset,
+                                        int depth) {
+  if (depth > kMaxDeserializeDepth) {
+    return Status::RuntimeError("serialized value nested too deeply");
+  }
   if (*offset >= data.size()) return Truncated();
   char tag = data[(*offset)++];
   switch (tag) {
@@ -149,7 +161,8 @@ StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
       ValueVec elems;
       elems.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
-        DIABLO_ASSIGN_OR_RETURN(Value v, DeserializeValue(data, offset));
+        DIABLO_ASSIGN_OR_RETURN(
+            Value v, DeserializeValueAtDepth(data, offset, depth + 1));
         elems.push_back(std::move(v));
       }
       return tag == kTagTuple ? Value::MakeTuple(std::move(elems))
@@ -165,7 +178,8 @@ StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
         if (*offset + len > data.size()) return Truncated();
         std::string name = data.substr(*offset, len);
         *offset += len;
-        DIABLO_ASSIGN_OR_RETURN(Value v, DeserializeValue(data, offset));
+        DIABLO_ASSIGN_OR_RETURN(
+            Value v, DeserializeValueAtDepth(data, offset, depth + 1));
         fields.emplace_back(std::move(name), std::move(v));
       }
       return Value::MakeRecord(std::move(fields));
@@ -175,6 +189,12 @@ StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
           StrCat("unknown tag '", std::string(1, tag),
                  "' in serialized value"));
   }
+}
+
+}  // namespace
+
+StatusOr<Value> DeserializeValue(const std::string& data, size_t* offset) {
+  return DeserializeValueAtDepth(data, offset, 0);
 }
 
 StatusOr<Value> Deserialize(const std::string& data) {

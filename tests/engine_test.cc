@@ -238,6 +238,48 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.threads);
     });
 
+// Stress: a pipeline mixing wide and narrow operators under real host
+// parallelism must produce exactly the single-threaded result, collected
+// order included — threading is a host execution detail, never a
+// semantic one.
+TEST(Engine, StressThreadedPipelineMatchesSingleThreaded) {
+  ValueVec rows = KeyedRows(5000, 37);
+  auto run = [&](int threads) -> ValueVec {
+    EngineConfig config;
+    config.num_partitions = 16;
+    config.host_threads = threads;
+    Engine engine(config);
+    Dataset ds = engine.Parallelize(rows);
+    auto scaled = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+      return Value::MakePair(v.tuple()[0], I(v.tuple()[1].AsInt() * 3 + 1));
+    });
+    EXPECT_TRUE(scaled.ok());
+    auto odd = engine.Filter(*scaled, [](const Value& v) -> StatusOr<bool> {
+      return v.tuple()[1].AsInt() % 2 == 1;
+    });
+    EXPECT_TRUE(odd.ok());
+    auto sums = engine.ReduceByKey(*odd, BinOp::kAdd);
+    EXPECT_TRUE(sums.ok());
+    auto grouped = engine.GroupByKey(*odd);
+    EXPECT_TRUE(grouped.ok());
+    auto sizes =
+        engine.FlatMap(*grouped, [](const Value& row) -> StatusOr<ValueVec> {
+          return ValueVec{Value::MakePair(
+              row.tuple()[0],
+              I(static_cast<int64_t>(row.tuple()[1].bag().size())))};
+        });
+    EXPECT_TRUE(sizes.ok());
+    auto joined = engine.Join(*sums, *sizes);
+    EXPECT_TRUE(joined.ok());
+    auto deduped = engine.Distinct(*joined);
+    EXPECT_TRUE(deduped.ok());
+    return engine.Collect(*deduped);
+  };
+  ValueVec single = run(1);
+  ValueVec threaded = run(8);
+  EXPECT_EQ(threaded, single);
+}
+
 // Results must be identical across partitionings (the fundamental
 // distribution-invariance property).
 TEST(Engine, ResultsInvariantAcrossPartitioning) {

@@ -1,0 +1,349 @@
+// Fault-tolerance tests: deterministic injection, retry budgets,
+// lineage-based recomputation, checkpoint truncation, and the central
+// invariant — any run that completes under fault injection produces
+// results identical (bit for bit, floating point included) to the
+// fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/fault.h"
+#include "workloads/harness.h"
+#include "workloads/programs.h"
+
+namespace diablo::runtime {
+namespace {
+
+Value I(int64_t v) { return Value::MakeInt(v); }
+
+ValueVec KeyedRows(int n, int keys) {
+  ValueVec rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(I(i % keys), Value::MakeDouble(0.1 * i)));
+  }
+  return rows;
+}
+
+/// A pipeline mixing narrow and wide operators, returning the collected
+/// (deterministically ordered) result.
+StatusOr<ValueVec> RunPipeline(Engine& engine, const ValueVec& rows) {
+  Dataset ds = engine.Parallelize(rows);
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset scaled, engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+        return Value::MakePair(
+            v.tuple()[0],
+            Value::MakeDouble(v.tuple()[1].AsDouble() * 1.5 + 1.0));
+      }, "pl.scale"));
+  DIABLO_ASSIGN_OR_RETURN(Dataset sums,
+                          engine.ReduceByKey(scaled, BinOp::kAdd, "pl.sum"));
+  DIABLO_ASSIGN_OR_RETURN(Dataset grouped, engine.GroupByKey(scaled, "pl.grp"));
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset sizes,
+      engine.Map(grouped, [](const Value& row) -> StatusOr<Value> {
+        return Value::MakePair(
+            row.tuple()[0],
+            I(static_cast<int64_t>(row.tuple()[1].bag().size())));
+      }, "pl.size"));
+  DIABLO_ASSIGN_OR_RETURN(Dataset joined,
+                          engine.Join(sums, sizes, "pl.join"));
+  return engine.Collect(joined);
+}
+
+FaultConfig MixedFaults(uint64_t seed) {
+  FaultConfig faults;
+  faults.seed = seed;
+  faults.task_failure_rate = 0.08;
+  faults.straggler_rate = 0.05;
+  faults.max_task_attempts = 8;
+  return faults;
+}
+
+TEST(FaultTolerance, FaultyRunMatchesFaultFreeRun) {
+  ValueVec rows = KeyedRows(300, 11);
+  Engine clean{EngineConfig{}};
+  auto expected = RunPipeline(clean, rows);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  EngineConfig config;
+  config.faults = MixedFaults(7);
+  Engine faulty(config);
+  auto got = RunPipeline(faulty, rows);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // Bit-identical, not approximately equal.
+  EXPECT_EQ(*got, *expected);
+  // Faults actually fired: more attempts than tasks.
+  EXPECT_GT(faulty.metrics().total_attempts(), clean.metrics().total_attempts());
+  EXPECT_GT(faulty.metrics().total_recovery_seconds(), 0.0);
+  // Recovery is charged on top of the fault-free figure.
+  EXPECT_DOUBLE_EQ(faulty.metrics().SimulatedSeconds(config.cluster),
+                   faulty.metrics().SimulatedFaultFreeSeconds(config.cluster) +
+                       faulty.metrics().total_recovery_seconds());
+}
+
+TEST(FaultTolerance, FixedSeedIsFullyDeterministic) {
+  ValueVec rows = KeyedRows(200, 13);
+  auto run = [&](int threads) {
+    EngineConfig config;
+    config.host_threads = threads;
+    config.faults = MixedFaults(42);
+    Engine engine(config);
+    auto out = RunPipeline(engine, rows);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::make_tuple(out.ok() ? *out : ValueVec{},
+                           engine.metrics().total_attempts(),
+                           engine.metrics().total_recomputed_partitions(),
+                           engine.metrics().total_recovery_seconds(),
+                           engine.metrics().SimulatedSeconds(config.cluster));
+  };
+  auto first = run(1);
+  auto second = run(1);
+  // Two runs, same seed: identical results, attempts, recomputations,
+  // and simulated cost.
+  EXPECT_EQ(first, second);
+  // Thread interleaving must not leak into anything observable either:
+  // injector draws are keyed by coordinates, not by execution order.
+  auto threaded = run(8);
+  EXPECT_EQ(first, threaded);
+}
+
+TEST(FaultTolerance, DifferentSeedsGiveSameResultsDifferentSchedules) {
+  ValueVec rows = KeyedRows(200, 13);
+  EngineConfig a_config;
+  a_config.faults = MixedFaults(1);
+  EngineConfig b_config;
+  b_config.faults = MixedFaults(2);
+  Engine a(a_config), b(b_config);
+  auto a_out = RunPipeline(a, rows);
+  auto b_out = RunPipeline(b, rows);
+  ASSERT_TRUE(a_out.ok() && b_out.ok());
+  EXPECT_EQ(*a_out, *b_out);  // results never depend on the seed
+}
+
+TEST(FaultTolerance, KillDirectiveRetriesAndRecovers) {
+  ValueVec rows = KeyedRows(50, 5);
+  Engine clean{EngineConfig{}};
+  auto expected = RunPipeline(clean, rows);
+  ASSERT_TRUE(expected.ok());
+
+  EngineConfig config;
+  config.faults.kill_tasks.push_back({/*stage=*/0, /*partition=*/3});
+  Engine engine(config);
+  auto got = RunPipeline(engine, rows);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+  // Exactly one extra attempt across the whole run.
+  EXPECT_EQ(engine.metrics().total_attempts(),
+            clean.metrics().total_attempts() + 1);
+  EXPECT_GT(engine.metrics().total_recovery_seconds(), 0.0);
+}
+
+TEST(FaultTolerance, LostPartitionIsRecomputedFromLineage) {
+  ValueVec rows = KeyedRows(100, 7);
+  Engine clean{EngineConfig{}};
+  auto expected = RunPipeline(clean, rows);
+  ASSERT_TRUE(expected.ok());
+
+  // Stage ids in RunPipeline: 0 = pl.scale, 1 = pl.sum combine wave.
+  // Losing an input partition of stage 1 forces the engine to rebuild it
+  // from pl.scale's lineage (a recompute, not a durable re-read).
+  EngineConfig config;
+  config.faults.lose_partitions.push_back(
+      {/*stage=*/1, /*partition=*/2, /*input_index=*/0});
+  Engine engine(config);
+  auto got = RunPipeline(engine, rows);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+  EXPECT_EQ(engine.metrics().total_recomputed_partitions(), 1);
+  EXPECT_GT(engine.metrics().total_recovery_seconds(), 0.0);
+}
+
+TEST(FaultTolerance, LostSourcePartitionIsRereadDurably) {
+  ValueVec rows = KeyedRows(60, 6);
+  Engine clean{EngineConfig{}};
+  auto expected = RunPipeline(clean, rows);
+  ASSERT_TRUE(expected.ok());
+
+  // Stage 0 reads the parallelized source directly: durable lineage.
+  EngineConfig config;
+  config.faults.lose_partitions.push_back({0, 1, 0});
+  Engine engine(config);
+  auto got = RunPipeline(engine, rows);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+  EXPECT_EQ(engine.metrics().total_recomputed_partitions(), 1);
+}
+
+TEST(FaultTolerance, ExhaustedRetryBudgetNamesStagePartitionAndAttempts) {
+  EngineConfig config;
+  config.faults.task_failure_rate = 1.0;  // every attempt dies
+  config.faults.max_task_attempts = 3;
+  Engine engine(config);
+  Dataset ds = engine.Parallelize(KeyedRows(40, 4));
+  auto result = engine.Map(
+      ds, [](const Value& v) -> StatusOr<Value> { return v; }, "doomed.map");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("doomed.map"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("partition"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3 attempts"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("retry budget"), std::string::npos) << msg;
+}
+
+TEST(FaultTolerance, GenuineErrorsAreNotRetried) {
+  EngineConfig config;
+  config.faults = MixedFaults(3);
+  config.faults.task_failure_rate = 0.0;  // keep the schedule quiet
+  Engine engine(config);
+  Dataset ds = engine.Range(0, 9);
+  auto result = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+    if (v.AsInt() == 7) return Status::RuntimeError("boom");
+    return v;
+  });
+  ASSERT_FALSE(result.ok());
+  // Propagated verbatim — no retry wrapper, no budget message.
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+TEST(FaultTolerance, CorruptedShufflePayloadsAreDetectedAndRetried) {
+  ValueVec rows = KeyedRows(2000, 9);
+  EngineConfig clean_config;
+  clean_config.serialize_shuffles = true;
+  Engine clean(clean_config);
+  auto expected = RunPipeline(clean, rows);
+  ASSERT_TRUE(expected.ok());
+
+  EngineConfig config;
+  config.serialize_shuffles = true;
+  config.faults.seed = 11;
+  config.faults.corrupt_shuffle_rate = 0.002;
+  config.faults.max_task_attempts = 10;
+  Engine engine(config);
+  auto got = RunPipeline(engine, rows);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+  EXPECT_GT(engine.metrics().total_attempts(),
+            clean.metrics().total_attempts());
+}
+
+TEST(FaultTolerance, CheckpointTruncatesLineageDepth) {
+  EngineConfig config;
+  config.faults = MixedFaults(5);
+  config.faults.task_failure_rate = 0.0;
+  Engine engine(config);
+  Dataset ds = engine.Parallelize(KeyedRows(40, 4));
+  EXPECT_EQ(ds.lineage_depth(), 0);  // sources are durable
+  for (int i = 0; i < 3; ++i) {
+    auto next = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+      return v;
+    });
+    ASSERT_TRUE(next.ok());
+    ds = *next;
+  }
+  EXPECT_EQ(ds.lineage_depth(), 3);
+  auto ckpt = engine.Checkpoint(ds);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_EQ(ckpt->lineage_depth(), 0);
+  EXPECT_TRUE(ckpt->lineage()->durable);
+  EXPECT_EQ(ckpt->TotalRows(), ds.TotalRows());
+  // The write is charged: one narrow stage with the serialized bytes.
+  const StageStats& stage = engine.metrics().stages().back();
+  EXPECT_EQ(stage.label, "checkpoint");
+  EXPECT_GT(stage.shuffle_bytes, 0);
+}
+
+TEST(FaultTolerance, RecoveryAfterCheckpointReadsTheCheckpoint) {
+  ValueVec rows = KeyedRows(80, 8);
+  // Clean reference of map -> checkpoint -> map.
+  auto run = [&](EngineConfig config) -> StatusOr<ValueVec> {
+    Engine engine(config);
+    Dataset ds = engine.Parallelize(rows);
+    DIABLO_ASSIGN_OR_RETURN(
+        Dataset a, engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+          return Value::MakePair(v.tuple()[0],
+                                 Value::MakeDouble(v.tuple()[1].AsDouble() * 2));
+        }));                                              // stage 0
+    DIABLO_ASSIGN_OR_RETURN(Dataset c, engine.Checkpoint(a));  // stage 1
+    DIABLO_ASSIGN_OR_RETURN(
+        Dataset b, engine.Map(c, [](const Value& v) -> StatusOr<Value> {
+          return Value::MakePair(v.tuple()[0],
+                                 Value::MakeDouble(v.tuple()[1].AsDouble() + 1));
+        }));                                              // stage 2
+    return engine.Collect(b);
+  };
+  auto expected = run(EngineConfig{});
+  ASSERT_TRUE(expected.ok());
+  EngineConfig config;
+  // The checkpointed input of stage 2 is lost: recovery is a durable
+  // re-read, never a recomputation of stage 0.
+  config.faults.lose_partitions.push_back({2, 4, 0});
+  auto got = run(config);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+}
+
+// ---------------------------------------------------------------------------
+// Workload-level invariants: hand-written Figure-3 programs and the
+// compiled (DIABLO-translated) path, including the iterative PageRank
+// which checkpoints its loop-carried ranks under injection.
+
+class FaultWorkloadTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultWorkloadTest, HandwrittenFaultyMatchesFaultFree) {
+  const auto& spec = diablo::bench::GetProgram(GetParam());
+  std::mt19937_64 rng(17);
+  diablo::Bindings inputs = spec.make_inputs(
+      std::string(GetParam()) == "pagerank" ? 8 : 2000, rng);
+
+  EngineConfig clean;
+  auto expected = diablo::bench::MeasureHandwritten(spec, inputs, clean);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  EngineConfig config;
+  config.faults.seed = 29;
+  config.faults.task_failure_rate = 0.05;
+  config.faults.straggler_rate = 0.05;
+  config.faults.max_task_attempts = 8;
+  auto faulty = diablo::bench::MeasureHandwritten(spec, inputs, config);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(faulty->output, expected->output) << GetParam();
+  EXPECT_GT(faulty->attempts, expected->attempts);
+  EXPECT_GT(faulty->recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(faulty->simulated_seconds,
+                   faulty->fault_free_seconds + faulty->recovery_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FaultWorkloadTest,
+                         ::testing::Values("word_count", "group_by", "kmeans",
+                                           "pagerank"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FaultTolerance, CompiledProgramSurvivesInjection) {
+  const auto& spec = diablo::bench::GetProgram("pagerank");
+  std::mt19937_64 rng(17);
+  diablo::Bindings inputs = spec.make_inputs(8, rng);
+
+  EngineConfig clean;
+  auto expected = diablo::bench::RunDiablo(spec, inputs, clean);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  EngineConfig config;
+  config.faults.seed = 31;
+  config.faults.task_failure_rate = 0.03;
+  config.faults.max_task_attempts = 8;
+  // Force the executor's automatic loop checkpointing to kick in early.
+  config.faults.lineage_checkpoint_depth = 4;
+  auto faulty = diablo::bench::RunDiablo(spec, inputs, config);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(faulty->output, expected->output);
+  EXPECT_GT(faulty->attempts, expected->attempts);
+}
+
+}  // namespace
+}  // namespace diablo::runtime

@@ -50,6 +50,45 @@ TEST(Metrics, Accumulation) {
   EXPECT_EQ(metrics.num_stages(), 0);
 }
 
+TEST(Metrics, RecoveryCountersAggregateAndClear) {
+  Metrics metrics;
+  metrics.AddStage({"map", false, {10}, {}, 0, /*attempts=*/3,
+                    /*recomputed_partitions=*/1, /*recovery_seconds=*/0.25});
+  metrics.AddStage({"reduce", true, {30}, {15}, 1000, 5, 2, 0.5});
+  EXPECT_EQ(metrics.total_attempts(), 8);
+  EXPECT_EQ(metrics.total_recomputed_partitions(), 3);
+  EXPECT_DOUBLE_EQ(metrics.total_recovery_seconds(), 0.75);
+  metrics.Clear();
+  EXPECT_EQ(metrics.num_stages(), 0);
+  EXPECT_EQ(metrics.total_attempts(), 0);
+  EXPECT_EQ(metrics.total_recomputed_partitions(), 0);
+  EXPECT_DOUBLE_EQ(metrics.total_recovery_seconds(), 0.0);
+}
+
+TEST(Metrics, SimulatedSecondsDecomposesIntoFaultFreePlusRecovery) {
+  Metrics metrics;
+  metrics.AddStage({"map", false, {10, 20}, {}, 0, 4, 0, 0.125});
+  metrics.AddStage({"join", true, {5, 5}, {7}, 2048, 3, 1, 0.0625});
+  ClusterModel model;
+  EXPECT_DOUBLE_EQ(metrics.SimulatedSeconds(model),
+                   metrics.SimulatedFaultFreeSeconds(model) +
+                       metrics.total_recovery_seconds());
+  // With no recovery charged, both figures coincide.
+  Metrics clean;
+  clean.AddStage({"map", false, {10, 20}, {}, 0, 2, 0, 0.0});
+  EXPECT_DOUBLE_EQ(clean.SimulatedSeconds(model),
+                   clean.SimulatedFaultFreeSeconds(model));
+}
+
+TEST(Metrics, ReportIncludesRecoveryCounters) {
+  Metrics metrics;
+  metrics.AddStage({"grp", true, {5}, {3}, 42, 6, 2, 0.5});
+  std::string report = metrics.Report();
+  EXPECT_NE(report.find("attempts=6"), std::string::npos);
+  EXPECT_NE(report.find("recomputed=2"), std::string::npos);
+  EXPECT_NE(report.find("recovery_s="), std::string::npos);
+}
+
 TEST(Metrics, MoreWorkersNeverSlower) {
   Metrics metrics;
   std::vector<int64_t> tasks;

@@ -15,7 +15,18 @@
 //   --plan-report            print the engine stage report after the run
 //   --partitions N           engine partitions (default 8)
 //   --workers N              simulated cluster workers (default 4)
+//   --threads N              host threads executing partition tasks
 //   --broadcast-mb N         enable broadcast joins for arrays <= N MB
+//   --serialize-shuffles     round-trip shuffled rows through the codec
+//   --fault-seed N           seed of the deterministic fault injector
+//   --fail-rate P            per-attempt task kill probability [0,1]
+//   --straggler-rate P       straggler probability [0,1]
+//   --corrupt-rate P         shuffle-payload corruption probability
+//                            (needs --serialize-shuffles to take effect)
+//   --max-attempts N         retry budget per task (default 4)
+//   --kill S:P               kill partition P of stage S once (repeatable)
+//   --lose S:P[:I]           lose input partition P of stage S (input I,
+//                            default 0); recomputed from lineage
 //   --tiled NAME             store the named matrix as packed tiles (§5;
 //                            repeatable)
 //   --tile-rows R            tile rows (default 32)
@@ -25,6 +36,12 @@
 //                            backend instead of the distributed engine
 //   --reference              run the sequential reference interpreter
 //                            instead of the distributed engine
+//
+// Exit codes (documented in docs/LANGUAGE.md): 0 success, 1 CLI or I/O
+// error, 2 parse error, 3 restriction violation, 4 translation error,
+// 5 runtime error (including an exhausted fault-retry budget), 6 invalid
+// argument, 7 unsupported feature. On any error the tool prints a single
+// one-line diagnostic to stderr and emits none of the requested outputs.
 //
 // Example:
 //   diablo_run wordcount.diablo --vector words=words.csv --print C
@@ -40,12 +57,45 @@
 
 namespace {
 
+using diablo::Status;
+using diablo::StatusCode;
 using diablo::runtime::Value;
 using diablo::runtime::ValueVec;
+
+/// Maps an error category to the process exit code documented above.
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kParseError:
+      return 2;
+    case StatusCode::kRestrictionViolation:
+      return 3;
+    case StatusCode::kTranslationError:
+      return 4;
+    case StatusCode::kRuntimeError:
+    case StatusCode::kTaskLost:
+      return 5;
+    case StatusCode::kInvalidArgument:
+      return 6;
+    case StatusCode::kUnsupported:
+      return 7;
+  }
+  return 1;
+}
 
 [[noreturn]] void Die(const std::string& message) {
   std::fprintf(stderr, "diablo_run: %s\n", message.c_str());
   std::exit(1);
+}
+
+[[noreturn]] void DieStatus(const Status& status) {
+  // One line, first line of the message only: pipelines parse this.
+  std::string msg = status.ToString();
+  size_t eol = msg.find('\n');
+  if (eol != std::string::npos) msg.resize(eol);
+  std::fprintf(stderr, "diablo_run: %s\n", msg.c_str());
+  std::exit(ExitCodeFor(status.code()));
 }
 
 std::string ReadFile(const std::string& path) {
@@ -127,6 +177,47 @@ NameValue SplitBinding(const std::string& arg) {
   return {arg.substr(0, eq), arg.substr(eq + 1)};
 }
 
+/// Strict numeric flag parsing: a fault rate silently read as 0 would
+/// turn an injection experiment into a fault-free run, so garbage dies.
+double ParseDoubleFlag(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    Die(flag + " expects a number, got '" + text + "'");
+  }
+  return v;
+}
+
+long long ParseIntFlag(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    Die(flag + " expects an integer, got '" + text + "'");
+  }
+  return v;
+}
+
+/// Parses "S:P" or "S:P:I" colon-separated small integers.
+std::vector<int> SplitColonInts(const std::string& arg, size_t min_fields,
+                                size_t max_fields) {
+  std::vector<int> out;
+  std::string field;
+  std::istringstream in(arg);
+  while (std::getline(in, field, ':')) {
+    char* end = nullptr;
+    long v = std::strtol(field.c_str(), &end, 10);
+    if (field.empty() || end == nullptr || *end != '\0') {
+      Die("expected colon-separated integers, got " + arg);
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  if (out.size() < min_fields || out.size() > max_fields) {
+    Die("expected STAGE:PARTITION" +
+        std::string(max_fields > 2 ? "[:INPUT]" : "") + ", got " + arg);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,9 +255,33 @@ int main(int argc, char** argv) {
       engine_config.num_partitions = std::atoi(next().c_str());
     } else if (arg == "--workers") {
       engine_config.cluster.num_workers = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      engine_config.host_threads =
+          static_cast<int>(ParseIntFlag(arg, next()));
     } else if (arg == "--broadcast-mb") {
       engine_config.broadcast_join_threshold_bytes =
           std::atoll(next().c_str()) << 20;
+    } else if (arg == "--serialize-shuffles") {
+      engine_config.serialize_shuffles = true;
+    } else if (arg == "--fault-seed") {
+      engine_config.faults.seed =
+          static_cast<uint64_t>(ParseIntFlag(arg, next()));
+    } else if (arg == "--fail-rate") {
+      engine_config.faults.task_failure_rate = ParseDoubleFlag(arg, next());
+    } else if (arg == "--straggler-rate") {
+      engine_config.faults.straggler_rate = ParseDoubleFlag(arg, next());
+    } else if (arg == "--corrupt-rate") {
+      engine_config.faults.corrupt_shuffle_rate = ParseDoubleFlag(arg, next());
+    } else if (arg == "--max-attempts") {
+      engine_config.faults.max_task_attempts =
+          static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--kill") {
+      std::vector<int> sp = SplitColonInts(next(), 2, 2);
+      engine_config.faults.kill_tasks.push_back({sp[0], sp[1]});
+    } else if (arg == "--lose") {
+      std::vector<int> sp = SplitColonInts(next(), 2, 3);
+      engine_config.faults.lose_partitions.push_back(
+          {sp[0], sp[1], sp.size() > 2 ? sp[2] : 0});
     } else if (arg == "--tiled") {
       run_options.tiled_arrays.insert(next());
     } else if (arg == "--tile-rows") {
@@ -193,63 +308,81 @@ int main(int argc, char** argv) {
 
   std::string source = ReadFile(program_path);
 
-  if (use_reference) {
-    auto ref = diablo::RunReference(source, inputs);
-    if (!ref.ok()) Die(ref.status().ToString());
+  // All output lines are buffered and emitted only after every lookup
+  // succeeded: an error produces the stderr diagnostic and nothing else,
+  // never a partial result a pipeline could mistake for a complete one.
+  std::vector<std::string> lines;
+  auto format_outputs = [&prints, &lines](auto&& get_scalar,
+                                          auto&& get_array) -> Status {
     for (const std::string& name : prints) {
-      auto scalar = (*ref)->GetScalar(name);
+      auto scalar = get_scalar(name);
       if (scalar.ok()) {
-        std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
+        lines.push_back(name + " = " + scalar->ToString());
         continue;
       }
-      auto array = (*ref)->GetArray(name);
-      if (!array.ok()) Die(array.status().ToString());
-      std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
+      auto array = get_array(name);
+      if (!array.ok()) return array.status();
+      lines.push_back(name + " = " + array->ToString());
     }
+    return Status::OK();
+  };
+  auto emit = [&lines] {
+    for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+  };
+
+  if (use_reference) {
+    auto ref = diablo::RunReference(source, inputs);
+    if (!ref.ok()) DieStatus(ref.status());
+    Status st = format_outputs(
+        [&](const std::string& n) { return (*ref)->GetScalar(n); },
+        [&](const std::string& n) { return (*ref)->GetArray(n); });
+    if (!st.ok()) DieStatus(st);
+    emit();
     return 0;
   }
 
   auto compiled = diablo::Compile(source, compile_options);
-  if (!compiled.ok()) Die(compiled.status().ToString());
+  if (!compiled.ok()) DieStatus(compiled.status());
   if (show_target) {
     std::printf("=== target ===\n%s\n", compiled->TargetToString().c_str());
   }
 
   if (use_local) {
     auto local = diablo::RunLocal(*compiled, inputs);
-    if (!local.ok()) Die(local.status().ToString());
-    for (const std::string& name : prints) {
-      auto scalar = (*local)->GetScalar(name);
-      if (scalar.ok()) {
-        std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
-        continue;
-      }
-      auto array = (*local)->GetArray(name);
-      if (!array.ok()) Die(array.status().ToString());
-      std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
-    }
+    if (!local.ok()) DieStatus(local.status());
+    Status st = format_outputs(
+        [&](const std::string& n) { return (*local)->GetScalar(n); },
+        [&](const std::string& n) { return (*local)->GetArray(n); });
+    if (!st.ok()) DieStatus(st);
+    emit();
     return 0;
   }
 
   diablo::runtime::Engine engine(engine_config);
   auto run = diablo::Run(*compiled, &engine, inputs, run_options);
-  if (!run.ok()) Die(run.status().ToString());
+  if (!run.ok()) DieStatus(run.status());
 
-  for (const std::string& name : prints) {
-    auto scalar = run->Scalar(name);
-    if (scalar.ok()) {
-      std::printf("%s = %s\n", name.c_str(), scalar->ToString().c_str());
-      continue;
-    }
-    auto array = run->Array(name);
-    if (!array.ok()) Die(array.status().ToString());
-    std::printf("%s = %s\n", name.c_str(), array->ToString().c_str());
-  }
+  Status st = format_outputs(
+      [&](const std::string& n) { return run->Scalar(n); },
+      [&](const std::string& n) { return run->Array(n); });
+  if (!st.ok()) DieStatus(st);
+  emit();
+
   if (plan_report) {
-    std::printf("=== stages ===\n%s", engine.metrics().Report().c_str());
+    const diablo::runtime::Metrics& metrics = engine.metrics();
+    std::printf("=== stages ===\n%s", metrics.Report().c_str());
     std::printf("simulated cluster time: %.4f s (%d workers)\n",
-                engine.metrics().SimulatedSeconds(engine_config.cluster),
+                metrics.SimulatedSeconds(engine_config.cluster),
                 engine_config.cluster.num_workers);
+    if (engine_config.faults.enabled()) {
+      std::printf(
+          "fault recovery: attempts=%lld recomputed_partitions=%lld "
+          "recovery=%.4f s (fault-free time: %.4f s)\n",
+          static_cast<long long>(metrics.total_attempts()),
+          static_cast<long long>(metrics.total_recomputed_partitions()),
+          metrics.total_recovery_seconds(),
+          metrics.SimulatedFaultFreeSeconds(engine_config.cluster));
+    }
   }
   return 0;
 }
