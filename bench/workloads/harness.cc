@@ -22,8 +22,8 @@ Value DV(double v) { return Value::MakeDouble(v); }
 
 /// Sorted bag of the rows of `ds` (driver-side), as the canonical output
 /// form for arrays.
-Value CollectSorted(Engine& engine, const Dataset& ds) {
-  ValueVec rows = engine.Collect(ds);
+StatusOr<Value> CollectSorted(Engine& engine, const Dataset& ds) {
+  DIABLO_ASSIGN_OR_RETURN(ValueVec rows, engine.Collect(ds));
   std::sort(rows.begin(), rows.end());
   return Value::MakeBag(std::move(rows));
 }
@@ -131,7 +131,9 @@ StatusOr<Value> HwHistogram(Engine& engine, const Bindings& inputs) {
                             engine.ReduceByKey(keyed, BinOp::kAdd));
     // All three channels are computed (and costed); the red one is the
     // primary output compared against DIABLO's R.
-    if (field == "red") red_histogram = CollectSorted(engine, counts);
+    if (field == "red") {
+      DIABLO_ASSIGN_OR_RETURN(red_histogram, CollectSorted(engine, counts));
+    }
   }
   return red_histogram;
 }
@@ -305,7 +307,8 @@ StatusOr<Value> HwKMeans(Engine& engine, const Bindings& inputs) {
                           Values(engine, LoadArray(engine, inputs, "P"), "P"));
   // Broadcast the centroids (the paper's hand-written code keeps them in
   // each worker's memory).
-  ValueVec centroids = engine.Collect(LoadArray(engine, inputs, "C"));
+  DIABLO_ASSIGN_OR_RETURN(ValueVec centroids,
+                          engine.Collect(LoadArray(engine, inputs, "C")));
   std::sort(centroids.begin(), centroids.end());
   auto shared = std::make_shared<ValueVec>(std::move(centroids));
   DIABLO_ASSIGN_OR_RETURN(

@@ -30,6 +30,14 @@ int main() {
     std::fprintf(stderr, "pack failed\n");
     return 1;
   }
+  // Packing ends in a lazy tile-forming map; force it so TotalRows()
+  // below counts tiles, not sparse source entries.
+  a_tiled = engine.Force(*a_tiled);
+  b_tiled = engine.Force(*b_tiled);
+  if (!a_tiled.ok() || !b_tiled.ok()) {
+    std::fprintf(stderr, "pack failed\n");
+    return 1;
+  }
   std::printf("packed %lldx%lld matrix into %lld tiles of %lldx%lld\n",
               static_cast<long long>(kN), static_cast<long long>(kN),
               static_cast<long long>(a_tiled->TotalRows()),
@@ -76,7 +84,8 @@ int main() {
   auto back = diablo::tiles::Unpack(engine, *product, config);
   if (back.ok()) {
     std::printf("product[0,0..3]:");
-    for (const Value& row : engine.Collect(*back)) {
+    const diablo::runtime::ValueVec rows = engine.Collect(*back).value();
+    for (const Value& row : rows) {
       if (row.tuple()[0].tuple()[0].AsInt() == 0 &&
           row.tuple()[0].tuple()[1].AsInt() < 4) {
         std::printf(" %.1f", row.tuple()[1].ToDouble());

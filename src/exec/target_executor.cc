@@ -20,6 +20,12 @@ plan::ExecState TargetExecutor::State() {
 }
 
 Status TargetExecutor::StoreArray(const std::string& name, Dataset sparse) {
+  // Stored arrays are materialization boundaries: the plan's trailing
+  // narrow operators (the translated comprehension's flatMap/map/filter
+  // tail) run here as one fused stage, and everything downstream
+  // (planner size estimates, tile packing, direct partition reads) sees
+  // real rows.
+  DIABLO_ASSIGN_OR_RETURN(sparse, engine_->Force(sparse));
   if (!IsTiled(name)) {
     arrays_[name] = std::move(sparse);
     return Status::OK();
@@ -37,6 +43,9 @@ Status TargetExecutor::RefreshArray(const std::string& name) const {
   DIABLO_ASSIGN_OR_RETURN(
       Dataset unpacked,
       tiles::Unpack(*engine_, tiled_.at(name), tile_config_));
+  // The sparse view is read directly (partition scans, size estimates),
+  // so run the unpack chain now.
+  DIABLO_ASSIGN_OR_RETURN(unpacked, engine_->Force(unpacked));
   arrays_[name] = std::move(unpacked);
   dirty_.erase(name);
   return Status::OK();
@@ -216,7 +225,7 @@ StatusOr<Value> TargetExecutor::GetArray(const std::string& name) const {
     return Status::InvalidArgument(StrCat("no array variable '", name, "'"));
   }
   DIABLO_RETURN_IF_ERROR(RefreshArray(name));
-  ValueVec rows = engine_->Collect(it->second);
+  DIABLO_ASSIGN_OR_RETURN(ValueVec rows, engine_->Collect(it->second));
   std::sort(rows.begin(), rows.end());
   return Value::MakeBag(std::move(rows));
 }

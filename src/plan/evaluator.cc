@@ -130,8 +130,10 @@ StatusOr<Value> EvalExpr(const CExprPtr& e, const EvalCtx& ctx) {
                    "' used as a value inside a row expression"));
       }
       // Materialize the array as a bag of pairs (driver context only).
-      return Value::MakeBag(
+      DIABLO_ASSIGN_OR_RETURN(
+          ValueVec rows,
           ctx.state->engine->Collect(ctx.state->arrays->at(name)));
+      return Value::MakeBag(std::move(rows));
     }
     return Status::RuntimeError(StrCat("unbound variable '", name, "'"));
   }
@@ -240,7 +242,8 @@ StatusOr<Value> EvalExpr(const CExprPtr& e, const EvalCtx& ctx) {
     DIABLO_ASSIGN_OR_RETURN(
         CompPlan sub, BuildPlan(e->as<CExpr::Nested>().comp, *ctx.state));
     DIABLO_ASSIGN_OR_RETURN(Dataset ds, ExecutePlan(sub, *ctx.state));
-    return Value::MakeBag(ctx.state->engine->Collect(ds));
+    DIABLO_ASSIGN_OR_RETURN(ValueVec rows, ctx.state->engine->Collect(ds));
+    return Value::MakeBag(std::move(rows));
   }
   if (e->is<CExpr::Range>()) {
     const auto& r = e->as<CExpr::Range>();
@@ -262,7 +265,8 @@ StatusOr<Value> EvalExpr(const CExprPtr& e, const EvalCtx& ctx) {
       return Status::RuntimeError("array merge in a row expression");
     }
     DIABLO_ASSIGN_OR_RETURN(Dataset ds, EvalArrayExpr(e, *ctx.state));
-    return Value::MakeBag(ctx.state->engine->Collect(ds));
+    DIABLO_ASSIGN_OR_RETURN(ValueVec rows, ctx.state->engine->Collect(ds));
+    return Value::MakeBag(std::move(rows));
   }
   // BagCons.
   ValueVec elems;
@@ -530,7 +534,9 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
         auto table = std::make_shared<
             std::unordered_map<Value, std::vector<ValueVec>,
                                runtime::ValueHash>>();
-        for (const Value& row : state.engine->Collect(it->second)) {
+        DIABLO_ASSIGN_OR_RETURN(ValueVec build_rows,
+                                state.engine->Collect(it->second));
+        for (const Value& row : build_rows) {
           ValueVec bound;
           DIABLO_RETURN_IF_ERROR(BindPattern(op.pattern, row, &bound));
           EvalCtx ctx = RowCtx(right_schema, bound, state);
@@ -589,7 +595,8 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
         }
         // Broadcast the array: every row of the stream is combined with
         // every array element (a nested-loop / broadcast join).
-        ValueVec broadcast = engine.Collect(it->second);
+        DIABLO_ASSIGN_OR_RETURN(ValueVec broadcast,
+                                engine.Collect(it->second));
         std::vector<ValueVec> bound_rows;
         bound_rows.reserve(broadcast.size());
         for (const Value& row : broadcast) {
@@ -597,6 +604,9 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
           DIABLO_RETURN_IF_ERROR(BindPattern(op.pattern, row, &bound));
           bound_rows.push_back(std::move(bound));
         }
+        // Force any pending chain so the product accounting below sees
+        // the stream's logical row count.
+        DIABLO_ASSIGN_OR_RETURN(ds, engine.Force(*ds));
         int64_t left_rows = ds->TotalRows();
         int64_t right_bytes = it->second.TotalBytes();
         auto shared =

@@ -24,7 +24,17 @@ struct LineageNode {
   /// cost model prices recovery from it).
   using RecomputeFn = std::function<StatusOr<ValueVec>(int p, int64_t* work)>;
 
-  /// Operator kind: "source", "checkpoint", "map", "shuffle", ...
+  /// Recomputes several lost partitions in ONE pass over the ancestor
+  /// data: `parts` lists the lost partition ids (ascending) and
+  /// `rebuilt[i]` receives the rows of `parts[i]`. Shuffle-producing
+  /// operators install this instead of RecomputeFn so recovery scans
+  /// each source row once, hashes it once, and keeps only rows whose
+  /// destination is lost — not once per lost destination.
+  using RecomputeManyFn = std::function<Status(
+      const std::vector<int>& parts, std::vector<ValueVec>* rebuilt,
+      int64_t* work)>;
+
+  /// Operator kind: "source", "checkpoint", "map", "fused", "shuffle", ...
   std::string kind;
   /// The stage label of the operator that produced the dataset.
   std::string label;
@@ -36,17 +46,50 @@ struct LineageNode {
   /// without fault injection (no recovery can be asked, so no closures
   /// — and no ancestor datasets — are retained).
   RecomputeFn recompute;
+  /// Preferred over `recompute` when set: single-pass multi-partition
+  /// recovery (see RecomputeManyFn). Same retention rules.
+  RecomputeManyFn recompute_many;
   /// Length of the longest chain of non-durable ancestors, this node
   /// included. Checkpoint() resets it to 0; iterative loops use it to
-  /// decide when lineage has grown long enough to truncate.
+  /// decide when lineage has grown long enough to truncate. Fused
+  /// narrow chains count every pending operator toward the depth.
   int depth = 0;
 };
+
+/// One deferred narrow operator in a fused chain. The callbacks mirror
+/// Engine::MapFn/PredFn/FlatMapFn; which one is set depends on `kind`.
+struct FusedOp {
+  enum class Kind { kMap, kMapValues, kFilter, kFlatMap };
+
+  Kind kind = Kind::kMap;
+  /// Stage-label fragment; fused stages join these with '+'.
+  std::string label;
+  /// Set for kMap and kMapValues.
+  std::function<StatusOr<Value>(const Value&)> map;
+  /// Set for kFilter.
+  std::function<StatusOr<bool>(const Value&)> pred;
+  /// Set for kFlatMap.
+  std::function<StatusOr<ValueVec>(const Value&)> flat;
+};
+
+/// An unexecuted pipeline of narrow operators, applied element-by-element
+/// on top of a dataset's materialized source partitions.
+using FusedChain = std::vector<FusedOp>;
 
 /// An immutable, partitioned collection of Values — the analogue of a
 /// Spark RDD. Datasets are cheap to copy (the partition payload is
 /// shared) and are only created through Engine operations, which record
 /// execution statistics for the cluster cost model and attach the
 /// lineage node used for fault recovery.
+///
+/// A dataset may be *lazy*: the stored partitions are the source rows
+/// and `chain()` holds narrow operators (map / mapValues / filter /
+/// flatMap) not yet applied. The engine runs the whole chain
+/// element-by-element inside the next stage boundary (shuffle, reduce,
+/// collect, checkpoint, Force) with no intermediate materialization.
+/// TotalRows()/TotalBytes()/partition() observe the SOURCE rows of a
+/// lazy dataset; call Engine::Force (or any action) first when the
+/// logical rows are needed.
 class Dataset {
  public:
   /// An empty dataset with zero partitions.
@@ -65,8 +108,18 @@ class Dataset {
             std::move(partitions))),
         lineage_(std::move(lineage)) {}
 
+  /// A derived dataset carrying a pending fused chain over `partitions`.
+  Dataset(std::vector<ValueVec> partitions,
+          std::shared_ptr<const LineageNode> lineage,
+          std::shared_ptr<const FusedChain> chain)
+      : partitions_(std::make_shared<const std::vector<ValueVec>>(
+            std::move(partitions))),
+        lineage_(std::move(lineage)),
+        chain_(std::move(chain)) {}
+
   /// Shares `base`'s partitions under a new lineage node (used by
-  /// Checkpoint() to truncate lineage without copying data).
+  /// Checkpoint() to truncate lineage without copying data). Drops any
+  /// pending chain — callers must have folded it into the new node.
   Dataset(const Dataset& base, std::shared_ptr<const LineageNode> lineage)
       : partitions_(base.partitions_), lineage_(std::move(lineage)) {}
 
@@ -79,10 +132,38 @@ class Dataset {
   const std::shared_ptr<const LineageNode>& lineage() const {
     return lineage_;
   }
-  /// Convenience: lineage depth (0 for sources and checkpoints).
-  int lineage_depth() const { return lineage_ == nullptr ? 0 : lineage_->depth; }
+  /// Convenience: lineage depth (0 for sources and checkpoints). Every
+  /// pending fused operator counts, so loop checkpointing sees the true
+  /// recovery-chain length even while stages are deferred.
+  int lineage_depth() const {
+    int base = lineage_ == nullptr ? 0 : lineage_->depth;
+    return base + static_cast<int>(chain().size());
+  }
 
-  /// Total number of rows across all partitions.
+  /// True when no narrow operators are pending: partition() et al.
+  /// observe the dataset's logical rows directly.
+  bool materialized() const { return chain_ == nullptr || chain_->empty(); }
+
+  /// The pending narrow-operator chain (empty when materialized).
+  const FusedChain& chain() const {
+    static const FusedChain kEmpty;
+    return chain_ == nullptr ? kEmpty : *chain_;
+  }
+  const std::shared_ptr<const FusedChain>& chain_ptr() const { return chain_; }
+
+  /// A lazy dataset sharing this one's source partitions and lineage
+  /// with `op` appended to the pending chain.
+  Dataset WithOp(FusedOp op) const {
+    auto extended = std::make_shared<FusedChain>(chain());
+    extended->push_back(std::move(op));
+    Dataset out;
+    out.partitions_ = partitions_;
+    out.lineage_ = lineage_;
+    out.chain_ = std::move(extended);
+    return out;
+  }
+
+  /// Total number of rows across all (source) partitions.
   int64_t TotalRows() const;
 
   /// Approximate serialized size of all rows, for workload reporting.
@@ -94,6 +175,8 @@ class Dataset {
  private:
   std::shared_ptr<const std::vector<ValueVec>> partitions_;
   std::shared_ptr<const LineageNode> lineage_;
+  /// Pending narrow operators; null or empty when materialized.
+  std::shared_ptr<const FusedChain> chain_;
 };
 
 }  // namespace diablo::runtime

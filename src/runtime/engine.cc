@@ -41,6 +41,93 @@ int ShuffleDestination(const Value& key, int out_parts) {
   return static_cast<int>(key.Hash() % static_cast<size_t>(out_parts));
 }
 
+/// Per-task tally of the intermediates a fused chain streamed through
+/// instead of materializing: rows produced at each operator boundary,
+/// with bytes estimated from the first row crossing that boundary (a
+/// full per-row SerializedBytes() walk would cost more than the
+/// materialization it measures).
+struct ChainTally {
+  std::vector<int64_t> rows;
+  std::vector<int64_t> sample_bytes;
+
+  /// Restartable: called at the top of every task attempt.
+  void Reset(size_t boundaries) {
+    rows.assign(boundaries, 0);
+    sample_bytes.assign(boundaries, 0);
+  }
+  void Record(size_t boundary, const Value& v) {
+    if (boundary >= rows.size()) return;
+    if (rows[boundary]++ == 0) sample_bytes[boundary] = v.SerializedBytes();
+  }
+  void MergeInto(StageStats* stats) const {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      stats->rows_not_materialized += rows[i];
+      stats->bytes_not_materialized += rows[i] * sample_bytes[i];
+    }
+  }
+};
+
+/// Applies chain[i..] to `v` element-by-element, delivering every
+/// surviving output row to `sink` (a Status(const Value&) callable).
+/// Rows produced at boundary b are recorded in `tally` (may be null;
+/// boundaries past its Reset() size — i.e. outputs the caller does
+/// materialize — are ignored).
+template <typename Sink>
+Status ApplyChain(const FusedChain& chain, size_t i, const Value& v,
+                  ChainTally* tally, Sink&& sink) {
+  if (i == chain.size()) return sink(v);
+  const FusedOp& op = chain[i];
+  switch (op.kind) {
+    case FusedOp::Kind::kMap: {
+      DIABLO_ASSIGN_OR_RETURN(Value out, op.map(v));
+      if (tally != nullptr) tally->Record(i, out);
+      return ApplyChain(chain, i + 1, out, tally, sink);
+    }
+    case FusedOp::Kind::kMapValues: {
+      if (!v.is_tuple() || v.tuple().size() != 2) {
+        return Status::RuntimeError(
+            StrCat("mapValues applied to non-pair row: ", v.ToString()));
+      }
+      DIABLO_ASSIGN_OR_RETURN(Value mv, op.map(v.tuple()[1]));
+      Value out = Value::MakePair(v.tuple()[0], std::move(mv));
+      if (tally != nullptr) tally->Record(i, out);
+      return ApplyChain(chain, i + 1, out, tally, sink);
+    }
+    case FusedOp::Kind::kFilter: {
+      DIABLO_ASSIGN_OR_RETURN(bool keep, op.pred(v));
+      if (!keep) return Status::OK();
+      if (tally != nullptr) tally->Record(i, v);
+      return ApplyChain(chain, i + 1, v, tally, sink);
+    }
+    case FusedOp::Kind::kFlatMap: {
+      DIABLO_ASSIGN_OR_RETURN(ValueVec vs, op.flat(v));
+      for (const Value& out : vs) {
+        if (tally != nullptr) tally->Record(i, out);
+        DIABLO_RETURN_IF_ERROR(ApplyChain(chain, i + 1, out, tally, sink));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::RuntimeError("unknown fused operator kind");
+}
+
+/// The stage label of a fused chain: its operator labels joined with '+'.
+std::string ChainLabel(const FusedChain& chain) {
+  std::string label;
+  for (const FusedOp& op : chain) {
+    if (!label.empty()) label += '+';
+    label += op.label;
+  }
+  return label;
+}
+
+/// Recorded label of a wide stage that inlined a pending chain, e.g.
+/// "flatMap+filter+reduceByKey".
+std::string FusedStageLabel(const FusedChain& chain,
+                            const std::string& label) {
+  return chain.empty() ? label : ChainLabel(chain) + "+" + label;
+}
+
 }  // namespace
 
 Engine::Engine(EngineConfig config)
@@ -165,29 +252,53 @@ StatusOr<Dataset> Engine::RecoverInput(const Dataset& in, int stage,
   std::vector<int> lost =
       injector_.LostPartitions(stage, input_index, in.num_partitions());
   if (lost.empty()) return in;
+  std::sort(lost.begin(), lost.end());
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
   const std::shared_ptr<const LineageNode>& lineage = in.lineage();
   std::vector<ValueVec> parts = in.partitions();
-  for (int p : lost) {
-    rec->recomputed_partitions += 1;
-    if (lineage == nullptr || lineage->durable) {
-      // Durable data (source or checkpoint): re-read from stable
-      // storage. The rows survive; only the re-read scan is charged.
+  if (lineage == nullptr || lineage->durable) {
+    // Durable data (source or checkpoint): re-read from stable
+    // storage. The rows survive; only the re-read scan is charged.
+    for (int p : lost) {
+      rec->recomputed_partitions += 1;
       rec->recovery_seconds += static_cast<double>(parts[p].size()) *
                                config_.cluster.seconds_per_work_unit;
-      continue;
     }
-    if (!lineage->recompute) {
-      return Status::RuntimeError(
-          StrCat("stage #", stage, ": input partition ", p,
-                 " lost and no lineage recompute is available (dataset '",
-                 lineage->label, "')"));
-    }
+  } else if (lineage->recompute_many) {
+    // Single-pass multi-partition recovery: one scan over the ancestor
+    // data rebuilds every lost partition at once.
+    std::vector<ValueVec> rebuilt;
     int64_t work = 0;
-    DIABLO_ASSIGN_OR_RETURN(parts[p], lineage->recompute(p, &work));
+    DIABLO_RETURN_IF_ERROR(lineage->recompute_many(lost, &rebuilt, &work));
+    if (rebuilt.size() != lost.size()) {
+      return Status::RuntimeError(
+          StrCat("stage #", stage, ": lineage recompute of dataset '",
+                 lineage->label, "' rebuilt ", rebuilt.size(),
+                 " partitions, expected ", lost.size()));
+    }
+    for (size_t i = 0; i < lost.size(); ++i) {
+      rec->recomputed_partitions += 1;
+      parts[lost[i]] = std::move(rebuilt[i]);
+    }
     rec->recovery_seconds +=
         static_cast<double>(work) * config_.cluster.seconds_per_work_unit;
+  } else if (lineage->recompute) {
+    for (int p : lost) {
+      rec->recomputed_partitions += 1;
+      int64_t work = 0;
+      DIABLO_ASSIGN_OR_RETURN(parts[p], lineage->recompute(p, &work));
+      rec->recovery_seconds +=
+          static_cast<double>(work) * config_.cluster.seconds_per_work_unit;
+    }
+  } else {
+    return Status::RuntimeError(
+        StrCat("stage #", stage, ": input partition ", lost.front(),
+               " lost and no lineage recompute is available (dataset '",
+               lineage->label, "')"));
   }
-  return Dataset(std::move(parts), lineage);
+  // Keep any pending fused chain: the stage's input is the source rows
+  // plus the chain, and only the source rows were lost.
+  return Dataset(std::move(parts), lineage, in.chain_ptr());
 }
 
 void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
@@ -200,7 +311,8 @@ void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
 std::shared_ptr<const LineageNode> Engine::MakeLineage(
     std::string kind, std::string label,
     std::vector<std::shared_ptr<const LineageNode>> parents,
-    LineageNode::RecomputeFn recompute) const {
+    LineageNode::RecomputeFn recompute,
+    LineageNode::RecomputeManyFn recompute_many, int depth_increment) const {
   auto node = std::make_shared<LineageNode>();
   node->kind = std::move(kind);
   node->label = std::move(label);
@@ -208,17 +320,27 @@ std::shared_ptr<const LineageNode> Engine::MakeLineage(
   for (const auto& parent : parents) {
     if (parent != nullptr) depth = std::max(depth, parent->depth);
   }
-  node->depth = depth + 1;
+  node->depth = depth + depth_increment;
   node->parents = std::move(parents);
   // Without fault injection no recovery can ever be requested, so the
-  // closure (and the ancestor datasets it captures) is dropped here —
+  // closures (and the ancestor datasets they capture) are dropped here —
   // fault-free runs retain no extra memory.
-  if (config_.faults.enabled()) node->recompute = std::move(recompute);
+  if (config_.faults.enabled()) {
+    node->recompute = std::move(recompute);
+    node->recompute_many = std::move(recompute_many);
+  }
   return node;
 }
 
 StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
                               const std::string& label) {
+  if (config_.fuse_narrow) {
+    FusedOp op;
+    op.kind = FusedOp::Kind::kMap;
+    op.label = label;
+    op.map = fn;
+    return in.WithOp(std::move(op));
+  }
   const int stage = NextStageId();
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
@@ -254,8 +376,37 @@ StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
   return Dataset(std::move(out), std::move(lineage));
 }
 
+StatusOr<Dataset> Engine::MapValues(const Dataset& in, const MapFn& fn,
+                                    const std::string& label) {
+  if (config_.fuse_narrow) {
+    FusedOp op;
+    op.kind = FusedOp::Kind::kMapValues;
+    op.label = label;
+    op.map = fn;
+    return in.WithOp(std::move(op));
+  }
+  return Map(
+      in,
+      [fn](const Value& row) -> StatusOr<Value> {
+        if (!row.is_tuple() || row.tuple().size() != 2) {
+          return Status::RuntimeError(
+              StrCat("mapValues applied to non-pair row: ", row.ToString()));
+        }
+        DIABLO_ASSIGN_OR_RETURN(Value v, fn(row.tuple()[1]));
+        return Value::MakePair(row.tuple()[0], std::move(v));
+      },
+      label);
+}
+
 StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
                                  const std::string& label) {
+  if (config_.fuse_narrow) {
+    FusedOp op;
+    op.kind = FusedOp::Kind::kFilter;
+    op.label = label;
+    op.pred = pred;
+    return in.WithOp(std::move(op));
+  }
   const int stage = NextStageId();
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
@@ -290,6 +441,13 @@ StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
 
 StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
                                   const std::string& label) {
+  if (config_.fuse_narrow) {
+    FusedOp op;
+    op.kind = FusedOp::Kind::kFlatMap;
+    op.label = label;
+    op.flat = fn;
+    return in.WithOp(std::move(op));
+  }
   const int stage = NextStageId();
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
@@ -322,6 +480,62 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
   return Dataset(std::move(out), std::move(lineage));
 }
 
+StatusOr<Dataset> Engine::Force(const Dataset& in) {
+  if (in.materialized()) return in;
+  const FusedChain& chain = in.chain();
+  const std::string label = ChainLabel(chain);
+  const int stage = NextStageId();
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  const int n = src.num_partitions();
+  std::vector<ValueVec> out(n);
+  std::vector<ChainTally> tallies(n);
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        // Restartable: a failed attempt re-runs the whole fused chain.
+        out[p].clear();
+        out[p].reserve(src.partition(p).size());
+        // The last operator's outputs ARE materialized here, so only
+        // the chain.size()-1 interior boundaries count as saved.
+        tallies[p].Reset(chain.size() - 1);
+        for (const Value& row : src.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(chain, 0, row, &tallies[p],
+                         [&](const Value& v) -> Status {
+                           out[p].push_back(v);
+                           return Status::OK();
+                         }));
+        }
+        return Status::OK();
+      },
+      &rec);
+  if (!st.ok()) return st;
+  StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  stats.fused_ops = static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  FinishStage(std::move(stats), rec);
+  auto lineage = MakeLineage(
+      "fused", label, {src.lineage()},
+      [src](int p, int64_t* work) -> StatusOr<ValueVec> {
+        const ValueVec& rows = src.partition(p);
+        *work += static_cast<int64_t>(rows.size());
+        ValueVec rebuilt;
+        rebuilt.reserve(rows.size());
+        for (const Value& row : rows) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(src.chain(), 0, row, nullptr,
+                         [&](const Value& v) -> Status {
+                           rebuilt.push_back(v);
+                           return Status::OK();
+                         }));
+        }
+        return rebuilt;
+      },
+      nullptr, static_cast<int>(chain.size()));
+  return Dataset(std::move(out), std::move(lineage));
+}
+
 StatusOr<const Value*> Engine::RowKey(const Value& row) {
   if (!row.is_tuple() || row.tuple().size() != 2) {
     return Status::RuntimeError(
@@ -333,23 +547,38 @@ StatusOr<const Value*> Engine::RowKey(const Value& row) {
 StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
                                                     int stage,
                                                     int64_t* shuffle_bytes,
-                                                    StageRecovery* rec) {
+                                                    StageRecovery* rec,
+                                                    StageStats* stats) {
   const int out_parts = config_.num_partitions;
   const int n = in.num_partitions();
+  const FusedChain& chain = in.chain();
   // buckets[src][dst]
   std::vector<std::vector<ValueVec>> buckets(n,
                                              std::vector<ValueVec>(out_parts));
   std::vector<int64_t> moved_bytes(n, 0);
+  std::vector<ChainTally> tallies(n);
   const bool serialize = config_.serialize_shuffles;
   const bool inject = config_.faults.enabled();
   Status st = RunTaskWave(
       "shuffle", stage, RowCounts(in),
       [&](int p, int attempt) -> Status {
-        // Restartable: wipe any partial output of a failed attempt.
+        // Restartable: wipe any partial output of a failed attempt (and
+        // re-run the whole fused chain).
         buckets[p].assign(out_parts, ValueVec());
+        // Reserve from the source row count: keys spread roughly
+        // uniformly, so each destination sees about rows/out_parts of
+        // this task's output.
+        const size_t hint =
+            in.partition(p).size() / static_cast<size_t>(out_parts) + 1;
+        for (ValueVec& bucket : buckets[p]) bucket.reserve(hint);
         moved_bytes[p] = 0;
+        tallies[p].Reset(chain.size());
         int64_t row_idx = 0;
-        for (const Value& row : in.partition(p)) {
+        // Single-pass scatter: each produced row is hashed ONCE and
+        // appended to its destination buffer. `row_idx` numbers the
+        // scattered rows, so corruption coordinates are independent of
+        // how the row was produced (fused or eager).
+        auto scatter = [&](const Value& row) -> Status {
           DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
           const int dst = ShuffleDestination(*key, out_parts);
           // Rows that stay on the same simulated node are still
@@ -381,6 +610,11 @@ StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
             buckets[p][dst].push_back(row);
           }
           ++row_idx;
+          return Status::OK();
+        };
+        for (const Value& row : in.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(chain, 0, row, &tallies[p], scatter));
         }
         return Status::OK();
       },
@@ -389,6 +623,10 @@ StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
   if (shuffle_bytes != nullptr) {
     *shuffle_bytes = 0;
     for (int64_t b : moved_bytes) *shuffle_bytes += b;
+  }
+  if (stats != nullptr) {
+    stats->fused_ops += static_cast<int64_t>(chain.size());
+    for (const ChainTally& t : tallies) t.MergeInto(stats);
   }
   std::vector<ValueVec> out(out_parts);
   for (int dst = 0; dst < out_parts; ++dst) {
@@ -407,10 +645,11 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   const int shuffle_stage = NextStageId();
   const int reduce_stage = NextStageId();
   StageRecovery rec;
+  StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
-                          ShuffleWave(src, shuffle_stage, &bytes, &rec));
+                          ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
   std::vector<ValueVec> out(shuffled.size());
   Status st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
@@ -430,32 +669,51 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/true, RowCounts(src), RowCounts(shuffled), bytes},
-              rec);
+  stats.label = FusedStageLabel(src.chain(), label);
+  stats.wide = true;
+  stats.map_work = RowCounts(src);
+  stats.reduce_work = RowCounts(shuffled);
+  stats.shuffle_bytes = bytes;
+  FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
-      "groupByKey", label, {src.lineage()},
-      [src, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
-        // Replay the shuffle restricted to destination p: scanning the
-        // source partitions in order reproduces the arrival order of the
-        // lost reduce partition exactly.
-        OrderedGroups groups;
+      "groupByKey", label, {src.lineage()}, nullptr,
+      [src, out_parts](const std::vector<int>& lost,
+                       std::vector<ValueVec>* rebuilt,
+                       int64_t* work) -> Status {
+        // Replay the single-pass scatter restricted to the lost
+        // destinations: every source row is scanned and hashed ONCE;
+        // scanning the source partitions in order reproduces each lost
+        // reduce partition's arrival order exactly.
+        std::vector<int> slot_of(out_parts, -1);
+        for (size_t i = 0; i < lost.size(); ++i) {
+          slot_of[lost[i]] = static_cast<int>(i);
+        }
+        std::vector<OrderedGroups> groups(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
           for (const Value& row : src.partition(s)) {
             *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) != p) continue;
-            groups[*key].push_back(row.tuple()[1]);
+            DIABLO_RETURN_IF_ERROR(ApplyChain(
+                src.chain(), 0, row, nullptr,
+                [&](const Value& v) -> Status {
+                  DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
+                  if (slot >= 0) groups[slot][*key].push_back(v.tuple()[1]);
+                  return Status::OK();
+                }));
           }
         }
-        ValueVec rebuilt;
-        rebuilt.reserve(groups.size());
-        for (auto& [key, vals] : groups) {
-          rebuilt.push_back(
-              Value::MakePair(key, Value::MakeBag(std::move(vals))));
+        rebuilt->resize(lost.size());
+        for (size_t i = 0; i < lost.size(); ++i) {
+          (*rebuilt)[i].reserve(groups[i].size());
+          for (auto& [key, vals] : groups[i]) {
+            (*rebuilt)[i].push_back(
+                Value::MakePair(key, Value::MakeBag(std::move(vals))));
+          }
         }
-        return rebuilt;
-      });
+        return Status::OK();
+      },
+      1 + static_cast<int>(src.chain().size()));
   return Dataset(std::move(out), std::move(lineage));
 }
 
@@ -465,16 +723,21 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   const int shuffle_stage = NextStageId();
   const int reduce_stage = NextStageId();
   StageRecovery rec;
+  StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, combine_stage, 0, &rec));
+  const FusedChain& chain = src.chain();
   // Map-side combine (like Spark): fold each input partition first so the
-  // shuffle only moves one pair per (partition, key).
+  // shuffle only moves one pair per (partition, key). Any pending fused
+  // chain runs element-by-element straight into the combine.
   std::vector<ValueVec> combined(src.num_partitions());
+  std::vector<ChainTally> tallies(src.num_partitions());
   Status st = RunTaskWave(
       label + ".combine", combine_stage, RowCounts(src),
       [&](int p, int) -> Status {
         combined[p].clear();
+        tallies[p].Reset(chain.size());
         OrderedGroups acc;
-        for (const Value& row : src.partition(p)) {
+        auto combine = [&](const Value& row) -> Status {
           DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
           auto it = acc.find(*key);
           if (it == acc.end()) {
@@ -483,6 +746,11 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
             DIABLO_ASSIGN_OR_RETURN(it->second[0],
                                     fn(it->second[0], row.tuple()[1]));
           }
+          return Status::OK();
+        };
+        for (const Value& row : src.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(chain, 0, row, &tallies[p], combine));
         }
         combined[p].reserve(acc.size());
         for (auto& [key, vals] : acc) {
@@ -492,11 +760,14 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
       },
       &rec);
   if (!st.ok()) return st;
+  stats.fused_ops += static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
 
   Dataset combined_ds(std::move(combined));
   int64_t bytes = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
-                          ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec));
+  DIABLO_ASSIGN_OR_RETURN(
+      std::vector<ValueVec> shuffled,
+      ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec, &stats));
   std::vector<ValueVec> out(shuffled.size());
   st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
@@ -520,50 +791,73 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/true, RowCounts(src), RowCounts(shuffled), bytes},
-              rec);
+  stats.label = FusedStageLabel(chain, label);
+  stats.wide = true;
+  stats.map_work = RowCounts(src);
+  stats.reduce_work = RowCounts(shuffled);
+  stats.shuffle_bytes = bytes;
+  FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
-      "reduceByKey", label, {src.lineage()},
-      [src, fn, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
-        // Reproduce combine -> shuffle -> fold for destination p only.
-        // Restricting the map-side combine to keys hashing to p keeps
-        // every per-key fold order identical to the original run, so
-        // floating-point results match bit for bit.
-        OrderedGroups acc;
+      "reduceByKey", label, {src.lineage()}, nullptr,
+      [src, fn, out_parts](const std::vector<int>& lost,
+                           std::vector<ValueVec>* rebuilt,
+                           int64_t* work) -> Status {
+        // Reproduce combine -> shuffle -> fold for the lost destinations
+        // in ONE pass over the source: each produced row is hashed once
+        // and dropped unless its destination was lost. Restricting the
+        // map-side combine to lost-destination keys keeps every per-key
+        // fold order identical to the original run, so floating-point
+        // results match bit for bit.
+        std::vector<int> slot_of(out_parts, -1);
+        for (size_t i = 0; i < lost.size(); ++i) {
+          slot_of[lost[i]] = static_cast<int>(i);
+        }
+        std::vector<OrderedGroups> acc(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
-          OrderedGroups part;
+          std::vector<OrderedGroups> part(lost.size());
           for (const Value& row : src.partition(s)) {
             *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) != p) continue;
-            auto it = part.find(*key);
-            if (it == part.end()) {
-              part.emplace(*key, ValueVec{row.tuple()[1]});
-            } else {
-              DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                      fn(it->second[0], row.tuple()[1]));
-            }
+            DIABLO_RETURN_IF_ERROR(ApplyChain(
+                src.chain(), 0, row, nullptr,
+                [&](const Value& v) -> Status {
+                  DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
+                  if (slot < 0) return Status::OK();
+                  auto it = part[slot].find(*key);
+                  if (it == part[slot].end()) {
+                    part[slot].emplace(*key, ValueVec{v.tuple()[1]});
+                  } else {
+                    DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                            fn(it->second[0], v.tuple()[1]));
+                  }
+                  return Status::OK();
+                }));
           }
           // Each source partition's combined pairs arrive in sorted key
           // order (the combine emits them that way).
-          for (auto& [key, vals] : part) {
-            auto it = acc.find(key);
-            if (it == acc.end()) {
-              acc.emplace(key, ValueVec{std::move(vals[0])});
-            } else {
-              DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                      fn(it->second[0], vals[0]));
+          for (size_t i = 0; i < lost.size(); ++i) {
+            for (auto& [key, vals] : part[i]) {
+              auto it = acc[i].find(key);
+              if (it == acc[i].end()) {
+                acc[i].emplace(key, ValueVec{std::move(vals[0])});
+              } else {
+                DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                        fn(it->second[0], vals[0]));
+              }
             }
           }
         }
-        ValueVec rebuilt;
-        rebuilt.reserve(acc.size());
-        for (auto& [key, vals] : acc) {
-          rebuilt.push_back(Value::MakePair(key, std::move(vals[0])));
+        rebuilt->resize(lost.size());
+        for (size_t i = 0; i < lost.size(); ++i) {
+          (*rebuilt)[i].reserve(acc[i].size());
+          for (auto& [key, vals] : acc[i]) {
+            (*rebuilt)[i].push_back(Value::MakePair(key, std::move(vals[0])));
+          }
         }
-        return rebuilt;
-      });
+        return Status::OK();
+      },
+      1 + static_cast<int>(src.chain().size()));
   return Dataset(std::move(out), std::move(lineage));
 }
 
@@ -581,15 +875,16 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
   const int right_stage = NextStageId();
   const int join_stage = NextStageId();
   StageRecovery rec;
+  StageStats stats;
   // Loss directives address both inputs at the operator's first stage:
   // input 0 is the left side, input 1 the right.
   DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
   DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
-                          ShuffleWave(l, left_stage, &bytes_l, &rec));
+                          ShuffleWave(l, left_stage, &bytes_l, &rec, &stats));
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
-                          ShuffleWave(r, right_stage, &bytes_r, &rec));
+                          ShuffleWave(r, right_stage, &bytes_r, &rec, &stats));
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
   Status st = RunTaskWave(
@@ -616,49 +911,70 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
       },
       &rec);
   if (!st.ok()) return st;
-  std::vector<int64_t> map_work = RowCounts(l);
-  for (int64_t c : RowCounts(r)) map_work.push_back(c);
-  FinishStage({label, /*wide=*/true, std::move(map_work), std::move(reduce_work),
-               bytes_l + bytes_r},
-              rec);
+  stats.label = FusedStageLabel(l.chain(), FusedStageLabel(r.chain(), label));
+  stats.wide = true;
+  stats.map_work = RowCounts(l);
+  for (int64_t c : RowCounts(r)) stats.map_work.push_back(c);
+  stats.reduce_work = std::move(reduce_work);
+  stats.shuffle_bytes = bytes_l + bytes_r;
+  FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
+  const int chain_depth = static_cast<int>(
+      std::max(l.chain().size(), r.chain().size()));
   auto lineage = MakeLineage(
-      "join", label, {l.lineage(), r.lineage()},
-      [l, r, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
-        // Rebuild the two post-shuffle partitions, then replay the hash
-        // join. Scanning sources in order restores the arrival order.
-        ValueVec lrows, rrows;
-        for (int s = 0; s < l.num_partitions(); ++s) {
-          for (const Value& row : l.partition(s)) {
-            *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) == p) lrows.push_back(row);
+      "join", label, {l.lineage(), r.lineage()}, nullptr,
+      [l, r, out_parts](const std::vector<int>& lost,
+                        std::vector<ValueVec>* rebuilt,
+                        int64_t* work) -> Status {
+        // Rebuild the lost post-shuffle partitions of both sides in one
+        // pass per side (each produced row hashed once, kept only when
+        // its destination was lost), then replay the hash join. Scanning
+        // sources in order restores the arrival order.
+        std::vector<int> slot_of(out_parts, -1);
+        for (size_t i = 0; i < lost.size(); ++i) {
+          slot_of[lost[i]] = static_cast<int>(i);
+        }
+        std::vector<ValueVec> lrows(lost.size()), rrows(lost.size());
+        auto scatter = [&](const Dataset& side,
+                           std::vector<ValueVec>& dest) -> Status {
+          for (int s = 0; s < side.num_partitions(); ++s) {
+            for (const Value& row : side.partition(s)) {
+              *work += 1;
+              DIABLO_RETURN_IF_ERROR(ApplyChain(
+                  side.chain(), 0, row, nullptr,
+                  [&](const Value& v) -> Status {
+                    DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                    const int slot =
+                        slot_of[ShuffleDestination(*key, out_parts)];
+                    if (slot >= 0) dest[slot].push_back(v);
+                    return Status::OK();
+                  }));
+            }
+          }
+          return Status::OK();
+        };
+        DIABLO_RETURN_IF_ERROR(scatter(l, lrows));
+        DIABLO_RETURN_IF_ERROR(scatter(r, rrows));
+        rebuilt->resize(lost.size());
+        for (size_t i = 0; i < lost.size(); ++i) {
+          OrderedGroups build;
+          for (const Value& row : lrows[i]) {
+            const ValueVec& kv = row.tuple();
+            build[kv[0]].push_back(kv[1]);
+          }
+          for (const Value& row : rrows[i]) {
+            const ValueVec& kv = row.tuple();
+            auto it = build.find(kv[0]);
+            if (it == build.end()) continue;
+            for (const Value& lv : it->second) {
+              (*rebuilt)[i].push_back(
+                  Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+            }
           }
         }
-        for (int s = 0; s < r.num_partitions(); ++s) {
-          for (const Value& row : r.partition(s)) {
-            *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) == p) rrows.push_back(row);
-          }
-        }
-        OrderedGroups build;
-        for (const Value& row : lrows) {
-          const ValueVec& kv = row.tuple();
-          build[kv[0]].push_back(kv[1]);
-        }
-        ValueVec rebuilt;
-        for (const Value& row : rrows) {
-          const ValueVec& kv = row.tuple();
-          auto it = build.find(kv[0]);
-          if (it == build.end()) continue;
-          for (const Value& lv : it->second) {
-            rebuilt.push_back(
-                Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
-          }
-        }
-        return rebuilt;
-      });
+        return Status::OK();
+      },
+      1 + chain_depth);
   return Dataset(std::move(out), std::move(lineage));
 }
 
@@ -668,13 +984,14 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
   const int right_stage = NextStageId();
   const int cogroup_stage = NextStageId();
   StageRecovery rec;
+  StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
   DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
-                          ShuffleWave(l, left_stage, &bytes_l, &rec));
+                          ShuffleWave(l, left_stage, &bytes_l, &rec, &stats));
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
-                          ShuffleWave(r, right_stage, &bytes_r, &rec));
+                          ShuffleWave(r, right_stage, &bytes_r, &rec, &stats));
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
   Status st = RunTaskWave(
@@ -702,47 +1019,76 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
       },
       &rec);
   if (!st.ok()) return st;
-  std::vector<int64_t> map_work = RowCounts(l);
-  for (int64_t c : RowCounts(r)) map_work.push_back(c);
-  FinishStage({label, /*wide=*/true, std::move(map_work), std::move(reduce_work),
-               bytes_l + bytes_r},
-              rec);
+  stats.label = FusedStageLabel(l.chain(), FusedStageLabel(r.chain(), label));
+  stats.wide = true;
+  stats.map_work = RowCounts(l);
+  for (int64_t c : RowCounts(r)) stats.map_work.push_back(c);
+  stats.reduce_work = std::move(reduce_work);
+  stats.shuffle_bytes = bytes_l + bytes_r;
+  FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
+  const int chain_depth = static_cast<int>(
+      std::max(l.chain().size(), r.chain().size()));
   auto lineage = MakeLineage(
-      "coGroup", label, {l.lineage(), r.lineage()},
-      [l, r, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
-        std::map<Value, std::pair<ValueVec, ValueVec>> groups;
-        for (int s = 0; s < l.num_partitions(); ++s) {
-          for (const Value& row : l.partition(s)) {
-            *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) != p) continue;
-            groups[*key].first.push_back(row.tuple()[1]);
+      "coGroup", label, {l.lineage(), r.lineage()}, nullptr,
+      [l, r, out_parts](const std::vector<int>& lost,
+                        std::vector<ValueVec>* rebuilt,
+                        int64_t* work) -> Status {
+        // Single-pass scatter per side, restricted to lost destinations.
+        std::vector<int> slot_of(out_parts, -1);
+        for (size_t i = 0; i < lost.size(); ++i) {
+          slot_of[lost[i]] = static_cast<int>(i);
+        }
+        std::vector<std::map<Value, std::pair<ValueVec, ValueVec>>> groups(
+            lost.size());
+        auto scatter = [&](const Dataset& side, bool is_left) -> Status {
+          for (int s = 0; s < side.num_partitions(); ++s) {
+            for (const Value& row : side.partition(s)) {
+              *work += 1;
+              DIABLO_RETURN_IF_ERROR(ApplyChain(
+                  side.chain(), 0, row, nullptr,
+                  [&](const Value& v) -> Status {
+                    DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                    const int slot =
+                        slot_of[ShuffleDestination(*key, out_parts)];
+                    if (slot < 0) return Status::OK();
+                    auto& sides = groups[slot][*key];
+                    (is_left ? sides.first : sides.second)
+                        .push_back(v.tuple()[1]);
+                    return Status::OK();
+                  }));
+            }
+          }
+          return Status::OK();
+        };
+        DIABLO_RETURN_IF_ERROR(scatter(l, /*is_left=*/true));
+        DIABLO_RETURN_IF_ERROR(scatter(r, /*is_left=*/false));
+        rebuilt->resize(lost.size());
+        for (size_t i = 0; i < lost.size(); ++i) {
+          (*rebuilt)[i].reserve(groups[i].size());
+          for (auto& [key, sides] : groups[i]) {
+            (*rebuilt)[i].push_back(Value::MakePair(
+                key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
+                                     Value::MakeBag(std::move(sides.second)))));
           }
         }
-        for (int s = 0; s < r.num_partitions(); ++s) {
-          for (const Value& row : r.partition(s)) {
-            *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) != p) continue;
-            groups[*key].second.push_back(row.tuple()[1]);
-          }
-        }
-        ValueVec rebuilt;
-        rebuilt.reserve(groups.size());
-        for (auto& [key, sides] : groups) {
-          rebuilt.push_back(Value::MakePair(
-              key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
-                                   Value::MakeBag(std::move(sides.second)))));
-        }
-        return rebuilt;
-      });
+        return Status::OK();
+      },
+      1 + chain_depth);
   return Dataset(std::move(out), std::move(lineage));
 }
 
-Dataset Engine::Union(const Dataset& a, const Dataset& b) {
+StatusOr<Dataset> Engine::Union(const Dataset& in_a, const Dataset& in_b) {
+  DIABLO_ASSIGN_OR_RETURN(Dataset a, Force(in_a));
+  DIABLO_ASSIGN_OR_RETURN(Dataset b, Force(in_b));
   const int n = std::max(a.num_partitions(), b.num_partitions());
   std::vector<ValueVec> out(n);
+  for (int p = 0; p < n; ++p) {
+    size_t total = 0;
+    if (p < a.num_partitions()) total += a.partition(p).size();
+    if (p < b.num_partitions()) total += b.partition(p).size();
+    out[p].reserve(total);
+  }
   for (int p = 0; p < a.num_partitions(); ++p) {
     for (const Value& v : a.partition(p)) out[p].push_back(v);
   }
@@ -754,6 +1100,9 @@ Dataset Engine::Union(const Dataset& a, const Dataset& b) {
       "union", "union", {a.lineage(), b.lineage()},
       [a, b](int p, int64_t* work) -> StatusOr<ValueVec> {
         ValueVec rebuilt;
+        rebuilt.reserve(
+            (p < a.num_partitions() ? a.partition(p).size() : 0) +
+            (p < b.num_partitions() ? b.partition(p).size() : 0));
         if (p < a.num_partitions()) {
           *work += static_cast<int64_t>(a.partition(p).size());
           for (const Value& v : a.partition(p)) rebuilt.push_back(v);
@@ -778,11 +1127,12 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
   const int shuffle_stage = NextStageId();
   const int dedup_stage = NextStageId();
   StageRecovery rec;
+  StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src,
                           RecoverInput(keyed, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
   DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
-                          ShuffleWave(src, shuffle_stage, &bytes, &rec));
+                          ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
   std::vector<ValueVec> out(shuffled.size());
   Status st = RunTaskWave(
       label, dedup_stage, RowCounts(shuffled),
@@ -796,26 +1146,45 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/true, RowCounts(in), RowCounts(shuffled), bytes},
-              rec);
+  stats.label = FusedStageLabel(src.chain(), label);
+  stats.wide = true;
+  stats.map_work = RowCounts(src);
+  stats.reduce_work = RowCounts(shuffled);
+  stats.shuffle_bytes = bytes;
+  FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
-      "distinct", label, {src.lineage()},
-      [src, out_parts](int p, int64_t* work) -> StatusOr<ValueVec> {
-        std::map<Value, bool> seen;
+      "distinct", label, {src.lineage()}, nullptr,
+      [src, out_parts](const std::vector<int>& lost,
+                       std::vector<ValueVec>* rebuilt,
+                       int64_t* work) -> Status {
+        // Single-pass scatter restricted to the lost destinations.
+        std::vector<int> slot_of(out_parts, -1);
+        for (size_t i = 0; i < lost.size(); ++i) {
+          slot_of[lost[i]] = static_cast<int>(i);
+        }
+        std::vector<std::map<Value, bool>> seen(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
           for (const Value& row : src.partition(s)) {
             *work += 1;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            if (ShuffleDestination(*key, out_parts) != p) continue;
-            seen.emplace(*key, true);
+            DIABLO_RETURN_IF_ERROR(ApplyChain(
+                src.chain(), 0, row, nullptr,
+                [&](const Value& v) -> Status {
+                  DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
+                  if (slot >= 0) seen[slot].emplace(*key, true);
+                  return Status::OK();
+                }));
           }
         }
-        ValueVec rebuilt;
-        rebuilt.reserve(seen.size());
-        for (auto& [v, unused] : seen) rebuilt.push_back(v);
-        return rebuilt;
-      });
+        rebuilt->resize(lost.size());
+        for (size_t i = 0; i < lost.size(); ++i) {
+          (*rebuilt)[i].reserve(seen[i].size());
+          for (auto& [v, unused] : seen[i]) (*rebuilt)[i].push_back(v);
+        }
+        return Status::OK();
+      },
+      1 + static_cast<int>(src.chain().size()));
   return Dataset(std::move(out), std::move(lineage));
 }
 
@@ -824,30 +1193,57 @@ StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
   const int stage = NextStageId();
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  const FusedChain& chain = src.chain();
+  const int n = src.num_partitions();
   // The "write": each task serializes its partition to (simulated)
-  // stable storage. Charged as a narrow stage whose shuffle_bytes are
-  // the bytes written.
-  std::vector<int64_t> written(src.num_partitions(), 0);
+  // stable storage, running any pending fused chain straight into the
+  // writer. Charged as a narrow stage whose shuffle_bytes are the bytes
+  // written.
+  std::vector<ValueVec> out(n);
+  std::vector<int64_t> written(n, 0);
+  std::vector<ChainTally> tallies(n);
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
-        int64_t bytes = 0;
-        for (const Value& row : src.partition(p)) bytes += row.SerializedBytes();
-        written[p] = bytes;
+        out[p].clear();
+        written[p] = 0;
+        // The written rows are materialized (they become the durable
+        // dataset), so only interior boundaries count as saved.
+        tallies[p].Reset(chain.empty() ? 0 : chain.size() - 1);
+        if (chain.empty()) {
+          for (const Value& row : src.partition(p)) {
+            written[p] += row.SerializedBytes();
+          }
+          return Status::OK();
+        }
+        out[p].reserve(src.partition(p).size());
+        for (const Value& row : src.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(chain, 0, row, &tallies[p],
+                         [&](const Value& v) -> Status {
+                           written[p] += v.SerializedBytes();
+                           out[p].push_back(v);
+                           return Status::OK();
+                         }));
+        }
         return Status::OK();
       },
       &rec);
   if (!st.ok()) return st;
   int64_t total_bytes = 0;
   for (int64_t b : written) total_bytes += b;
-  FinishStage({label, /*wide=*/false, RowCounts(src), {}, total_bytes}, rec);
+  StageStats stats{label, /*wide=*/false, RowCounts(src), {}, total_bytes};
+  stats.fused_ops = static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  FinishStage(std::move(stats), rec);
   // Durable node: recoveries stop here, and lineage depth resets to 0.
   auto node = std::make_shared<LineageNode>();
   node->kind = "checkpoint";
   node->label = label;
   node->durable = true;
   node->parents = {src.lineage()};
-  return Dataset(src, std::move(node));
+  if (chain.empty()) return Dataset(src, std::move(node));
+  return Dataset(std::move(out), std::move(node));
 }
 
 StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
@@ -856,24 +1252,36 @@ StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
   const int stage = NextStageId();
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
-  // Per-partition partial reduce, then combine partials on the driver.
+  const FusedChain& chain = src.chain();
+  // Per-partition partial reduce (with any pending fused chain folding
+  // straight into the partial), then combine partials on the driver.
   std::vector<std::optional<Value>> partials(src.num_partitions());
+  std::vector<ChainTally> tallies(src.num_partitions());
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
         partials[p].reset();
+        tallies[p].Reset(chain.size());
         for (const Value& row : src.partition(p)) {
-          if (!partials[p].has_value()) {
-            partials[p] = row;
-          } else {
-            DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], row));
-          }
+          DIABLO_RETURN_IF_ERROR(ApplyChain(
+              chain, 0, row, &tallies[p],
+              [&](const Value& v) -> Status {
+                if (!partials[p].has_value()) {
+                  partials[p] = v;
+                } else {
+                  DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], v));
+                }
+                return Status::OK();
+              }));
         }
         return Status::OK();
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  stats.fused_ops = static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  FinishStage(std::move(stats), rec);
   std::optional<Value> acc;
   for (auto& part : partials) {
     if (!part.has_value()) continue;
@@ -886,25 +1294,28 @@ StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
   return acc;
 }
 
-ValueVec Engine::Collect(const Dataset& in) const {
+StatusOr<ValueVec> Engine::Collect(const Dataset& in) {
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, Force(in));
   ValueVec out;
-  out.reserve(static_cast<size_t>(in.TotalRows()));
-  for (const auto& part : in.partitions()) {
+  out.reserve(static_cast<size_t>(src.TotalRows()));
+  for (const auto& part : src.partitions()) {
     for (const Value& v : part) out.push_back(v);
   }
   return out;
 }
 
-StatusOr<Value> Engine::First(const Dataset& in) const {
-  for (const auto& part : in.partitions()) {
+StatusOr<Value> Engine::First(const Dataset& in) {
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, Force(in));
+  for (const auto& part : src.partitions()) {
     if (!part.empty()) return part[0];
   }
   return Status::RuntimeError("First() on an empty dataset");
 }
 
-int64_t Engine::Count(const Dataset& in) {
-  FinishStage({"count", /*wide=*/false, RowCounts(in), {}, 0}, StageRecovery());
-  return in.TotalRows();
+StatusOr<int64_t> Engine::Count(const Dataset& in) {
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, Force(in));
+  FinishStage({"count", /*wide=*/false, RowCounts(src), {}, 0}, StageRecovery());
+  return src.TotalRows();
 }
 
 }  // namespace diablo::runtime

@@ -37,6 +37,14 @@ struct EngineConfig {
   /// shuffle bytes the exact encoded size. Off by default (the
   /// SerializedBytes() estimate is used instead).
   bool serialize_shuffles = false;
+  /// When true (the default), narrow operators (map / mapValues /
+  /// filter / flatMap) are lazy: they append to the dataset's fused
+  /// chain and execute element-by-element inside the next stage
+  /// boundary (shuffle, reduce, collect, checkpoint, Force) with no
+  /// intermediate ValueVec ever built. False restores the eager
+  /// one-operator-one-stage engine — same results byte-for-byte, used
+  /// by the AB6 ablation and the fusion property tests.
+  bool fuse_narrow = true;
   /// Deterministic fault injection and recovery policy (runtime/fault.h).
   /// Off by default: with no fault class enabled the engine skips all
   /// fault bookkeeping and retains no lineage closures.
@@ -55,10 +63,18 @@ struct StageRecovery {
 ///
 /// Datasets are hash-partitioned; narrow operators (map/filter/flatMap)
 /// transform partitions in place, wide operators (groupByKey, reduceByKey,
-/// join, coGroup) redistribute rows by key hash — a shuffle. Every operator
+/// join, coGroup) redistribute rows by key hash — a shuffle. Every stage
 /// records a StageStats entry in metrics(), from which the cluster cost
 /// model computes a simulated distributed run time (DESIGN.md §3 explains
 /// why this substitution preserves the paper's comparisons).
+///
+/// With EngineConfig::fuse_narrow (the default), narrow operators defer:
+/// they return a lazy Dataset whose pending chain runs fused inside the
+/// next stage boundary, one element at a time — the Spark pipelining
+/// model. A fused stage's label joins the chain's labels with '+'
+/// ("flatMap+filter+map"), and StageStats::fused_ops /
+/// rows_not_materialized / bytes_not_materialized make the saved
+/// intermediates observable.
 ///
 /// Rows of keyed datasets are pair tuples (key, value); the key may be any
 /// Value (ints, tuples of ints, strings, ...).
@@ -68,15 +84,18 @@ struct StageRecovery {
 /// budget; injected failures (killed attempts, corrupted shuffle
 /// payloads) are retried with deterministic simulated backoff, and lost
 /// input partitions are recomputed from dataset lineage — Checkpoint()
-/// truncates lineage inside iterative loops. All recovery work is
+/// truncates lineage inside iterative loops. A failed attempt restarts
+/// the whole fused chain for its partition. All recovery work is
 /// charged to StageStats::recovery_seconds. The invariant: a run that
 /// completes under injection produces bit-identical results to the
 /// fault-free run.
 ///
 /// All operator callbacks may fail; a genuine callback error is never
-/// retried — the first one aborts the stage and is returned. Callbacks
-/// must be thread-safe when host_threads > 1 and must be restartable
-/// (they may run more than once for the same partition under retries).
+/// retried — the first one aborts the stage and is returned. Under
+/// fusion an error surfaces at the stage boundary that executes the
+/// chain, not at the deferring call. Callbacks must be thread-safe when
+/// host_threads > 1 and must be restartable (they may run more than
+/// once for the same partition under retries).
 class Engine {
  public:
   using MapFn = std::function<StatusOr<Value>(const Value&)>;
@@ -107,17 +126,28 @@ class Engine {
   /// split into contiguous partitions.
   Dataset Range(int64_t lo, int64_t hi) const;
 
-  /// Narrow: applies `fn` to every row.
+  /// Narrow: applies `fn` to every row. Lazy under fuse_narrow.
   StatusOr<Dataset> Map(const Dataset& in, const MapFn& fn,
                         const std::string& label = "map");
 
-  /// Narrow: keeps rows satisfying `pred`.
+  /// Narrow: applies `fn` to the value of every (k,v) pair row, keeping
+  /// the key — Spark's mapValues. Lazy under fuse_narrow.
+  StatusOr<Dataset> MapValues(const Dataset& in, const MapFn& fn,
+                              const std::string& label = "mapValues");
+
+  /// Narrow: keeps rows satisfying `pred`. Lazy under fuse_narrow.
   StatusOr<Dataset> Filter(const Dataset& in, const PredFn& pred,
                            const std::string& label = "filter");
 
-  /// Narrow: maps every row to a bag of rows and concatenates.
+  /// Narrow: maps every row to a bag of rows and concatenates. Lazy
+  /// under fuse_narrow.
   StatusOr<Dataset> FlatMap(const Dataset& in, const FlatMapFn& fn,
                             const std::string& label = "flatMap");
+
+  /// Materializes any pending fused chain as ONE task wave (the stage
+  /// label joins the chain's labels with '+'). No-op for materialized
+  /// datasets. Use before reading partitions()/TotalRows() directly.
+  StatusOr<Dataset> Force(const Dataset& in);
 
   /// Wide: groups (k,v) rows by k; result rows are (k, Bag-of-v), sorted
   /// by key within each partition (for determinism).
@@ -142,8 +172,9 @@ class Engine {
                             const std::string& label = "coGroup");
 
   /// Narrow: bag union (concatenation) of the two datasets. Metadata
-  /// only (like Spark's union): no tasks run, so no faults can hit it.
-  Dataset Union(const Dataset& a, const Dataset& b);
+  /// only (like Spark's union): no tasks run beyond forcing any pending
+  /// chains of the inputs, so no faults can hit the union itself.
+  StatusOr<Dataset> Union(const Dataset& a, const Dataset& b);
 
   /// Wide: removes duplicate rows.
   StatusOr<Dataset> Distinct(const Dataset& in,
@@ -152,9 +183,10 @@ class Engine {
   /// Writes the dataset to (simulated) stable storage and truncates its
   /// lineage: the result is durable, so recoveries stop here instead of
   /// walking further back. Use inside iterative loops (PageRank,
-  /// K-means) to bound both recovery cost and lineage depth. The write
-  /// is charged as a narrow stage whose shuffle_bytes are the
-  /// serialized dataset size.
+  /// K-means) to bound both recovery cost and lineage depth. Any
+  /// pending fused chain executes inside the write wave; the write is
+  /// charged as a narrow stage whose shuffle_bytes are the serialized
+  /// dataset size.
   StatusOr<Dataset> Checkpoint(const Dataset& in,
                                const std::string& label = "checkpoint");
 
@@ -162,14 +194,15 @@ class Engine {
   StatusOr<std::optional<Value>> Reduce(const Dataset& in, const ReduceFn& fn,
                                         const std::string& label = "reduce");
 
-  /// Action: gathers all rows to the driver, in partition order.
-  ValueVec Collect(const Dataset& in) const;
+  /// Action: gathers all rows to the driver, in partition order (forcing
+  /// any pending chain first).
+  StatusOr<ValueVec> Collect(const Dataset& in);
 
   /// Action: the first row in partition order; error when empty.
-  StatusOr<Value> First(const Dataset& in) const;
+  StatusOr<Value> First(const Dataset& in);
 
   /// Action: number of rows (charged as a narrow scan).
-  int64_t Count(const Dataset& in);
+  StatusOr<int64_t> Count(const Dataset& in);
 
  private:
   /// Runs fn(0..n-1), using up to config_.host_threads threads; returns
@@ -190,28 +223,37 @@ class Engine {
 
   /// Applies any one-shot lost-partition directives targeting
   /// (stage, input_index): rebuilds the lost partitions from `in`'s
-  /// lineage, charging the recomputation to `rec`. Returns `in`
+  /// lineage — in ONE source pass via LineageNode::recompute_many when
+  /// the node provides it — charging the recomputation to `rec`. The
+  /// returned dataset keeps `in`'s pending fused chain. Returns `in`
   /// unchanged when nothing was lost.
   StatusOr<Dataset> RecoverInput(const Dataset& in, int stage,
                                  int input_index, StageRecovery* rec);
 
   /// Hash-partitions keyed rows of `in` into num_partitions buckets as
-  /// one task wave (with optional wire-format round-trip and payload
-  /// corruption injection), returning them and the number of bytes that
-  /// crossed partitions.
+  /// one task wave: a single-pass scatter that applies `in`'s pending
+  /// fused chain element-by-element and hashes each produced row ONCE
+  /// into its destination buffer (with optional wire-format round-trip
+  /// and payload corruption injection), returning the buckets and the
+  /// number of bytes that crossed partitions.
   StatusOr<std::vector<ValueVec>> ShuffleWave(const Dataset& in, int stage,
                                               int64_t* shuffle_bytes,
-                                              StageRecovery* rec);
+                                              StageRecovery* rec,
+                                              StageStats* stats);
 
   /// Merges `rec` into `stats` and records the stage.
   void FinishStage(StageStats stats, const StageRecovery& rec);
 
   /// Builds a lineage node for a dataset produced by this engine. The
-  /// recompute closure is only retained when fault injection is on.
+  /// recompute closures are only retained when fault injection is on.
+  /// `depth_increment` is how many operators the node stands for (a
+  /// fused stage advances depth by its whole chain length).
   std::shared_ptr<const LineageNode> MakeLineage(
       std::string kind, std::string label,
       std::vector<std::shared_ptr<const LineageNode>> parents,
-      LineageNode::RecomputeFn recompute) const;
+      LineageNode::RecomputeFn recompute,
+      LineageNode::RecomputeManyFn recompute_many = nullptr,
+      int depth_increment = 1) const;
 
   static StatusOr<const Value*> RowKey(const Value& row);
 

@@ -65,6 +65,24 @@ double Metrics::total_recovery_seconds() const {
   return n;
 }
 
+int64_t Metrics::total_fused_ops() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.fused_ops;
+  return n;
+}
+
+int64_t Metrics::total_rows_not_materialized() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.rows_not_materialized;
+  return n;
+}
+
+int64_t Metrics::total_bytes_not_materialized() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.bytes_not_materialized;
+  return n;
+}
+
 double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {
@@ -99,6 +117,11 @@ std::string Metrics::Report() const {
     if (s.recomputed_partitions > 0 || s.recovery_seconds > 0) {
       os << " recomputed=" << s.recomputed_partitions
          << " recovery_s=" << s.recovery_seconds;
+    }
+    if (s.fused_ops > 0) {
+      os << " fused_ops=" << s.fused_ops
+         << " rows_unmaterialized=" << s.rows_not_materialized
+         << " bytes_unmaterialized=" << s.bytes_not_materialized;
     }
     os << "\n";
   }

@@ -34,6 +34,16 @@ struct StageStats {
   /// execution time. SimulatedSeconds() includes it; the fault-free
   /// figure is SimulatedFaultFreeSeconds().
   double recovery_seconds = 0;
+  /// Narrow-operator fusion accounting. `fused_ops` is the number of
+  /// deferred narrow operators this stage executed element-by-element
+  /// inside its task wave (0 for eager stages). The rows/bytes fields
+  /// count the intermediate results an eager per-operator engine would
+  /// have built as full ValueVec datasets between those operators but
+  /// which this stage streamed through without materializing (bytes are
+  /// estimated from the first row crossing each operator boundary).
+  int64_t fused_ops = 0;
+  int64_t rows_not_materialized = 0;
+  int64_t bytes_not_materialized = 0;
 };
 
 /// Parameters of the deterministic cluster cost model.
@@ -78,6 +88,13 @@ class Metrics {
   int64_t total_recomputed_partitions() const;
   /// Simulated seconds of recovery work across all stages.
   double total_recovery_seconds() const;
+  /// Fused narrow operators executed inside stage waves (see StageStats).
+  int64_t total_fused_ops() const;
+  /// Intermediate rows streamed through fused chains instead of built
+  /// as full datasets.
+  int64_t total_rows_not_materialized() const;
+  /// Estimated bytes of those skipped intermediates.
+  int64_t total_bytes_not_materialized() const;
 
   /// Simulated wall-clock seconds on a cluster described by `model`,
   /// recovery overhead included.

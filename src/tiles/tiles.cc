@@ -119,8 +119,12 @@ StatusOr<Dataset> PartitionByKey(Engine& engine, const Dataset& ds) {
       "partitionBy");
 }
 
-StatusOr<Dataset> ZipMergeAdd(Engine& engine, const Dataset& a,
-                              const Dataset& b) {
+StatusOr<Dataset> ZipMergeAdd(Engine& engine, const Dataset& in_a,
+                              const Dataset& in_b) {
+  // This merge reads partitions directly, so any pending fused chain
+  // (Pack's trailing tile-forming map) must run first.
+  DIABLO_ASSIGN_OR_RETURN(Dataset a, engine.Force(in_a));
+  DIABLO_ASSIGN_OR_RETURN(Dataset b, engine.Force(in_b));
   // A fresh (never packed) side has zero partitions and contributes
   // nothing.
   if (a.num_partitions() == 0) return b;

@@ -66,7 +66,7 @@ TEST(ArrayMergeDistributed, AgreesWithLocal) {
     auto merged = ArrayMerge(engine, engine.Parallelize(x),
                              engine.Parallelize(y));
     ASSERT_TRUE(merged.ok()) << merged.status().ToString();
-    ValueVec got = engine.Collect(*merged);
+    ValueVec got = engine.Collect(*merged).value();
     EXPECT_TRUE(BagEquals(Value::MakeBag(got), Value::MakeBag(*expected)))
         << parts << " partitions";
   }

@@ -147,12 +147,15 @@ TEST(FaultTolerance, LostPartitionIsRecomputedFromLineage) {
   auto expected = RunPipeline(clean, rows);
   ASSERT_TRUE(expected.ok());
 
-  // Stage ids in RunPipeline: 0 = pl.scale, 1 = pl.sum combine wave.
-  // Losing an input partition of stage 1 forces the engine to rebuild it
-  // from pl.scale's lineage (a recompute, not a durable re-read).
+  // Stage ids in RunPipeline under fusion: pl.scale and pl.size are
+  // deferred, so 0-2 are pl.sum (combine/shuffle/reduce), 3-4 are pl.grp
+  // (shuffle/group) and 5-7 are pl.join. Losing the sizes-side input of
+  // the join (input 1 of stage 5) forces the engine to rebuild the lost
+  // grouped partition from pl.grp's lineage — a single-pass recompute,
+  // not a durable re-read — and replay the pending pl.size chain on it.
   EngineConfig config;
   config.faults.lose_partitions.push_back(
-      {/*stage=*/1, /*partition=*/2, /*input_index=*/0});
+      {/*stage=*/5, /*partition=*/2, /*input_index=*/1});
   Engine engine(config);
   auto got = RunPipeline(engine, rows);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -183,8 +186,10 @@ TEST(FaultTolerance, ExhaustedRetryBudgetNamesStagePartitionAndAttempts) {
   config.faults.max_task_attempts = 3;
   Engine engine(config);
   Dataset ds = engine.Parallelize(KeyedRows(40, 4));
-  auto result = engine.Map(
+  auto mapped = engine.Map(
       ds, [](const Value& v) -> StatusOr<Value> { return v; }, "doomed.map");
+  ASSERT_TRUE(mapped.ok());  // deferred: the doomed wave runs at the action
+  auto result = engine.Collect(*mapped);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
   const std::string& msg = result.status().message();
@@ -200,10 +205,12 @@ TEST(FaultTolerance, GenuineErrorsAreNotRetried) {
   config.faults.task_failure_rate = 0.0;  // keep the schedule quiet
   Engine engine(config);
   Dataset ds = engine.Range(0, 9);
-  auto result = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+  auto mapped = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
     if (v.AsInt() == 7) return Status::RuntimeError("boom");
     return v;
   });
+  ASSERT_TRUE(mapped.ok());
+  auto result = engine.Collect(*mapped);
   ASSERT_FALSE(result.ok());
   // Propagated verbatim — no retry wrapper, no budget message.
   EXPECT_EQ(result.status().message(), "boom");
@@ -266,21 +273,21 @@ TEST(FaultTolerance, RecoveryAfterCheckpointReadsTheCheckpoint) {
         Dataset a, engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
           return Value::MakePair(v.tuple()[0],
                                  Value::MakeDouble(v.tuple()[1].AsDouble() * 2));
-        }));                                              // stage 0
-    DIABLO_ASSIGN_OR_RETURN(Dataset c, engine.Checkpoint(a));  // stage 1
+        }));                                       // deferred into stage 0
+    DIABLO_ASSIGN_OR_RETURN(Dataset c, engine.Checkpoint(a));  // stage 0
     DIABLO_ASSIGN_OR_RETURN(
         Dataset b, engine.Map(c, [](const Value& v) -> StatusOr<Value> {
           return Value::MakePair(v.tuple()[0],
                                  Value::MakeDouble(v.tuple()[1].AsDouble() + 1));
-        }));                                              // stage 2
+        }));                                       // deferred into stage 1
     return engine.Collect(b);
   };
   auto expected = run(EngineConfig{});
   ASSERT_TRUE(expected.ok());
   EngineConfig config;
-  // The checkpointed input of stage 2 is lost: recovery is a durable
-  // re-read, never a recomputation of stage 0.
-  config.faults.lose_partitions.push_back({2, 4, 0});
+  // The checkpointed input of the collecting stage is lost: recovery is
+  // a durable re-read, never a recomputation of the first map.
+  config.faults.lose_partitions.push_back({1, 4, 0});
   auto got = run(config);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(*got, *expected);

@@ -49,7 +49,7 @@ class PlannerTest : public ::testing::Test {
     EXPECT_TRUE(plan.ok()) << plan.status().ToString();
     auto ds = ExecutePlan(*plan, state_);
     EXPECT_TRUE(ds.ok()) << ds.status().ToString();
-    ValueVec rows = engine_.Collect(*ds);
+    ValueVec rows = engine_.Collect(*ds).value();
     std::sort(rows.begin(), rows.end());
     return rows;
   }
@@ -126,7 +126,7 @@ TEST_F(PlannerTest, SmallArraysBroadcastWhenEnabled) {
   EXPECT_EQ(plan->NumShuffles(), 0);  // broadcast joins don't shuffle
   auto ds = ExecutePlan(*plan, state);
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
-  ValueVec rows = engine.Collect(*ds);
+  ValueVec rows = engine.Collect(*ds).value();
   std::sort(rows.begin(), rows.end());
   ASSERT_EQ(rows.size(), 5u);  // even keys only
   EXPECT_EQ(rows[1].AsInt(), 220);  // A[2]=20 + B[2]=200
@@ -160,7 +160,7 @@ TEST_F(PlannerTest, BroadcastJoinMatchesShuffleJoin) {
     ASSERT_TRUE(plan.ok());
     auto ds = ExecutePlan(*plan, state);
     ASSERT_TRUE(ds.ok()) << ds.status().ToString();
-    results[mode] = engine.Collect(*ds);
+    results[mode] = engine.Collect(*ds).value();
     std::sort(results[mode].begin(), results[mode].end());
   }
   EXPECT_EQ(results[0], results[1]);

@@ -194,8 +194,8 @@ TEST(Serialize, EngineShuffleRoundTripsRows) {
   Engine plain;
   auto expected = plain.GroupByKey(plain.Parallelize(rows));
   ASSERT_TRUE(expected.ok());
-  EXPECT_TRUE(BagEquals(Value::MakeBag(engine.Collect(*grouped)),
-                        Value::MakeBag(plain.Collect(*expected))));
+  EXPECT_TRUE(BagEquals(Value::MakeBag(engine.Collect(*grouped).value()),
+                        Value::MakeBag(plain.Collect(*expected).value())));
   EXPECT_GT(engine.metrics().total_shuffle_bytes(), 0);
 }
 

@@ -34,7 +34,7 @@ ValueVec DenseMatrixRows(int64_t n, int64_t m, std::mt19937_64& rng) {
 }
 
 Value SortedBag(Engine& engine, const Dataset& ds) {
-  ValueVec rows = engine.Collect(ds);
+  ValueVec rows = engine.Collect(ds).value();
   std::sort(rows.begin(), rows.end());
   return Value::MakeBag(std::move(rows));
 }
@@ -64,7 +64,8 @@ TEST_P(PackUnpackTest, UnpackOfPackIsIdentityOnDenseMatrices) {
     original.emplace(row.tuple()[0], row.tuple()[1]);
   }
   int64_t in_support = 0;
-  for (const Value& row : engine.Collect(*back)) {
+  const ValueVec back_rows = engine.Collect(*back).value();
+  for (const Value& row : back_rows) {
     auto it = original.find(row.tuple()[0]);
     if (it == original.end()) {
       // Padding slot must be zero.
@@ -97,7 +98,8 @@ TEST(Pack, TileCountAndShape) {
   auto tiled = Pack(engine, sparse, config);
   ASSERT_TRUE(tiled.ok());
   EXPECT_EQ(tiled->TotalRows(), 4);  // 2x2 tile grid
-  for (const Value& row : engine.Collect(*tiled)) {
+  const ValueVec tile_rows = engine.Collect(*tiled).value();
+  for (const Value& row : tile_rows) {
     EXPECT_EQ(row.tuple()[1].bag().size(), 16u);
   }
 }
@@ -215,7 +217,8 @@ TEST(TiledMatMul, AgreesWithDenseReference) {
     }
   }
   int64_t checked = 0;
-  for (const Value& row : engine.Collect(*result)) {
+  const ValueVec result_rows = engine.Collect(*result).value();
+  for (const Value& row : result_rows) {
     auto it = expected.find(row.tuple()[0]);
     ASSERT_NE(it, expected.end()) << row.ToString();
     EXPECT_NEAR(row.tuple()[1].ToDouble(), it->second, 1e-9);
