@@ -1,0 +1,37 @@
+#ifndef DIABLO_ANALYSIS_LOOP_LINT_H_
+#define DIABLO_ANALYSIS_LOOP_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ast/ast.h"
+
+namespace diablo::analysis {
+
+/// Options of the Definition 3.1 race analyzer.
+struct LoopLintOptions {
+  /// Maximum number of values enumerated per loop index when searching
+  /// for a concrete race witness. Loops with constant bounds use their
+  /// own (clamped) domain; everything else defaults to [0, max_domain).
+  int max_domain = 6;
+  /// Hard cap on the number of iteration-vector pairs tried per
+  /// conflicting access pair.
+  long long max_combinations = 200000;
+};
+
+/// Level-1 static analysis: checks every parallelizable for-loop of
+/// `program` against the parallelization restrictions of Definition 3.1
+/// and reports violations as error diagnostics (codes D001-D007), each
+/// with a concrete two-iteration witness when one exists in a small
+/// bounded index domain. Also emits advisory lints (D101-D103) for
+/// accepted-but-suspicious shapes: shadowed loop indexes, non-commutative
+/// self-updates inside parallel loops, and non-affine read subscripts.
+///
+/// `program` must be canonicalized first (CanonicalizeIncrements), like
+/// CheckProgram. The result is sorted by source location and deduplicated.
+std::vector<Diagnostic> LintLoops(const ast::Program& program,
+                                  const LoopLintOptions& options = {});
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_LOOP_LINT_H_

@@ -1,0 +1,512 @@
+#include "analysis/plan_lint.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "plan/plan.h"
+#include "runtime/dataset.h"
+#include "runtime/value.h"
+
+namespace diablo::analysis {
+
+using comp::CExpr;
+using comp::CExprPtr;
+using comp::CompPtr;
+using comp::TargetStmt;
+using comp::TargetStmtPtr;
+using plan::CompPlan;
+using plan::StreamOp;
+
+namespace {
+
+/// What evaluating one comprehension-calculus expression costs: the wide
+/// (shuffling) stages it runs, in pipeline order.
+struct WideStage {
+  std::string label;
+  /// Row width (slots) at the shuffle, for the ~bytes/row estimate.
+  int row_slots = 0;
+};
+
+struct ExprFacts {
+  std::vector<WideStage> stages;
+};
+
+/// Three-value emptiness for the P104 (merge into empty array) advisory.
+enum class Emptiness { kEmpty, kNonEmpty, kUnknown };
+
+/// True when `e` contains `⊕/v` for some v in `vars` (a reduction of a
+/// group-by-lifted bag — the reduceByKey shape).
+bool ContainsReduceOfVar(const CExprPtr& e,
+                         const std::set<std::string>& vars) {
+  if (e == nullptr) return false;
+  if (e->is<CExpr::Reduce>()) {
+    const auto& r = e->as<CExpr::Reduce>();
+    if (r.arg != nullptr && r.arg->is<CExpr::Var>() &&
+        vars.count(r.arg->as<CExpr::Var>().name) != 0) {
+      return true;
+    }
+    return ContainsReduceOfVar(r.arg, vars);
+  }
+  if (e->is<CExpr::Bin>()) {
+    return ContainsReduceOfVar(e->as<CExpr::Bin>().lhs, vars) ||
+           ContainsReduceOfVar(e->as<CExpr::Bin>().rhs, vars);
+  }
+  if (e->is<CExpr::Un>()) {
+    return ContainsReduceOfVar(e->as<CExpr::Un>().operand, vars);
+  }
+  if (e->is<CExpr::TupleCons>()) {
+    for (const auto& el : e->as<CExpr::TupleCons>().elems) {
+      if (ContainsReduceOfVar(el, vars)) return true;
+    }
+    return false;
+  }
+  if (e->is<CExpr::RecordCons>()) {
+    for (const auto& [name, el] : e->as<CExpr::RecordCons>().fields) {
+      if (ContainsReduceOfVar(el, vars)) return true;
+    }
+    return false;
+  }
+  if (e->is<CExpr::Proj>()) {
+    return ContainsReduceOfVar(e->as<CExpr::Proj>().base, vars);
+  }
+  if (e->is<CExpr::Call>()) {
+    for (const auto& a : e->as<CExpr::Call>().args) {
+      if (ContainsReduceOfVar(a, vars)) return true;
+    }
+    return false;
+  }
+  if (e->is<CExpr::Nested>()) {
+    const CompPtr& c = e->as<CExpr::Nested>().comp;
+    if (ContainsReduceOfVar(c->head, vars)) return true;
+    for (const auto& q : c->qualifiers) {
+      if (ContainsReduceOfVar(q.expr, vars)) return true;
+    }
+    return false;
+  }
+  if (e->is<CExpr::Merge>()) {
+    return ContainsReduceOfVar(e->as<CExpr::Merge>().left, vars) ||
+           ContainsReduceOfVar(e->as<CExpr::Merge>().right, vars);
+  }
+  if (e->is<CExpr::BagCons>()) {
+    for (const auto& el : e->as<CExpr::BagCons>().elems) {
+      if (ContainsReduceOfVar(el, vars)) return true;
+    }
+    return false;
+  }
+  if (e->is<CExpr::Range>()) {
+    return ContainsReduceOfVar(e->as<CExpr::Range>().lo, vars) ||
+           ContainsReduceOfVar(e->as<CExpr::Range>().hi, vars);
+  }
+  return false;
+}
+
+/// Collects the names of variables assigned anywhere under `stmts`
+/// (for the while-body widening of the emptiness lattice).
+void CollectAssignedVars(const std::vector<TargetStmtPtr>& stmts,
+                         std::set<std::string>* out) {
+  for (const auto& s : stmts) {
+    if (s->is<TargetStmt::Assign>()) {
+      out->insert(s->as<TargetStmt::Assign>().var);
+    } else if (s->is<TargetStmt::While>()) {
+      CollectAssignedVars(s->as<TargetStmt::While>().body, out);
+    }
+  }
+}
+
+void CollectDeclaredArrays(const std::vector<TargetStmtPtr>& stmts,
+                           std::set<std::string>* out) {
+  for (const auto& s : stmts) {
+    if (s->is<TargetStmt::Declare>()) {
+      if (s->as<TargetStmt::Declare>().is_array) {
+        out->insert(s->as<TargetStmt::Declare>().var);
+      }
+    } else if (s->is<TargetStmt::While>()) {
+      CollectDeclaredArrays(s->as<TargetStmt::While>().body, out);
+    }
+  }
+}
+
+class PlanLinter {
+ public:
+  PlanLinter(const std::set<std::string>& array_vars,
+             const PlanLintOptions& options)
+      : options_(options) {
+    for (const std::string& v : array_vars) {
+      arrays_[v] = runtime::Dataset();
+    }
+    state_.engine = nullptr;
+    state_.scalars = &scalars_;
+    state_.arrays = &arrays_;
+  }
+
+  PlanLintResult Run(const comp::TargetProgram& target) {
+    std::set<std::string> declared;
+    CollectDeclaredArrays(target.stmts, &declared);
+    for (const std::string& v : declared) {
+      if (arrays_.count(v) == 0) arrays_[v] = runtime::Dataset();
+    }
+    WalkStmts(target.stmts);
+    // P103: a narrow-only producer whose array feeds exactly one scan and
+    // no join could have been fused into its consumer.
+    for (const auto& [var, info] : producers_) {
+      if (!info.narrow) continue;
+      if (scan_consumers_[var] != 1 || other_consumers_[var] != 0) continue;
+      Emit(diag::kMissedFusion, Severity::kWarning, consumer_loc_[var],
+           StrCat("array '", var,
+                  "' is built by a narrow pipeline (line ", info.loc.line,
+                  ") and scanned by a single consumer; the intermediate "
+                  "array is a missed narrow-fusion opportunity"),
+           "inline the producer comprehension into its consumer to avoid "
+           "materializing and re-scanning the array");
+    }
+    Emit(diag::kProgramShuffles, Severity::kNote, SourceLocation{},
+         StrCat("program runs ", total_wide_,
+                " wide (shuffle) stage(s) per pass; while-loop bodies "
+                "counted once"),
+         "");
+    PlanLintResult result;
+    SortAndDedupe(&diags_);
+    result.diagnostics = std::move(diags_);
+    result.total_wide_stages = total_wide_;
+    return result;
+  }
+
+ private:
+  void Emit(const char* code, Severity severity, SourceLocation loc,
+            std::string message, std::string hint) {
+    diags_.push_back(Diagnostic{code, severity, loc, std::move(message),
+                                std::move(hint), std::nullopt});
+  }
+
+  Emptiness StateOf(const std::string& var) const {
+    auto it = empties_.find(var);
+    return it == empties_.end() ? Emptiness::kUnknown : it->second;
+  }
+
+  void WalkStmts(const std::vector<TargetStmtPtr>& stmts) {
+    for (const auto& s : stmts) {
+      if (s->is<TargetStmt::Declare>()) {
+        const auto& d = s->as<TargetStmt::Declare>();
+        empties_[d.var] = (d.is_array && d.init == nullptr)
+                              ? Emptiness::kEmpty
+                              : Emptiness::kNonEmpty;
+        if (d.init != nullptr) {
+          ExprFacts facts = AnalyzeExpr(d.init, s->loc);
+          Report(StrCat("initializer of '", d.var, "'"), facts, s->loc);
+        }
+        continue;
+      }
+      if (s->is<TargetStmt::Assign>()) {
+        const auto& a = s->as<TargetStmt::Assign>();
+        ExprFacts facts = AnalyzeExpr(a.value, s->loc);
+        Report(StrCat("assignment to '", a.var, "'"), facts, s->loc);
+        if (a.is_array) {
+          // Producer bookkeeping for P103: narrow when the update's
+          // comprehensions shuffled nothing (the only wide stage is the
+          // merge itself, or none at all).
+          bool narrow = true;
+          for (const WideStage& w : facts.stages) {
+            if (w.label.rfind("merge", 0) != 0) narrow = false;
+          }
+          producers_[a.var] = Producer{s->loc, narrow};
+        }
+        empties_[a.var] = Emptiness::kNonEmpty;
+        continue;
+      }
+      if (s->is<TargetStmt::While>()) {
+        const auto& w = s->as<TargetStmt::While>();
+        ExprFacts facts = AnalyzeExpr(w.cond, s->loc);
+        Report("while condition", facts, s->loc);
+        // Widen: anything assigned in the body has unknown emptiness on
+        // every iteration after the first (a re-declaration inside the
+        // body resets it to empty each time round).
+        std::set<std::string> assigned;
+        CollectAssignedVars(w.body, &assigned);
+        for (const std::string& v : assigned) {
+          empties_[v] = Emptiness::kUnknown;
+        }
+        WalkStmts(w.body);
+        continue;
+      }
+    }
+  }
+
+  /// Emits the per-statement P001 shuffle note when `facts` has any wide
+  /// stage, and adds them to the program total.
+  void Report(const std::string& what, const ExprFacts& facts,
+              SourceLocation loc) {
+    total_wide_ += static_cast<int>(facts.stages.size());
+    if (facts.stages.empty()) return;
+    std::vector<std::string> parts;
+    for (const WideStage& w : facts.stages) {
+      parts.push_back(StrCat(w.label, " (~",
+                             w.row_slots * options_.bytes_per_slot,
+                             " B/row)"));
+    }
+    Emit(diag::kStmtShuffles, Severity::kNote, loc,
+         StrCat(what, " runs ", facts.stages.size(), " wide stage(s): ",
+                Join(parts, ", ")),
+         "");
+  }
+
+  ExprFacts AnalyzeExpr(const CExprPtr& e, SourceLocation loc) {
+    ExprFacts facts;
+    AnalyzeExprInto(e, loc, &facts);
+    return facts;
+  }
+
+  void Append(ExprFacts* into, const ExprFacts& from) {
+    into->stages.insert(into->stages.end(), from.stages.begin(),
+                        from.stages.end());
+  }
+
+  void AnalyzeExprInto(const CExprPtr& e, SourceLocation loc,
+                       ExprFacts* facts) {
+    if (e == nullptr) return;
+    if (e->is<CExpr::Merge>()) {
+      const auto& m = e->as<CExpr::Merge>();
+      AnalyzeExprInto(m.left, loc, facts);
+      AnalyzeExprInto(m.right, loc, facts);
+      std::string left_var;
+      if (m.left != nullptr && m.left->is<CExpr::Var>()) {
+        left_var = m.left->as<CExpr::Var>().name;
+      }
+      if (!left_var.empty() && StateOf(left_var) == Emptiness::kEmpty) {
+        Emit(diag::kEmptyMerge, Severity::kWarning, loc,
+             StrCat("merge into provably empty array '", left_var,
+                    "': the coGroup's left side has no rows here"),
+             "build the array directly from the comprehension instead of "
+             "merging into an empty one (saves one wide stage per "
+             "update)");
+      }
+      facts->stages.push_back(WideStage{
+          left_var.empty() ? "merge" : StrCat("merge[", left_var, "]"), 2});
+      return;
+    }
+    if (e->is<CExpr::Nested>()) {
+      AnalyzeComp(e->as<CExpr::Nested>().comp, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::Reduce>()) {
+      // Engine::Reduce over a distributed operand is narrow (tree
+      // aggregation, no shuffle): only the operand's stages count.
+      AnalyzeExprInto(e->as<CExpr::Reduce>().arg, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::Bin>()) {
+      AnalyzeExprInto(e->as<CExpr::Bin>().lhs, loc, facts);
+      AnalyzeExprInto(e->as<CExpr::Bin>().rhs, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::Un>()) {
+      AnalyzeExprInto(e->as<CExpr::Un>().operand, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::TupleCons>()) {
+      for (const auto& el : e->as<CExpr::TupleCons>().elems) {
+        AnalyzeExprInto(el, loc, facts);
+      }
+      return;
+    }
+    if (e->is<CExpr::RecordCons>()) {
+      for (const auto& [name, el] : e->as<CExpr::RecordCons>().fields) {
+        AnalyzeExprInto(el, loc, facts);
+      }
+      return;
+    }
+    if (e->is<CExpr::Proj>()) {
+      AnalyzeExprInto(e->as<CExpr::Proj>().base, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::Call>()) {
+      for (const auto& a : e->as<CExpr::Call>().args) {
+        AnalyzeExprInto(a, loc, facts);
+      }
+      return;
+    }
+    if (e->is<CExpr::BagCons>()) {
+      for (const auto& el : e->as<CExpr::BagCons>().elems) {
+        AnalyzeExprInto(el, loc, facts);
+      }
+      return;
+    }
+    if (e->is<CExpr::Range>()) {
+      AnalyzeExprInto(e->as<CExpr::Range>().lo, loc, facts);
+      AnalyzeExprInto(e->as<CExpr::Range>().hi, loc, facts);
+      return;
+    }
+    // Var and constants cost nothing.
+  }
+
+  /// Plans a comprehension with the real planner (static state: empty
+  /// placeholder datasets, no engine) and folds its wide operators into
+  /// `facts`, emitting shape advisories along the way.
+  void AnalyzeComp(const CompPtr& comp, SourceLocation loc,
+                   ExprFacts* facts) {
+    StatusOr<CompPlan> planned = plan::BuildPlan(comp, state_);
+    if (!planned.ok()) {
+      // Unplannable here (e.g. driver-bound scalars missing in the
+      // static state): fall back to scanning the comprehension's own
+      // expressions for nested work.
+      AnalyzeExprInto(comp->head, loc, facts);
+      for (const auto& q : comp->qualifiers) {
+        AnalyzeExprInto(q.expr, loc, facts);
+      }
+      return;
+    }
+    const CompPlan& plan = planned.value();
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+      const StreamOp& op = plan.ops[i];
+      int slots = static_cast<int>(op.schema_after.size());
+      switch (op.kind) {
+        case StreamOp::Kind::kSourceArray:
+          scan_consumers_[op.array] += 1;
+          consumer_loc_[op.array] = loc;
+          break;
+        case StreamOp::Kind::kJoinArray:
+          other_consumers_[op.array] += 1;
+          if (!plan.driver_only) {
+            facts->stages.push_back(
+                WideStage{StrCat("join[", op.array, "]"), slots});
+          }
+          break;
+        case StreamOp::Kind::kBroadcastJoinArray:
+          other_consumers_[op.array] += 1;
+          if (!plan.driver_only) {
+            facts->stages.push_back(
+                WideStage{StrCat("broadcastJoin[", op.array, "]"), slots});
+          }
+          break;
+        case StreamOp::Kind::kCartesianArray:
+          other_consumers_[op.array] += 1;
+          if (!plan.driver_only) {
+            facts->stages.push_back(
+                WideStage{StrCat("cartesian[", op.array, "]"), slots});
+            Emit(diag::kCartesianProduct, Severity::kWarning, loc,
+                 StrCat("generator over '", op.array,
+                        "' has no linking condition: cartesian product "
+                        "(|stream| x |", op.array, "| rows)"),
+                 "add an equality condition between the generator and "
+                 "the stream so the planner can use a hash join");
+          }
+          break;
+        case StreamOp::Kind::kGroupBy: {
+          if (!plan.driver_only) {
+            facts->stages.push_back(WideStage{"groupBy", slots});
+          }
+          // P101: the lifted bags are only ever reduced -> reduceByKey
+          // (map-side combine) would shuffle one value per key instead
+          // of the whole bag.
+          std::set<std::string> lifted(op.lifted.begin(), op.lifted.end());
+          bool reduced = ContainsReduceOfVar(plan.head, lifted);
+          for (size_t j = i + 1; j < plan.ops.size() && !reduced; ++j) {
+            reduced = ContainsReduceOfVar(plan.ops[j].expr, lifted) ||
+                      ContainsReduceOfVar(plan.ops[j].expr2, lifted) ||
+                      ContainsReduceOfVar(plan.ops[j].reduce_value, lifted);
+          }
+          if (reduced) {
+            Emit(diag::kGroupByReduce, Severity::kWarning, loc,
+                 StrCat("group-by lifts {", Join(op.lifted, ","),
+                        "} into bags that are only reduced afterwards"),
+                 "reduce while grouping (reduceByKey with map-side "
+                 "combine) instead of materializing per-key bags");
+          }
+          break;
+        }
+        case StreamOp::Kind::kReduceByKey:
+          if (!plan.driver_only) {
+            facts->stages.push_back(WideStage{"reduceByKey", slots});
+          }
+          break;
+        case StreamOp::Kind::kFilter: {
+          // P102: a filter that only needs variables already in scope
+          // below the preceding join should run before it.
+          int join_at = -1;
+          for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+            StreamOp::Kind k = plan.ops[j].kind;
+            if (k == StreamOp::Kind::kJoinArray ||
+                k == StreamOp::Kind::kBroadcastJoinArray ||
+                k == StreamOp::Kind::kCartesianArray) {
+              join_at = j;
+              break;
+            }
+          }
+          if (join_at > 0) {
+            std::set<std::string> before(
+                plan.ops[join_at - 1].schema_after.begin(),
+                plan.ops[join_at - 1].schema_after.end());
+            std::set<std::string> in_scope(
+                plan.ops[i - 1].schema_after.begin(),
+                plan.ops[i - 1].schema_after.end());
+            bool pushable = true;
+            bool uses_stream = false;
+            for (const std::string& v : comp::FreeVars(op.expr)) {
+              if (in_scope.count(v) == 0) continue;  // outer binding
+              uses_stream = true;
+              if (before.count(v) == 0) pushable = false;
+            }
+            if (pushable && uses_stream) {
+              Emit(diag::kFilterAboveJoin, Severity::kWarning, loc,
+                   StrCat("filter ", op.expr->ToString(),
+                          " only reads variables bound before the ",
+                          plan.ops[join_at].kind ==
+                                  StreamOp::Kind::kCartesianArray
+                              ? "cartesian product"
+                              : "join",
+                          " over '", plan.ops[join_at].array,
+                          "' and could run below it"),
+                   "filtering before the join shrinks the shuffled "
+                   "stream");
+            }
+          }
+          break;
+        }
+        case StreamOp::Kind::kSourceRange:
+        case StreamOp::Kind::kIterateBag:
+        case StreamOp::Kind::kLet:
+          break;
+      }
+      // Nested comprehensions inside operator expressions (e.g. a
+      // distributed reduce in a driver-only pipeline) still cost.
+      AnalyzeExprInto(op.expr, loc, facts);
+      AnalyzeExprInto(op.expr2, loc, facts);
+      for (const auto& k : op.left_keys) AnalyzeExprInto(k, loc, facts);
+      for (const auto& k : op.right_keys) AnalyzeExprInto(k, loc, facts);
+      AnalyzeExprInto(op.reduce_value, loc, facts);
+    }
+    AnalyzeExprInto(plan.head, loc, facts);
+  }
+
+  struct Producer {
+    SourceLocation loc;
+    bool narrow = false;
+  };
+
+  const PlanLintOptions& options_;
+  std::map<std::string, runtime::Value> scalars_;
+  std::map<std::string, runtime::Dataset> arrays_;
+  plan::ExecState state_;
+
+  std::vector<Diagnostic> diags_;
+  int total_wide_ = 0;
+  std::map<std::string, Emptiness> empties_;
+  std::map<std::string, Producer> producers_;
+  std::map<std::string, int> scan_consumers_;
+  std::map<std::string, int> other_consumers_;
+  std::map<std::string, SourceLocation> consumer_loc_;
+};
+
+}  // namespace
+
+PlanLintResult LintTargetProgram(const comp::TargetProgram& target,
+                                 const std::set<std::string>& array_vars,
+                                 const PlanLintOptions& options) {
+  PlanLinter linter(array_vars, options);
+  return linter.Run(target);
+}
+
+}  // namespace diablo::analysis

@@ -1,0 +1,48 @@
+#ifndef DIABLO_ANALYSIS_PLAN_LINT_H_
+#define DIABLO_ANALYSIS_PLAN_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "comp/comp.h"
+
+namespace diablo::analysis {
+
+/// Options of the plan-level shuffle analyzer.
+struct PlanLintOptions {
+  /// Estimated serialized bytes per environment-row slot, used for the
+  /// ~bytes/row figures in P001 notes.
+  int bytes_per_slot = 16;
+};
+
+struct PlanLintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Total wide (shuffling) stages a single pass over the program would
+  /// run: one per array merge (coGroup) plus the wide operators of every
+  /// comprehension plan. While-loop bodies are counted once. Matches
+  /// Metrics::num_wide_stages() of an engine run that executes each
+  /// while body exactly once.
+  int total_wide_stages = 0;
+};
+
+/// Level-2 static analysis over translated target code: plans every
+/// comprehension with the real planner (against empty placeholder
+/// datasets) and reports, per statement, the wide stages it will run and
+/// the estimated shuffled bytes per row (P001/P002 notes), plus advisory
+/// lints for expensive or improvable shapes: group-by whose only use is
+/// a reduction (P101, should be reduceByKey), filters evaluable below
+/// the join that precedes them (P102), single-consumer narrow pipelines
+/// split by a materialization (P103), merges into provably empty arrays
+/// (P104), and cartesian products (P105).
+///
+/// `array_vars` names the variables holding distributed arrays
+/// (CompiledProgram::vars entries with is_array).
+PlanLintResult LintTargetProgram(const comp::TargetProgram& target,
+                                 const std::set<std::string>& array_vars,
+                                 const PlanLintOptions& options = {});
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_PLAN_LINT_H_

@@ -1,19 +1,14 @@
 #include "analysis/restrictions.h"
 
-#include <set>
-
-#include "analysis/affine.h"
+#include "analysis/loop_lint.h"
 #include "analysis/lvalues.h"
-#include "ast/printer.h"
 #include "common/strings.h"
 
 namespace diablo::analysis {
 
 using ast::Expr;
-using ast::LValue;
 using ast::Stmt;
 using ast::StmtPtr;
-using runtime::BinOp;
 
 // --------------------------- canonicalization ------------------------------
 
@@ -103,170 +98,7 @@ bool ContainsWhile(const Stmt& stmt) {
   return false;
 }
 
-namespace {
-
-/// Strips projection links: closest[i].index reduces to closest[i]. Used
-/// for the d1 = d2 comparison in exceptions (a)/(b), where reading a
-/// field of the written/incremented location is as good as reading the
-/// location itself.
-const ast::LValuePtr& StripProjections(const ast::LValuePtr& d) {
-  const ast::LValuePtr* cur = &d;
-  while ((*cur)->is_proj()) cur = &(*cur)->proj().base;
-  return *cur;
-}
-
-class Checker {
- public:
-  explicit Checker(RestrictionReport* report) : report_(report) {}
-
-  void CheckTopLevel(const Stmt& s) {
-    if (s.is<Stmt::ForRange>() || s.is<Stmt::ForEach>()) {
-      if (ContainsWhile(s)) {
-        // A for-loop enclosing a while-loop runs sequentially. for-in
-        // loops over distributed arrays cannot be sequentialized on the
-        // driver, so they are rejected.
-        if (s.is<Stmt::ForEach>()) {
-          Violation(s.loc,
-                    "for-in loop contains a while-loop and cannot be "
-                    "parallelized or sequentialized");
-        }
-        return;
-      }
-      CheckLoop(s);
-      return;
-    }
-    if (s.is<Stmt::While>()) {
-      CheckTopLevel(*s.as<Stmt::While>().body);
-      return;
-    }
-    if (s.is<Stmt::If>()) {
-      const auto& node = s.as<Stmt::If>();
-      CheckTopLevel(*node.then_branch);
-      if (node.else_branch != nullptr) CheckTopLevel(*node.else_branch);
-      return;
-    }
-    if (s.is<Stmt::Block>()) {
-      for (const auto& child : s.as<Stmt::Block>().stmts) {
-        CheckTopLevel(*child);
-      }
-      return;
-    }
-    // Assignments/declarations outside loops are always fine.
-  }
-
-  void CheckStructure(const Stmt& s, bool inside_for,
-                      std::set<std::string>* loop_vars) {
-    if (s.is<Stmt::Decl>()) {
-      if (inside_for) {
-        Violation(s.loc, StrCat("declaration of '", s.as<Stmt::Decl>().name,
-                                "' inside a for-loop"));
-      }
-      return;
-    }
-    if (s.is<Stmt::ForRange>() || s.is<Stmt::ForEach>()) {
-      const std::string& var = s.is<Stmt::ForRange>()
-                                   ? s.as<Stmt::ForRange>().var
-                                   : s.as<Stmt::ForEach>().var;
-      if (!loop_vars->insert(var).second) {
-        Violation(s.loc, StrCat("duplicate loop index variable '", var,
-                                "'; rename the inner loop variable"));
-      }
-      const Stmt& body = s.is<Stmt::ForRange>()
-                             ? *s.as<Stmt::ForRange>().body
-                             : *s.as<Stmt::ForEach>().body;
-      // A for-loop containing a while-loop runs sequentially, where
-      // declarations are as legal as at top level.
-      bool sequential = ContainsWhile(s);
-      CheckStructure(body, /*inside_for=*/inside_for || !sequential,
-                     loop_vars);
-      loop_vars->erase(var);
-      return;
-    }
-    if (s.is<Stmt::While>()) {
-      CheckStructure(*s.as<Stmt::While>().body, inside_for, loop_vars);
-      return;
-    }
-    if (s.is<Stmt::If>()) {
-      const auto& node = s.as<Stmt::If>();
-      CheckStructure(*node.then_branch, inside_for, loop_vars);
-      if (node.else_branch != nullptr) {
-        CheckStructure(*node.else_branch, inside_for, loop_vars);
-      }
-      return;
-    }
-    if (s.is<Stmt::Block>()) {
-      for (const auto& child : s.as<Stmt::Block>().stmts) {
-        CheckStructure(*child, inside_for, loop_vars);
-      }
-    }
-  }
-
- private:
-  void Violation(SourceLocation loc, std::string message) {
-    report_->ok = false;
-    report_->violations.push_back({std::move(message), loc});
-  }
-
-  /// Definition 3.1 over one parallelizable for-loop.
-  void CheckLoop(const Stmt& loop) {
-    std::vector<StmtAccessInfo> accesses = CollectAccesses(loop);
-
-    // Restriction 1: non-incremental update destinations must be affine.
-    for (const StmtAccessInfo& info : accesses) {
-      for (const ast::LValuePtr& d : info.writers) {
-        if (!IsAffineDest(d, info.context)) {
-          Violation(info.stmt->loc,
-                    StrCat("destination ", d->ToString(),
-                           " of a non-incremental update is not affine in "
-                           "loop indexes (",
-                           Join(info.context, ","), ")"));
-        }
-      }
-    }
-
-    // Restriction 2: dependencies between statements.
-    for (const StmtAccessInfo& s1 : accesses) {
-      std::set<std::string> ctx1(s1.context.begin(), s1.context.end());
-      for (const StmtAccessInfo& s2 : accesses) {
-        std::set<std::string> ctx2(s2.context.begin(), s2.context.end());
-        for (const ast::LValuePtr& d2 : s2.readers) {
-          const ast::LValuePtr& d2_base = StripProjections(d2);
-          // Exception (a): write then read of the same location.
-          for (const ast::LValuePtr& d1 : s1.writers) {
-            if (!Overlap(d1, d2)) continue;
-            if (LValueEquals(d1, d2_base) && s1.seq < s2.seq) continue;
-            Violation(s2.stmt != nullptr ? s2.stmt->loc : SourceLocation{},
-                      StrCat("recurrence: ", d2->ToString(), " is read but ",
-                             d1->ToString(),
-                             " is written in the same loop"));
-          }
-          // Exception (b): increment then read of the same location.
-          for (const ast::LValuePtr& d1 : s1.aggregators) {
-            if (!Overlap(d1, d2)) continue;
-            if (LValueEquals(d1, d2_base) && s1.seq < s2.seq &&
-                IsAffineDest(d2_base, s2.context)) {
-              std::set<std::string> inter;
-              for (const std::string& v : ctx1) {
-                if (ctx2.count(v) != 0) inter.insert(v);
-              }
-              std::set<std::string> all_indexes = ctx1;
-              all_indexes.insert(ctx2.begin(), ctx2.end());
-              if (inter == IndexesOf(d1, all_indexes)) continue;
-            }
-            Violation(s2.stmt != nullptr ? s2.stmt->loc : SourceLocation{},
-                      StrCat("recurrence: ", d2->ToString(), " is read but ",
-                             d1->ToString(),
-                             " is incremented in the same loop"));
-          }
-        }
-      }
-    }
-  }
-
-  RestrictionReport* report_;
-};
-
-}  // namespace
+// --------------------------- checking ---------------------------------------
 
 std::string RestrictionReport::ToString() const {
   if (ok) return "OK";
@@ -278,14 +110,15 @@ std::string RestrictionReport::ToString() const {
 }
 
 RestrictionReport CheckProgram(const ast::Program& program) {
+  // The Definition 3.1 checker proper lives in the loop linter, which
+  // reports rich diagnostics (stable codes, race witnesses, hints).
+  // The report keeps only the error-severity subset as plain messages,
+  // already sorted by source location and deduplicated.
   RestrictionReport report;
-  Checker checker(&report);
-  std::set<std::string> loop_vars;
-  for (const auto& s : program.stmts) {
-    checker.CheckStructure(*s, /*inside_for=*/false, &loop_vars);
-  }
-  for (const auto& s : program.stmts) {
-    checker.CheckTopLevel(*s);
+  for (const Diagnostic& d : LintLoops(program)) {
+    if (d.severity != Severity::kError) continue;
+    report.ok = false;
+    report.violations.push_back({d.message, d.loc});
   }
   return report;
 }

@@ -117,19 +117,25 @@ CompPtr MakeComp(CExprPtr head, std::vector<Qualifier> qualifiers) {
   return c;
 }
 
-TargetStmtPtr MakeAssign(std::string var, CExprPtr value, bool is_array) {
+TargetStmtPtr MakeAssign(std::string var, CExprPtr value, bool is_array,
+                         SourceLocation loc) {
   auto s = std::make_shared<TargetStmt>();
   s->node = TargetStmt::Assign{std::move(var), std::move(value), is_array};
+  s->loc = loc;
   return s;
 }
-TargetStmtPtr MakeWhile(CExprPtr cond, std::vector<TargetStmtPtr> body) {
+TargetStmtPtr MakeWhile(CExprPtr cond, std::vector<TargetStmtPtr> body,
+                        SourceLocation loc) {
   auto s = std::make_shared<TargetStmt>();
   s->node = TargetStmt::While{std::move(cond), std::move(body)};
+  s->loc = loc;
   return s;
 }
-TargetStmtPtr MakeDeclare(std::string var, bool is_array, CExprPtr init) {
+TargetStmtPtr MakeDeclare(std::string var, bool is_array, CExprPtr init,
+                          SourceLocation loc) {
   auto s = std::make_shared<TargetStmt>();
   s->node = TargetStmt::Declare{std::move(var), is_array, std::move(init)};
+  s->loc = loc;
   return s;
 }
 

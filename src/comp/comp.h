@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strings.h"
 #include "runtime/operators.h"
 
 namespace diablo::comp {
@@ -225,6 +226,10 @@ struct TargetStmt {
   };
 
   std::variant<Assign, While, Declare> node;
+  /// Location of the source statement this target statement was lowered
+  /// from (the loop header for loop bodies), so plan-level diagnostics can
+  /// point back into the program text.
+  SourceLocation loc;
 
   template <typename T>
   bool is() const {
@@ -238,9 +243,12 @@ struct TargetStmt {
   std::string ToString() const;
 };
 
-TargetStmtPtr MakeAssign(std::string var, CExprPtr value, bool is_array);
-TargetStmtPtr MakeWhile(CExprPtr cond, std::vector<TargetStmtPtr> body);
-TargetStmtPtr MakeDeclare(std::string var, bool is_array, CExprPtr init);
+TargetStmtPtr MakeAssign(std::string var, CExprPtr value, bool is_array,
+                         SourceLocation loc = {});
+TargetStmtPtr MakeWhile(CExprPtr cond, std::vector<TargetStmtPtr> body,
+                        SourceLocation loc = {});
+TargetStmtPtr MakeDeclare(std::string var, bool is_array, CExprPtr init,
+                          SourceLocation loc = {});
 
 /// A complete translated program.
 struct TargetProgram {

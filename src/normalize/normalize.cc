@@ -416,20 +416,22 @@ comp::TargetProgram NormalizeTarget(const comp::TargetProgram& program,
   for (const auto& s : program.stmts) {
     if (s->is<comp::TargetStmt::Assign>()) {
       const auto& a = s->as<comp::TargetStmt::Assign>();
-      out.stmts.push_back(
-          comp::MakeAssign(a.var, NormalizeExpr(a.value, names), a.is_array));
+      out.stmts.push_back(comp::MakeAssign(
+          a.var, NormalizeExpr(a.value, names), a.is_array, s->loc));
     } else if (s->is<comp::TargetStmt::While>()) {
       const auto& w = s->as<comp::TargetStmt::While>();
       comp::TargetProgram body;
       body.stmts = w.body;
       comp::TargetProgram norm_body = NormalizeTarget(body, names);
       out.stmts.push_back(comp::MakeWhile(NormalizeExpr(w.cond, names),
-                                          std::move(norm_body.stmts)));
+                                          std::move(norm_body.stmts),
+                                          s->loc));
     } else {
       const auto& d = s->as<comp::TargetStmt::Declare>();
       out.stmts.push_back(comp::MakeDeclare(
           d.var, d.is_array,
-          d.init != nullptr ? NormalizeExpr(d.init, names) : nullptr));
+          d.init != nullptr ? NormalizeExpr(d.init, names) : nullptr,
+          s->loc));
     }
   }
   return out;

@@ -603,20 +603,20 @@ comp::TargetProgram OptimizeTarget(const comp::TargetProgram& program,
     if (s->is<comp::TargetStmt::Assign>()) {
       const auto& a = s->as<comp::TargetStmt::Assign>();
       out.stmts.push_back(comp::MakeAssign(
-          a.var, OptimizeExpr(a.value, names, options), a.is_array));
+          a.var, OptimizeExpr(a.value, names, options), a.is_array, s->loc));
     } else if (s->is<comp::TargetStmt::While>()) {
       const auto& w = s->as<comp::TargetStmt::While>();
       comp::TargetProgram body;
       body.stmts = w.body;
       comp::TargetProgram opt_body = OptimizeTarget(body, names, options);
-      out.stmts.push_back(comp::MakeWhile(
-          OptimizeExpr(w.cond, names, options), std::move(opt_body.stmts)));
+      out.stmts.push_back(comp::MakeWhile(OptimizeExpr(w.cond, names, options),
+                                          std::move(opt_body.stmts), s->loc));
     } else {
       const auto& d = s->as<comp::TargetStmt::Declare>();
       out.stmts.push_back(comp::MakeDeclare(
           d.var, d.is_array,
-          d.init != nullptr ? OptimizeExpr(d.init, names, options)
-                            : nullptr));
+          d.init != nullptr ? OptimizeExpr(d.init, names, options) : nullptr,
+          s->loc));
     }
   }
   return out;

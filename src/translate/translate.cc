@@ -343,19 +343,21 @@ class Translator {
   }
 
   StatusOr<std::vector<TargetStmtPtr>> TranslateIncr(
-      const Stmt::Incr& node, const std::vector<Qualifier>& q);
+      const Stmt::Incr& node, const std::vector<Qualifier>& q,
+      SourceLocation loc);
   StatusOr<std::vector<TargetStmtPtr>> TranslateAssign(
       const Stmt::Assign& node, const std::vector<Qualifier>& q,
       SourceLocation loc);
   StatusOr<std::vector<TargetStmtPtr>> TranslateSequentialFor(
-      const Stmt::ForRange& node);
+      const Stmt::ForRange& node, SourceLocation loc);
 
   std::map<std::string, VarInfo> vars_;
   Rules rules_;
 };
 
 StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateIncr(
-    const Stmt::Incr& node, const std::vector<Qualifier>& q) {
+    const Stmt::Incr& node, const std::vector<Qualifier>& q,
+    SourceLocation loc) {
   if (!runtime::IsCommutativeMonoid(node.op)) {
     return Status::TranslationError(
         StrCat("incremental update operator '", runtime::BinOpName(node.op),
@@ -393,7 +395,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateIncr(
         array,
         comp::MakeMergeOp(node.op, comp::MakeVar(array),
                           comp::MakeNested(delta)),
-        /*is_array=*/true)};
+        /*is_array=*/true, loc)};
   }
   // Scalar destination (group key is the unit tuple; Rule (16) later
   // removes the group-by):
@@ -413,7 +415,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateIncr(
                     comp::MakeReduce(node.op, comp::MakeVar(v))),
       std::move(quals));
   return std::vector<TargetStmtPtr>{comp::MakeAssign(
-      var, comp::MakeNested(update), /*is_array=*/false)};
+      var, comp::MakeNested(update), /*is_array=*/false, loc)};
 }
 
 StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateAssign(
@@ -446,7 +448,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateAssign(
     return std::vector<TargetStmtPtr>{comp::MakeAssign(
         array,
         comp::MakeMerge(comp::MakeVar(array), comp::MakeNested(update)),
-        /*is_array=*/true)};
+        /*is_array=*/true, loc)};
   }
   const std::string& var = dest.var().name;
   if (IsArray(var)) {
@@ -461,12 +463,12 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateAssign(
             StrCat("assigning scalar '", src, "' to array '", var, "'"));
       }
       return std::vector<TargetStmtPtr>{comp::MakeAssign(
-          var, comp::MakeVar(src), /*is_array=*/true)};
+          var, comp::MakeVar(src), /*is_array=*/true, loc)};
     }
     if (node.value->is<Expr::Call>() &&
         node.value->as<Expr::Call>().args.empty()) {
       return std::vector<TargetStmtPtr>{comp::MakeAssign(
-          var, comp::MakeBag({}), /*is_array=*/true)};
+          var, comp::MakeBag({}), /*is_array=*/true, loc)};
     }
     return Status::Unsupported(
         StrCat("whole-array assignment to '", var,
@@ -478,18 +480,18 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateAssign(
   std::string v = rules_.names().Fresh();
   quals.push_back(Qualifier::Generator(Pattern::Var(v), value));
   CompPtr update = comp::MakeComp(comp::MakeVar(v), std::move(quals));
-  return std::vector<TargetStmtPtr>{
-      comp::MakeAssign(var, comp::MakeNested(update), /*is_array=*/false)};
+  return std::vector<TargetStmtPtr>{comp::MakeAssign(
+      var, comp::MakeNested(update), /*is_array=*/false, loc)};
 }
 
 StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateSequentialFor(
-    const Stmt::ForRange& node) {
+    const Stmt::ForRange& node, SourceLocation loc) {
   // A for-range loop containing a while-loop runs sequentially:
   //   v := lo; while (v <= hi) { body; v := v + 1 }.
   DIABLO_ASSIGN_OR_RETURN(CExprPtr lo, rules_.E(*node.lo));
   DIABLO_ASSIGN_OR_RETURN(CExprPtr hi, rules_.E(*node.hi));
   std::vector<TargetStmtPtr> out;
-  out.push_back(comp::MakeDeclare(node.var, /*is_array=*/false, lo));
+  out.push_back(comp::MakeDeclare(node.var, /*is_array=*/false, lo, loc));
   std::string h = rules_.names().Fresh();
   CExprPtr cond = comp::MakeNested(comp::MakeComp(
       comp::MakeBin(BinOp::kLe, comp::MakeVar(node.var), comp::MakeVar(h)),
@@ -499,15 +501,15 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::TranslateSequentialFor(
       node.var,
       comp::MakeBag({comp::MakeBin(BinOp::kAdd, comp::MakeVar(node.var),
                                    comp::MakeInt(1))}),
-      /*is_array=*/false));
-  out.push_back(comp::MakeWhile(cond, std::move(body)));
+      /*is_array=*/false, loc));
+  out.push_back(comp::MakeWhile(cond, std::move(body), loc));
   return out;
 }
 
 StatusOr<std::vector<TargetStmtPtr>> Translator::S(
     const Stmt& s, const std::vector<Qualifier>& q) {
   // (15a) incremental update.
-  if (s.is<Stmt::Incr>()) return TranslateIncr(s.as<Stmt::Incr>(), q);
+  if (s.is<Stmt::Incr>()) return TranslateIncr(s.as<Stmt::Incr>(), q, s.loc);
   // (15b) assignment.
   if (s.is<Stmt::Assign>()) {
     return TranslateAssign(s.as<Stmt::Assign>(), q, s.loc);
@@ -526,7 +528,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::S(
       DIABLO_ASSIGN_OR_RETURN(init, rules_.E(*node.init));
     }
     return std::vector<TargetStmtPtr>{
-        comp::MakeDeclare(node.name, is_array, init)};
+        comp::MakeDeclare(node.name, is_array, init, s.loc)};
   }
   // (15d) for-range.
   if (s.is<Stmt::ForRange>()) {
@@ -536,7 +538,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::S(
         return Status::TranslationError(
             "sequential for-loop nested inside a parallel for-loop");
       }
-      return TranslateSequentialFor(node);
+      return TranslateSequentialFor(node, s.loc);
     }
     DIABLO_ASSIGN_OR_RETURN(CExprPtr lo, rules_.E(*node.lo));
     DIABLO_ASSIGN_OR_RETURN(CExprPtr hi, rules_.E(*node.hi));
@@ -578,7 +580,7 @@ StatusOr<std::vector<TargetStmtPtr>> Translator::S(
     DIABLO_ASSIGN_OR_RETURN(std::vector<TargetStmtPtr> body,
                             S(*node.body, {}));
     return std::vector<TargetStmtPtr>{
-        comp::MakeWhile(cond, std::move(body))};
+        comp::MakeWhile(cond, std::move(body), s.loc)};
   }
   // (15g) conditional.
   if (s.is<Stmt::If>()) {

@@ -195,5 +195,44 @@ TEST(Parser, RobustAgainstTruncations) {
   }
 }
 
+TEST(Parser, NestedStatementsCarrySourceLocations) {
+  // Diagnostics anchor on statement/expression/lvalue locations, so the
+  // parser must stamp real positions on nested nodes, not defaults.
+  const std::string src =
+      "var n: int = 4;\n"
+      "for i = 0, 9 do {\n"
+      "  for j = 0, 9 do\n"
+      "    M[i,j] := A[i] * B[j];\n"
+      "  s += M[i,i];\n"
+      "}\n";
+  ast::Program prog = MustParse(src);
+  ASSERT_EQ(prog.stmts.size(), 2u);
+  EXPECT_EQ(prog.stmts[0]->loc.line, 1);
+  const auto& outer = std::get<Stmt::ForRange>(prog.stmts[1]->node);
+  EXPECT_EQ(prog.stmts[1]->loc.line, 2);
+  const auto& block = std::get<Stmt::Block>(outer.body->node);
+  ASSERT_EQ(block.stmts.size(), 2u);
+
+  // Inner for-loop on line 3, its assignment body on line 4.
+  const auto& inner = std::get<Stmt::ForRange>(block.stmts[0]->node);
+  EXPECT_EQ(block.stmts[0]->loc.line, 3);
+  const auto& assign = std::get<Stmt::Assign>(inner.body->node);
+  EXPECT_EQ(inner.body->loc.line, 4);
+  EXPECT_EQ(assign.dest->loc.line, 4);
+  EXPECT_GE(assign.dest->loc.column, 1);
+  EXPECT_EQ(assign.value->loc.line, 4);
+  // The rhs's nested lvalue reads carry their own positions too.
+  const auto& mul = std::get<Expr::Bin>(assign.value->node);
+  EXPECT_EQ(mul.lhs->loc.line, 4);
+  EXPECT_EQ(mul.rhs->loc.line, 4);
+  EXPECT_GT(mul.rhs->loc.column, mul.lhs->loc.column);
+
+  // Increment statement on line 5.
+  const auto& incr = std::get<Stmt::Incr>(block.stmts[1]->node);
+  EXPECT_EQ(block.stmts[1]->loc.line, 5);
+  EXPECT_EQ(incr.dest->loc.line, 5);
+  EXPECT_EQ(incr.value->loc.line, 5);
+}
+
 }  // namespace
 }  // namespace diablo::parser

@@ -242,5 +242,64 @@ TEST(Canonicalize, RewritesInsideLoops) {
                   .body->is<ast::Stmt::Incr>());
 }
 
+// ------------------------- report determinism ------------------------------
+
+TEST(Restrictions, ViolationsSortedBySourceLocation) {
+  // Two offending loops: the report must list them in source order no
+  // matter which order the analyzer visited the statements in.
+  const std::string src = R"(
+    for i = 0, 3 do
+      V[i] := V[i+1];
+    for j = 0, 3 do
+      W[j] := W[j+1];
+  )";
+  RestrictionReport report = Check(src);
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_LT(report.violations[0].loc.line, report.violations[1].loc.line);
+  EXPECT_NE(report.violations[0].message.find("V"), std::string::npos);
+  EXPECT_NE(report.violations[1].message.find("W"), std::string::npos);
+}
+
+TEST(Restrictions, DuplicateViolationsAreDeduplicated) {
+  // The same destination/read pair reached twice (two reads of the same
+  // shifted element) must not produce byte-identical duplicate entries.
+  const std::string src = R"(
+    for i = 1, 8 do
+      V[i] := V[i-1] + V[i-1];
+  )";
+  RestrictionReport report = Check(src);
+  EXPECT_FALSE(report.ok);
+  for (size_t a = 0; a < report.violations.size(); ++a) {
+    for (size_t b = a + 1; b < report.violations.size(); ++b) {
+      EXPECT_FALSE(report.violations[a].message ==
+                       report.violations[b].message &&
+                   report.violations[a].loc.line ==
+                       report.violations[b].loc.line &&
+                   report.violations[a].loc.column ==
+                       report.violations[b].loc.column)
+          << "duplicate violation: " << report.violations[a].message;
+    }
+  }
+}
+
+TEST(Restrictions, ReportIsIdenticalAcrossRuns) {
+  const std::string src = R"(
+    var t: double = 0.0;
+    for i = 0, 6 do {
+      t := V[i];
+      V[i] := V[i+1];
+      V[i+1] := t;
+    }
+  )";
+  RestrictionReport first = Check(src);
+  RestrictionReport second = Check(src);
+  EXPECT_EQ(first.ToString(), second.ToString());
+  ASSERT_EQ(first.violations.size(), second.violations.size());
+  for (size_t k = 0; k < first.violations.size(); ++k) {
+    EXPECT_EQ(first.violations[k].message, second.violations[k].message);
+    EXPECT_EQ(first.violations[k].loc.line, second.violations[k].loc.line);
+  }
+}
+
 }  // namespace
 }  // namespace diablo::analysis

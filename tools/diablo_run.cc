@@ -41,7 +41,10 @@
 // error, 2 parse error, 3 restriction violation, 4 translation error,
 // 5 runtime error (including an exhausted fault-retry budget), 6 invalid
 // argument, 7 unsupported feature. On any error the tool prints a single
-// one-line diagnostic to stderr and emits none of the requested outputs.
+// one-line diagnostic to stderr and emits none of the requested outputs —
+// except restriction violations (exit 3), which print the analyzer's full
+// structured diagnostics (codes, carets, race witnesses; the same output
+// as diablo_lint) to stderr, one block per violation.
 //
 // Example:
 //   diablo_run wordcount.diablo --vector words=words.csv --print C
@@ -53,7 +56,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/loop_lint.h"
+#include "analysis/restrictions.h"
 #include "diablo/diablo.h"
+#include "parser/parser.h"
 
 namespace {
 
@@ -342,7 +348,25 @@ int main(int argc, char** argv) {
   }
 
   auto compiled = diablo::Compile(source, compile_options);
-  if (!compiled.ok()) DieStatus(compiled.status());
+  if (!compiled.ok()) {
+    if (compiled.status().code() == StatusCode::kRestrictionViolation) {
+      // Rejected by Definition 3.1: show the analyzer's structured
+      // diagnostics (codes, carets, race witnesses) instead of the
+      // one-line summary, so the user sees *why* the loop races.
+      auto parsed = diablo::parser::ParseProgram(source);
+      if (parsed.ok()) {
+        diablo::ast::Program canon =
+            diablo::analysis::CanonicalizeIncrements(parsed.value());
+        std::string rendered = diablo::analysis::RenderTextAll(
+            diablo::analysis::LintLoops(canon), source, program_path);
+        if (!rendered.empty()) {
+          std::fprintf(stderr, "%s", rendered.c_str());
+          std::exit(3);
+        }
+      }
+    }
+    DieStatus(compiled.status());
+  }
   if (show_target) {
     std::printf("=== target ===\n%s\n", compiled->TargetToString().c_str());
   }
