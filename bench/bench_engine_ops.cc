@@ -126,6 +126,48 @@ void BM_Join(benchmark::State& state) {
 }
 BENCHMARK(BM_Join)->Arg(10000)->Arg(50000);
 
+// The AB7 hot path: reduceByKey over a key set small enough that the
+// map-side combine does almost all the work, comparing the hash
+// accumulator (hash=1, the default) against the ordered-map baseline
+// (hash=0). Tracked by CI: a >20% regression on the hash variant fails
+// the bench-smoke threshold check.
+void BM_ReduceByKeyHot(benchmark::State& state) {
+  diablo::runtime::EngineConfig config;
+  config.hash_aggregation = state.range(2) != 0;
+  Engine engine(config);
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.ReduceByKey(ds, BinOp::kAdd);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKeyHot)
+    ->Args({100000, 1000, 0})
+    ->Args({100000, 1000, 1})
+    ->Args({200000, 20000, 0})
+    ->Args({200000, 20000, 1})
+    ->ArgNames({"rows", "keys", "hash"});
+
+// Join probe throughput: the build side fits a hash table; the probe
+// side reuses the memoized shuffle hash instead of re-walking the key.
+void BM_JoinProbe(benchmark::State& state) {
+  diablo::runtime::EngineConfig config;
+  config.hash_aggregation = state.range(1) != 0;
+  Engine engine(config);
+  Dataset left = KeyedData(engine, state.range(0) / 8, state.range(0) / 8);
+  Dataset right = KeyedData(engine, state.range(0), state.range(0) / 8);
+  for (auto _ : state) {
+    auto out = engine.Join(left, right);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinProbe)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->ArgNames({"rows", "hash"});
+
 void BM_ValueHash(benchmark::State& state) {
   Value v = Value::MakeTuple({Value::MakeInt(42),
                               Value::MakeString("key-string"),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <climits>
 #include <cmath>
 #include <map>
 #include <mutex>
@@ -10,16 +11,30 @@
 
 #include "common/strings.h"
 #include "runtime/serialize.h"
+#include "runtime/worker_pool.h"
 
 namespace diablo::runtime {
 
 namespace {
 
-/// Stable ordered map used to give wide-operator outputs a deterministic
-/// per-partition order regardless of hashing and threading.
+/// Stable ordered map, the legacy aggregation path of the wide
+/// operators (EngineConfig::hash_aggregation = false): O(log n) deep
+/// Value::Compare per inserted row. The default path aggregates through
+/// KeyedAccumulator with one final per-partition sort instead; both
+/// produce byte-identical output (asserted in hashagg_test.cc).
 using OrderedGroups = std::map<Value, ValueVec>;
 
+/// Payload of a Distinct accumulator entry: key presence is the datum.
+struct NoPayload {};
+
 std::vector<int64_t> RowCounts(const std::vector<ValueVec>& parts) {
+  std::vector<int64_t> counts;
+  counts.reserve(parts.size());
+  for (const auto& p : parts) counts.push_back(static_cast<int64_t>(p.size()));
+  return counts;
+}
+
+std::vector<int64_t> RowCounts(const std::vector<HashedVec>& parts) {
   std::vector<int64_t> counts;
   counts.reserve(parts.size());
   for (const auto& p : parts) counts.push_back(static_cast<int64_t>(p.size()));
@@ -37,8 +52,8 @@ double RetryBackoff(const FaultConfig& fc, int attempt) {
   return fc.retry_backoff_seconds * std::ldexp(1.0, std::min(attempt, 16));
 }
 
-int ShuffleDestination(const Value& key, int out_parts) {
-  return static_cast<int>(key.Hash() % static_cast<size_t>(out_parts));
+int HashDestination(size_t hash, int out_parts) {
+  return static_cast<int>(hash % static_cast<size_t>(out_parts));
 }
 
 /// Per-task tally of the intermediates a fused chain streamed through
@@ -137,6 +152,8 @@ Engine::Engine(EngineConfig config)
   if (config_.faults.max_task_attempts < 1) config_.faults.max_task_attempts = 1;
 }
 
+Engine::~Engine() = default;
+
 Dataset Engine::Parallelize(ValueVec rows) const {
   return Parallelize(std::move(rows), config_.num_partitions);
 }
@@ -169,21 +186,41 @@ Status Engine::RunPerPartition(int n,
   if (n <= 0) return Status::OK();
   const int threads = std::min(config_.host_threads, n);
   if (threads <= 1) {
+    // Serial order stops at the first error, which IS the
+    // lowest-indexed failing partition.
     for (int i = 0; i < n; ++i) DIABLO_RETURN_IF_ERROR(fn(i));
     return Status::OK();
   }
+  if (config_.persistent_pool) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<WorkerPool>(config_.host_threads);
+    }
+    return pool_->Run(n, fn);
+  }
+  // Spawn-per-wave baseline (AB7): fresh threads every call, same
+  // deterministic error selection as the pool — every partition below
+  // the lowest known failure runs, and the lowest-indexed failing
+  // partition's error is reported regardless of the thread race.
   std::atomic<int> next{0};
+  std::atomic<int> error_bound{INT_MAX};
   std::mutex mu;
-  Status first_error;
+  int err_index = INT_MAX;
+  Status error;
   auto worker = [&] {
     for (;;) {
       int i = next.fetch_add(1);
       if (i >= n) return;
+      if (i >= error_bound.load()) continue;
       Status st = fn(i);
       if (!st.ok()) {
+        int cur = error_bound.load();
+        while (i < cur && !error_bound.compare_exchange_weak(cur, i)) {
+        }
         std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = st;
-        return;
+        if (i < err_index) {
+          err_index = i;
+          error = std::move(st);
+        }
       }
     }
   };
@@ -191,7 +228,7 @@ Status Engine::RunPerPartition(int n,
   pool.reserve(threads);
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  return first_error;
+  return error;
 }
 
 Status Engine::RunTaskWave(const std::string& label, int stage,
@@ -544,43 +581,41 @@ StatusOr<const Value*> Engine::RowKey(const Value& row) {
   return &row.tuple()[0];
 }
 
-StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
-                                                    int stage,
-                                                    int64_t* shuffle_bytes,
-                                                    StageRecovery* rec,
-                                                    StageStats* stats) {
+StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
+    int stage, const std::vector<int64_t>& task_work,
+    const std::function<Status(int, const EmitFn&)>& produce,
+    int64_t* shuffle_bytes, StageRecovery* rec) {
   const int out_parts = config_.num_partitions;
-  const int n = in.num_partitions();
-  const FusedChain& chain = in.chain();
+  const int n = static_cast<int>(task_work.size());
   // buckets[src][dst]
-  std::vector<std::vector<ValueVec>> buckets(n,
-                                             std::vector<ValueVec>(out_parts));
+  std::vector<std::vector<HashedVec>> buckets(
+      n, std::vector<HashedVec>(out_parts));
   std::vector<int64_t> moved_bytes(n, 0);
-  std::vector<ChainTally> tallies(n);
   const bool serialize = config_.serialize_shuffles;
   const bool inject = config_.faults.enabled();
   Status st = RunTaskWave(
-      "shuffle", stage, RowCounts(in),
+      "shuffle", stage, task_work,
       [&](int p, int attempt) -> Status {
         // Restartable: wipe any partial output of a failed attempt (and
-        // re-run the whole fused chain).
-        buckets[p].assign(out_parts, ValueVec());
+        // re-run the producer, fused chain included).
+        buckets[p].assign(out_parts, HashedVec());
         // Reserve from the source row count: keys spread roughly
         // uniformly, so each destination sees about rows/out_parts of
         // this task's output.
         const size_t hint =
-            in.partition(p).size() / static_cast<size_t>(out_parts) + 1;
-        for (ValueVec& bucket : buckets[p]) bucket.reserve(hint);
+            static_cast<size_t>(task_work[p]) / static_cast<size_t>(out_parts) +
+            1;
+        for (HashedVec& bucket : buckets[p]) bucket.reserve(hint);
         moved_bytes[p] = 0;
-        tallies[p].Reset(chain.size());
         int64_t row_idx = 0;
-        // Single-pass scatter: each produced row is hashed ONCE and
-        // appended to its destination buffer. `row_idx` numbers the
-        // scattered rows, so corruption coordinates are independent of
-        // how the row was produced (fused or eager).
-        auto scatter = [&](const Value& row) -> Status {
-          DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-          const int dst = ShuffleDestination(*key, out_parts);
+        // Single-pass scatter: each produced row arrives with its key
+        // hash (computed exactly once by the producer) and is appended
+        // to its destination buffer hash-first, so the reduce side
+        // never rehashes. `row_idx` numbers the scattered rows, so
+        // corruption coordinates are independent of how the row was
+        // produced (fused, eager, or pre-combined).
+        auto scatter = [&](size_t hash, const Value& row) -> Status {
+          const int dst = HashDestination(hash, out_parts);
           // Rows that stay on the same simulated node are still
           // accounted: with many workers almost every row crosses the
           // network, so we charge all of them (Spark's shuffle write
@@ -604,19 +639,15 @@ StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
                          " corrupted in flight (row ", row_idx, ")"));
             }
             DIABLO_ASSIGN_OR_RETURN(Value decoded, Deserialize(wire));
-            buckets[p][dst].push_back(std::move(decoded));
+            buckets[p][dst].push_back(HashedRow{hash, std::move(decoded)});
           } else {
             moved_bytes[p] += row.SerializedBytes();
-            buckets[p][dst].push_back(row);
+            buckets[p][dst].push_back(HashedRow{hash, row});
           }
           ++row_idx;
           return Status::OK();
         };
-        for (const Value& row : in.partition(p)) {
-          DIABLO_RETURN_IF_ERROR(
-              ApplyChain(chain, 0, row, &tallies[p], scatter));
-        }
-        return Status::OK();
+        return produce(p, scatter);
       },
       rec);
   if (!st.ok()) return st;
@@ -624,20 +655,58 @@ StatusOr<std::vector<ValueVec>> Engine::ShuffleWave(const Dataset& in,
     *shuffle_bytes = 0;
     for (int64_t b : moved_bytes) *shuffle_bytes += b;
   }
-  if (stats != nullptr) {
-    stats->fused_ops += static_cast<int64_t>(chain.size());
-    for (const ChainTally& t : tallies) t.MergeInto(stats);
-  }
-  std::vector<ValueVec> out(out_parts);
+  std::vector<HashedVec> out(out_parts);
   for (int dst = 0; dst < out_parts; ++dst) {
     size_t total = 0;
     for (int src = 0; src < n; ++src) total += buckets[src][dst].size();
     out[dst].reserve(total);
     for (int src = 0; src < n; ++src) {
-      for (Value& v : buckets[src][dst]) out[dst].push_back(std::move(v));
+      for (HashedRow& v : buckets[src][dst]) out[dst].push_back(std::move(v));
     }
   }
   return out;
+}
+
+StatusOr<std::vector<HashedVec>> Engine::ShuffleWave(const Dataset& in,
+                                                     int stage,
+                                                     int64_t* shuffle_bytes,
+                                                     StageRecovery* rec,
+                                                     StageStats* stats) {
+  const FusedChain& chain = in.chain();
+  std::vector<ChainTally> tallies(in.num_partitions());
+  auto result = ShuffleCore(
+      stage, RowCounts(in),
+      [&](int p, const EmitFn& emit) -> Status {
+        tallies[p].Reset(chain.size());
+        for (const Value& row : in.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(ApplyChain(
+              chain, 0, row, &tallies[p], [&](const Value& v) -> Status {
+                DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                return emit(key->Hash(), v);
+              }));
+        }
+        return Status::OK();
+      },
+      shuffle_bytes, rec);
+  if (result.ok() && stats != nullptr) {
+    stats->fused_ops += static_cast<int64_t>(chain.size());
+    for (const ChainTally& t : tallies) t.MergeInto(stats);
+  }
+  return result;
+}
+
+StatusOr<std::vector<HashedVec>> Engine::ShuffleHashed(
+    const std::vector<HashedVec>& in, int stage, int64_t* shuffle_bytes,
+    StageRecovery* rec) {
+  return ShuffleCore(
+      stage, RowCounts(in),
+      [&](int p, const EmitFn& emit) -> Status {
+        for (const HashedRow& hr : in[p]) {
+          DIABLO_RETURN_IF_ERROR(emit(hr.hash, hr.row));
+        }
+        return Status::OK();
+      },
+      shuffle_bytes, rec);
 }
 
 StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
@@ -648,22 +717,39 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> shuffled,
                           ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
+  const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(shuffled.size());
   Status st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
         out[p].clear();
-        OrderedGroups groups;
-        for (const Value& row : shuffled[p]) {
-          const ValueVec& kv = row.tuple();
-          groups[kv[0]].push_back(kv[1]);
-        }
-        out[p].reserve(groups.size());
-        for (auto& [key, vals] : groups) {
-          out[p].push_back(
-              Value::MakePair(key, Value::MakeBag(std::move(vals))));
+        if (hash_agg) {
+          // Values land per key in arrival order; the final sort
+          // canonicalizes the key order, matching the ordered map.
+          KeyedAccumulator<ValueVec> groups(shuffled[p].size());
+          for (const HashedRow& hr : shuffled[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            groups.FindOrCreate(hr.hash, kv[0]).payload.push_back(kv[1]);
+          }
+          groups.SortByKey();
+          out[p].reserve(groups.size());
+          for (auto& e : groups.entries()) {
+            out[p].push_back(Value::MakePair(
+                std::move(e.key), Value::MakeBag(std::move(e.payload))));
+          }
+        } else {
+          OrderedGroups groups;
+          for (const HashedRow& hr : shuffled[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            groups[kv[0]].push_back(kv[1]);
+          }
+          out[p].reserve(groups.size());
+          for (auto& [key, vals] : groups) {
+            out[p].push_back(
+                Value::MakePair(key, Value::MakeBag(std::move(vals))));
+          }
         }
         return Status::OK();
       },
@@ -684,12 +770,13 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
         // Replay the single-pass scatter restricted to the lost
         // destinations: every source row is scanned and hashed ONCE;
         // scanning the source partitions in order reproduces each lost
-        // reduce partition's arrival order exactly.
+        // reduce partition's arrival order exactly, and the final sort
+        // canonicalizes key order just like the forward path.
         std::vector<int> slot_of(out_parts, -1);
         for (size_t i = 0; i < lost.size(); ++i) {
           slot_of[lost[i]] = static_cast<int>(i);
         }
-        std::vector<OrderedGroups> groups(lost.size());
+        std::vector<KeyedAccumulator<ValueVec>> groups(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
           for (const Value& row : src.partition(s)) {
             *work += 1;
@@ -697,18 +784,23 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
                 src.chain(), 0, row, nullptr,
                 [&](const Value& v) -> Status {
                   DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
-                  if (slot >= 0) groups[slot][*key].push_back(v.tuple()[1]);
+                  const size_t h = key->Hash();
+                  const int slot = slot_of[HashDestination(h, out_parts)];
+                  if (slot >= 0) {
+                    groups[slot].FindOrCreate(h, *key).payload.push_back(
+                        v.tuple()[1]);
+                  }
                   return Status::OK();
                 }));
           }
         }
         rebuilt->resize(lost.size());
         for (size_t i = 0; i < lost.size(); ++i) {
+          groups[i].SortByKey();
           (*rebuilt)[i].reserve(groups[i].size());
-          for (auto& [key, vals] : groups[i]) {
-            (*rebuilt)[i].push_back(
-                Value::MakePair(key, Value::MakeBag(std::move(vals))));
+          for (auto& e : groups[i].entries()) {
+            (*rebuilt)[i].push_back(Value::MakePair(
+                std::move(e.key), Value::MakeBag(std::move(e.payload))));
           }
         }
         return Status::OK();
@@ -726,66 +818,134 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, combine_stage, 0, &rec));
   const FusedChain& chain = src.chain();
+  const bool hash_agg = config_.hash_aggregation;
   // Map-side combine (like Spark): fold each input partition first so the
   // shuffle only moves one pair per (partition, key). Any pending fused
-  // chain runs element-by-element straight into the combine.
-  std::vector<ValueVec> combined(src.num_partitions());
+  // chain runs element-by-element straight into the combine. Both paths
+  // emit the combined pairs in key order, so the merge side's arrival
+  // order — and with it every per-key float fold order — is identical
+  // whichever aggregation path runs.
   std::vector<ChainTally> tallies(src.num_partitions());
-  Status st = RunTaskWave(
-      label + ".combine", combine_stage, RowCounts(src),
-      [&](int p, int) -> Status {
-        combined[p].clear();
-        tallies[p].Reset(chain.size());
-        OrderedGroups acc;
-        auto combine = [&](const Value& row) -> Status {
-          DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-          auto it = acc.find(*key);
-          if (it == acc.end()) {
-            acc.emplace(*key, ValueVec{row.tuple()[1]});
-          } else {
-            DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                    fn(it->second[0], row.tuple()[1]));
+  std::vector<HashedVec> shuffled;
+  int64_t bytes = 0;
+  Status st;
+  if (hash_agg) {
+    std::vector<HashedVec> combined(src.num_partitions());
+    st = RunTaskWave(
+        label + ".combine", combine_stage, RowCounts(src),
+        [&](int p, int) -> Status {
+          combined[p].clear();
+          tallies[p].Reset(chain.size());
+          KeyedAccumulator<Value> acc(src.partition(p).size());
+          auto combine = [&](const Value& row) -> Status {
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            const size_t h = key->Hash();
+            auto ref = acc.FindOrCreate(h, *key);
+            if (ref.inserted) {
+              ref.payload = row.tuple()[1];
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(ref.payload,
+                                      fn(ref.payload, row.tuple()[1]));
+            }
+            return Status::OK();
+          };
+          for (const Value& row : src.partition(p)) {
+            DIABLO_RETURN_IF_ERROR(
+                ApplyChain(chain, 0, row, &tallies[p], combine));
+          }
+          acc.SortByKey();
+          combined[p].reserve(acc.size());
+          for (auto& e : acc.entries()) {
+            combined[p].push_back(HashedRow{
+                e.hash,
+                Value::MakePair(std::move(e.key), std::move(e.payload))});
           }
           return Status::OK();
-        };
-        for (const Value& row : src.partition(p)) {
-          DIABLO_RETURN_IF_ERROR(
-              ApplyChain(chain, 0, row, &tallies[p], combine));
-        }
-        combined[p].reserve(acc.size());
-        for (auto& [key, vals] : acc) {
-          combined[p].push_back(Value::MakePair(key, std::move(vals[0])));
-        }
-        return Status::OK();
-      },
-      &rec);
-  if (!st.ok()) return st;
-  stats.fused_ops += static_cast<int64_t>(chain.size());
-  for (const ChainTally& t : tallies) t.MergeInto(&stats);
-
-  Dataset combined_ds(std::move(combined));
-  int64_t bytes = 0;
-  DIABLO_ASSIGN_OR_RETURN(
-      std::vector<ValueVec> shuffled,
-      ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec, &stats));
+        },
+        &rec);
+    if (!st.ok()) return st;
+    stats.fused_ops += static_cast<int64_t>(chain.size());
+    for (const ChainTally& t : tallies) t.MergeInto(&stats);
+    // The combined pairs carry their memoized key hashes straight into
+    // the scatter: no key is hashed twice anywhere in this operator.
+    DIABLO_ASSIGN_OR_RETURN(shuffled,
+                            ShuffleHashed(combined, shuffle_stage, &bytes,
+                                          &rec));
+  } else {
+    std::vector<ValueVec> combined(src.num_partitions());
+    st = RunTaskWave(
+        label + ".combine", combine_stage, RowCounts(src),
+        [&](int p, int) -> Status {
+          combined[p].clear();
+          tallies[p].Reset(chain.size());
+          OrderedGroups acc;
+          auto combine = [&](const Value& row) -> Status {
+            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+            auto it = acc.find(*key);
+            if (it == acc.end()) {
+              acc.emplace(*key, ValueVec{row.tuple()[1]});
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(it->second[0],
+                                      fn(it->second[0], row.tuple()[1]));
+            }
+            return Status::OK();
+          };
+          for (const Value& row : src.partition(p)) {
+            DIABLO_RETURN_IF_ERROR(
+                ApplyChain(chain, 0, row, &tallies[p], combine));
+          }
+          combined[p].reserve(acc.size());
+          for (auto& [key, vals] : acc) {
+            combined[p].push_back(Value::MakePair(key, std::move(vals[0])));
+          }
+          return Status::OK();
+        },
+        &rec);
+    if (!st.ok()) return st;
+    stats.fused_ops += static_cast<int64_t>(chain.size());
+    for (const ChainTally& t : tallies) t.MergeInto(&stats);
+    Dataset combined_ds(std::move(combined));
+    DIABLO_ASSIGN_OR_RETURN(
+        shuffled, ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec,
+                              &stats));
+  }
   std::vector<ValueVec> out(shuffled.size());
   st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
         out[p].clear();
-        OrderedGroups acc;
-        for (const Value& row : shuffled[p]) {
-          const ValueVec& kv = row.tuple();
-          auto it = acc.find(kv[0]);
-          if (it == acc.end()) {
-            acc.emplace(kv[0], ValueVec{kv[1]});
-          } else {
-            DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
+        if (hash_agg) {
+          KeyedAccumulator<Value> acc(shuffled[p].size());
+          for (const HashedRow& hr : shuffled[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            auto ref = acc.FindOrCreate(hr.hash, kv[0]);
+            if (ref.inserted) {
+              ref.payload = kv[1];
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(ref.payload, fn(ref.payload, kv[1]));
+            }
           }
-        }
-        out[p].reserve(acc.size());
-        for (auto& [key, vals] : acc) {
-          out[p].push_back(Value::MakePair(key, std::move(vals[0])));
+          acc.SortByKey();
+          out[p].reserve(acc.size());
+          for (auto& e : acc.entries()) {
+            out[p].push_back(
+                Value::MakePair(std::move(e.key), std::move(e.payload)));
+          }
+        } else {
+          OrderedGroups acc;
+          for (const HashedRow& hr : shuffled[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            auto it = acc.find(kv[0]);
+            if (it == acc.end()) {
+              acc.emplace(kv[0], ValueVec{kv[1]});
+            } else {
+              DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
+            }
+          }
+          out[p].reserve(acc.size());
+          for (auto& [key, vals] : acc) {
+            out[p].push_back(Value::MakePair(key, std::move(vals[0])));
+          }
         }
         return Status::OK();
       },
@@ -806,53 +966,57 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
         // Reproduce combine -> shuffle -> fold for the lost destinations
         // in ONE pass over the source: each produced row is hashed once
         // and dropped unless its destination was lost. Restricting the
-        // map-side combine to lost-destination keys keeps every per-key
-        // fold order identical to the original run, so floating-point
-        // results match bit for bit.
+        // map-side combine to lost-destination keys, and merging each
+        // source partition's combined pairs in key order (the combine
+        // emits them that way), keeps every per-key fold order
+        // identical to the original run, so floating-point results
+        // match bit for bit.
         std::vector<int> slot_of(out_parts, -1);
         for (size_t i = 0; i < lost.size(); ++i) {
           slot_of[lost[i]] = static_cast<int>(i);
         }
-        std::vector<OrderedGroups> acc(lost.size());
+        std::vector<KeyedAccumulator<Value>> acc(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
-          std::vector<OrderedGroups> part(lost.size());
+          std::vector<KeyedAccumulator<Value>> part(lost.size());
           for (const Value& row : src.partition(s)) {
             *work += 1;
             DIABLO_RETURN_IF_ERROR(ApplyChain(
                 src.chain(), 0, row, nullptr,
                 [&](const Value& v) -> Status {
                   DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
+                  const size_t h = key->Hash();
+                  const int slot = slot_of[HashDestination(h, out_parts)];
                   if (slot < 0) return Status::OK();
-                  auto it = part[slot].find(*key);
-                  if (it == part[slot].end()) {
-                    part[slot].emplace(*key, ValueVec{v.tuple()[1]});
+                  auto ref = part[slot].FindOrCreate(h, *key);
+                  if (ref.inserted) {
+                    ref.payload = v.tuple()[1];
                   } else {
-                    DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                            fn(it->second[0], v.tuple()[1]));
+                    DIABLO_ASSIGN_OR_RETURN(ref.payload,
+                                            fn(ref.payload, v.tuple()[1]));
                   }
                   return Status::OK();
                 }));
           }
-          // Each source partition's combined pairs arrive in sorted key
-          // order (the combine emits them that way).
           for (size_t i = 0; i < lost.size(); ++i) {
-            for (auto& [key, vals] : part[i]) {
-              auto it = acc[i].find(key);
-              if (it == acc[i].end()) {
-                acc[i].emplace(key, ValueVec{std::move(vals[0])});
+            part[i].SortByKey();
+            for (auto& e : part[i].entries()) {
+              auto ref = acc[i].FindOrCreate(e.hash, e.key);
+              if (ref.inserted) {
+                ref.payload = std::move(e.payload);
               } else {
-                DIABLO_ASSIGN_OR_RETURN(it->second[0],
-                                        fn(it->second[0], vals[0]));
+                DIABLO_ASSIGN_OR_RETURN(ref.payload,
+                                        fn(ref.payload, e.payload));
               }
             }
           }
         }
         rebuilt->resize(lost.size());
         for (size_t i = 0; i < lost.size(); ++i) {
+          acc[i].SortByKey();
           (*rebuilt)[i].reserve(acc[i].size());
-          for (auto& [key, vals] : acc[i]) {
-            (*rebuilt)[i].push_back(Value::MakePair(key, std::move(vals[0])));
+          for (auto& e : acc[i].entries()) {
+            (*rebuilt)[i].push_back(
+                Value::MakePair(std::move(e.key), std::move(e.payload)));
           }
         }
         return Status::OK();
@@ -881,30 +1045,55 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
   DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
   DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> ls,
                           ShuffleWave(l, left_stage, &bytes_l, &rec, &stats));
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> rs,
                           ShuffleWave(r, right_stage, &bytes_r, &rec, &stats));
+  const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
   Status st = RunTaskWave(
       label, join_stage, RowCounts(ls),
       [&](int p, int) -> Status {
         out[p].clear();
-        OrderedGroups build;
-        for (const Value& row : ls[p]) {
-          const ValueVec& kv = row.tuple();
-          build[kv[0]].push_back(kv[1]);
-        }
         reduce_work[p] = static_cast<int64_t>(ls[p].size());
-        for (const Value& row : rs[p]) {
-          const ValueVec& kv = row.tuple();
-          reduce_work[p] += 1;
-          auto it = build.find(kv[0]);
-          if (it == build.end()) continue;
-          for (const Value& lv : it->second) {
-            out[p].push_back(Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+        if (hash_agg) {
+          // Build from the left rows in arrival order, probe with the
+          // right rows in arrival order: the output sequence is the
+          // probe order either way, so no final sort is needed to match
+          // the ordered-map path. Both sides reuse the carried hashes.
+          KeyedAccumulator<ValueVec> build(ls[p].size());
+          for (const HashedRow& hr : ls[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            build.FindOrCreate(hr.hash, kv[0]).payload.push_back(kv[1]);
+          }
+          for (const HashedRow& hr : rs[p]) {
+            const ValueVec& kv = hr.row.tuple();
             reduce_work[p] += 1;
+            ValueVec* lvs = build.Find(hr.hash, kv[0]);
+            if (lvs == nullptr) continue;
+            for (const Value& lv : *lvs) {
+              out[p].push_back(
+                  Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+              reduce_work[p] += 1;
+            }
+          }
+        } else {
+          OrderedGroups build;
+          for (const HashedRow& hr : ls[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            build[kv[0]].push_back(kv[1]);
+          }
+          for (const HashedRow& hr : rs[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            reduce_work[p] += 1;
+            auto it = build.find(kv[0]);
+            if (it == build.end()) continue;
+            for (const Value& lv : it->second) {
+              out[p].push_back(
+                  Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
+              reduce_work[p] += 1;
+            }
           }
         }
         return Status::OK();
@@ -927,16 +1116,17 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
                         std::vector<ValueVec>* rebuilt,
                         int64_t* work) -> Status {
         // Rebuild the lost post-shuffle partitions of both sides in one
-        // pass per side (each produced row hashed once, kept only when
-        // its destination was lost), then replay the hash join. Scanning
-        // sources in order restores the arrival order.
+        // pass per side (each produced row hashed once, kept with its
+        // memoized hash only when its destination was lost), then
+        // replay the hash join. Scanning sources in order restores the
+        // arrival order, so the probe-order output matches exactly.
         std::vector<int> slot_of(out_parts, -1);
         for (size_t i = 0; i < lost.size(); ++i) {
           slot_of[lost[i]] = static_cast<int>(i);
         }
-        std::vector<ValueVec> lrows(lost.size()), rrows(lost.size());
+        std::vector<HashedVec> lrows(lost.size()), rrows(lost.size());
         auto scatter = [&](const Dataset& side,
-                           std::vector<ValueVec>& dest) -> Status {
+                           std::vector<HashedVec>& dest) -> Status {
           for (int s = 0; s < side.num_partitions(); ++s) {
             for (const Value& row : side.partition(s)) {
               *work += 1;
@@ -944,9 +1134,9 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
                   side.chain(), 0, row, nullptr,
                   [&](const Value& v) -> Status {
                     DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                    const int slot =
-                        slot_of[ShuffleDestination(*key, out_parts)];
-                    if (slot >= 0) dest[slot].push_back(v);
+                    const size_t h = key->Hash();
+                    const int slot = slot_of[HashDestination(h, out_parts)];
+                    if (slot >= 0) dest[slot].push_back(HashedRow{h, v});
                     return Status::OK();
                   }));
             }
@@ -957,16 +1147,16 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
         DIABLO_RETURN_IF_ERROR(scatter(r, rrows));
         rebuilt->resize(lost.size());
         for (size_t i = 0; i < lost.size(); ++i) {
-          OrderedGroups build;
-          for (const Value& row : lrows[i]) {
-            const ValueVec& kv = row.tuple();
-            build[kv[0]].push_back(kv[1]);
+          KeyedAccumulator<ValueVec> build(lrows[i].size());
+          for (const HashedRow& hr : lrows[i]) {
+            const ValueVec& kv = hr.row.tuple();
+            build.FindOrCreate(hr.hash, kv[0]).payload.push_back(kv[1]);
           }
-          for (const Value& row : rrows[i]) {
-            const ValueVec& kv = row.tuple();
-            auto it = build.find(kv[0]);
-            if (it == build.end()) continue;
-            for (const Value& lv : it->second) {
+          for (const HashedRow& hr : rrows[i]) {
+            const ValueVec& kv = hr.row.tuple();
+            ValueVec* lvs = build.Find(hr.hash, kv[0]);
+            if (lvs == nullptr) continue;
+            for (const Value& lv : *lvs) {
               (*rebuilt)[i].push_back(
                   Value::MakePair(kv[0], Value::MakePair(lv, kv[1])));
             }
@@ -988,27 +1178,51 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
   DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
   DIABLO_ASSIGN_OR_RETURN(Dataset r, RecoverInput(right, left_stage, 1, &rec));
   int64_t bytes_l = 0, bytes_r = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> ls,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> ls,
                           ShuffleWave(l, left_stage, &bytes_l, &rec, &stats));
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> rs,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> rs,
                           ShuffleWave(r, right_stage, &bytes_r, &rec, &stats));
+  const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
   Status st = RunTaskWave(
       label, cogroup_stage, RowCounts(ls),
       [&](int p, int) -> Status {
         out[p].clear();
-        std::map<Value, std::pair<ValueVec, ValueVec>> groups;
-        for (const Value& row : ls[p]) {
-          const ValueVec& kv = row.tuple();
-          groups[kv[0]].first.push_back(kv[1]);
-        }
-        for (const Value& row : rs[p]) {
-          const ValueVec& kv = row.tuple();
-          groups[kv[0]].second.push_back(kv[1]);
-        }
         reduce_work[p] = static_cast<int64_t>(ls[p].size()) +
                          static_cast<int64_t>(rs[p].size());
+        if (hash_agg) {
+          KeyedAccumulator<std::pair<ValueVec, ValueVec>> groups(
+              ls[p].size() + rs[p].size());
+          for (const HashedRow& hr : ls[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            groups.FindOrCreate(hr.hash, kv[0])
+                .payload.first.push_back(kv[1]);
+          }
+          for (const HashedRow& hr : rs[p]) {
+            const ValueVec& kv = hr.row.tuple();
+            groups.FindOrCreate(hr.hash, kv[0])
+                .payload.second.push_back(kv[1]);
+          }
+          groups.SortByKey();
+          out[p].reserve(groups.size());
+          for (auto& e : groups.entries()) {
+            out[p].push_back(Value::MakePair(
+                std::move(e.key),
+                Value::MakePair(Value::MakeBag(std::move(e.payload.first)),
+                                Value::MakeBag(std::move(e.payload.second)))));
+          }
+          return Status::OK();
+        }
+        std::map<Value, std::pair<ValueVec, ValueVec>> groups;
+        for (const HashedRow& hr : ls[p]) {
+          const ValueVec& kv = hr.row.tuple();
+          groups[kv[0]].first.push_back(kv[1]);
+        }
+        for (const HashedRow& hr : rs[p]) {
+          const ValueVec& kv = hr.row.tuple();
+          groups[kv[0]].second.push_back(kv[1]);
+        }
         out[p].reserve(groups.size());
         for (auto& [key, sides] : groups) {
           out[p].push_back(Value::MakePair(
@@ -1034,12 +1248,14 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
       [l, r, out_parts](const std::vector<int>& lost,
                         std::vector<ValueVec>* rebuilt,
                         int64_t* work) -> Status {
-        // Single-pass scatter per side, restricted to lost destinations.
+        // Single-pass scatter per side, restricted to lost destinations;
+        // each produced row's key hashes once. SortByKey canonicalizes
+        // the rebuilt groups to match the forward path byte-for-byte.
         std::vector<int> slot_of(out_parts, -1);
         for (size_t i = 0; i < lost.size(); ++i) {
           slot_of[lost[i]] = static_cast<int>(i);
         }
-        std::vector<std::map<Value, std::pair<ValueVec, ValueVec>>> groups(
+        std::vector<KeyedAccumulator<std::pair<ValueVec, ValueVec>>> groups(
             lost.size());
         auto scatter = [&](const Dataset& side, bool is_left) -> Status {
           for (int s = 0; s < side.num_partitions(); ++s) {
@@ -1049,10 +1265,10 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
                   side.chain(), 0, row, nullptr,
                   [&](const Value& v) -> Status {
                     DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                    const int slot =
-                        slot_of[ShuffleDestination(*key, out_parts)];
+                    const size_t h = key->Hash();
+                    const int slot = slot_of[HashDestination(h, out_parts)];
                     if (slot < 0) return Status::OK();
-                    auto& sides = groups[slot][*key];
+                    auto& sides = groups[slot].FindOrCreate(h, *key).payload;
                     (is_left ? sides.first : sides.second)
                         .push_back(v.tuple()[1]);
                     return Status::OK();
@@ -1065,11 +1281,13 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
         DIABLO_RETURN_IF_ERROR(scatter(r, /*is_left=*/false));
         rebuilt->resize(lost.size());
         for (size_t i = 0; i < lost.size(); ++i) {
+          groups[i].SortByKey();
           (*rebuilt)[i].reserve(groups[i].size());
-          for (auto& [key, sides] : groups[i]) {
+          for (auto& e : groups[i].entries()) {
             (*rebuilt)[i].push_back(Value::MakePair(
-                key, Value::MakePair(Value::MakeBag(std::move(sides.first)),
-                                     Value::MakeBag(std::move(sides.second)))));
+                std::move(e.key),
+                Value::MakePair(Value::MakeBag(std::move(e.payload.first)),
+                                Value::MakeBag(std::move(e.payload.second)))));
           }
         }
         return Status::OK();
@@ -1131,15 +1349,28 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
   DIABLO_ASSIGN_OR_RETURN(Dataset src,
                           RecoverInput(keyed, shuffle_stage, 0, &rec));
   int64_t bytes = 0;
-  DIABLO_ASSIGN_OR_RETURN(std::vector<ValueVec> shuffled,
+  DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> shuffled,
                           ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
+  const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(shuffled.size());
   Status st = RunTaskWave(
       label, dedup_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
         out[p].clear();
+        if (hash_agg) {
+          KeyedAccumulator<NoPayload> seen(shuffled[p].size());
+          for (const HashedRow& hr : shuffled[p]) {
+            seen.FindOrCreate(hr.hash, hr.row.tuple()[0]);
+          }
+          seen.SortByKey();
+          out[p].reserve(seen.size());
+          for (auto& e : seen.entries()) out[p].push_back(std::move(e.key));
+          return Status::OK();
+        }
         std::map<Value, bool> seen;
-        for (const Value& row : shuffled[p]) seen.emplace(row.tuple()[0], true);
+        for (const HashedRow& hr : shuffled[p]) {
+          seen.emplace(hr.row.tuple()[0], true);
+        }
         out[p].reserve(seen.size());
         for (auto& [v, unused] : seen) out[p].push_back(v);
         return Status::OK();
@@ -1158,12 +1389,14 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
       [src, out_parts](const std::vector<int>& lost,
                        std::vector<ValueVec>* rebuilt,
                        int64_t* work) -> Status {
-        // Single-pass scatter restricted to the lost destinations.
+        // Single-pass scatter restricted to the lost destinations; each
+        // key hashes once and the final sort canonicalizes the rebuilt
+        // partition to match the forward path byte-for-byte.
         std::vector<int> slot_of(out_parts, -1);
         for (size_t i = 0; i < lost.size(); ++i) {
           slot_of[lost[i]] = static_cast<int>(i);
         }
-        std::vector<std::map<Value, bool>> seen(lost.size());
+        std::vector<KeyedAccumulator<NoPayload>> seen(lost.size());
         for (int s = 0; s < src.num_partitions(); ++s) {
           for (const Value& row : src.partition(s)) {
             *work += 1;
@@ -1171,16 +1404,20 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
                 src.chain(), 0, row, nullptr,
                 [&](const Value& v) -> Status {
                   DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                  const int slot = slot_of[ShuffleDestination(*key, out_parts)];
-                  if (slot >= 0) seen[slot].emplace(*key, true);
+                  const size_t h = key->Hash();
+                  const int slot = slot_of[HashDestination(h, out_parts)];
+                  if (slot >= 0) seen[slot].FindOrCreate(h, *key);
                   return Status::OK();
                 }));
           }
         }
         rebuilt->resize(lost.size());
         for (size_t i = 0; i < lost.size(); ++i) {
+          seen[i].SortByKey();
           (*rebuilt)[i].reserve(seen[i].size());
-          for (auto& [v, unused] : seen[i]) (*rebuilt)[i].push_back(v);
+          for (auto& e : seen[i].entries()) {
+            (*rebuilt)[i].push_back(std::move(e.key));
+          }
         }
         return Status::OK();
       },

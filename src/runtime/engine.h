@@ -2,6 +2,7 @@
 #define DIABLO_RUNTIME_ENGINE_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,11 +10,14 @@
 #include "common/status.h"
 #include "runtime/dataset.h"
 #include "runtime/fault.h"
+#include "runtime/keyed_accumulator.h"
 #include "runtime/metrics.h"
 #include "runtime/operators.h"
 #include "runtime/value.h"
 
 namespace diablo::runtime {
+
+class WorkerPool;
 
 /// Configuration of the simulated cluster engine.
 struct EngineConfig {
@@ -45,6 +49,20 @@ struct EngineConfig {
   /// one-operator-one-stage engine — same results byte-for-byte, used
   /// by the AB6 ablation and the fusion property tests.
   bool fuse_narrow = true;
+  /// When true (the default), wide operators aggregate through the
+  /// open-addressing KeyedAccumulator keyed by (cached hash, key): the
+  /// key hash is computed once at the shuffle scatter and carried with
+  /// the row, and each output partition is sorted once at the end.
+  /// False restores the ordered-map (std::map<Value, ...>) aggregation
+  /// path — same results byte-for-byte, kept as the AB7 baseline.
+  bool hash_aggregation = true;
+  /// When true (the default), partition tasks run on a persistent
+  /// work-stealing worker pool owned by the engine, so a multi-stage
+  /// plan reuses host_threads workers across all stages and task waves.
+  /// False spawns a fresh std::thread vector per wave (AB7 baseline).
+  /// Either way, a failing stage reports the error of the
+  /// lowest-indexed failing partition, for every host_threads setting.
+  bool persistent_pool = true;
   /// Deterministic fault injection and recovery policy (runtime/fault.h).
   /// Off by default: with no fault class enabled the engine skips all
   /// fault bookkeeping and retains no lineage closures.
@@ -104,6 +122,7 @@ class Engine {
   using ReduceFn = std::function<StatusOr<Value>(const Value&, const Value&)>;
 
   explicit Engine(EngineConfig config = EngineConfig());
+  ~Engine();
 
   const EngineConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
@@ -205,8 +224,14 @@ class Engine {
   StatusOr<int64_t> Count(const Dataset& in);
 
  private:
-  /// Runs fn(0..n-1), using up to config_.host_threads threads; returns
-  /// the first error encountered.
+  /// Emits one shuffled row: (memoized key hash, row).
+  using EmitFn = std::function<Status(size_t, const Value&)>;
+
+  /// Runs fn(0..n-1), using up to config_.host_threads threads (the
+  /// persistent pool by default). All partitions that could fail with a
+  /// lower index than the lowest known failure are executed, and the
+  /// error of the lowest-indexed failing partition is returned — so
+  /// failures are reproducible across host_threads settings.
   Status RunPerPartition(int n, const std::function<Status(int)>& fn) const;
 
   /// Allocates the next task-wave id (the injector's stage coordinate).
@@ -230,16 +255,31 @@ class Engine {
   StatusOr<Dataset> RecoverInput(const Dataset& in, int stage,
                                  int input_index, StageRecovery* rec);
 
+  /// Shared scatter core of the shuffle waves: `produce(p, emit)` emits
+  /// every (key hash, row) of source partition p; the core routes each
+  /// row to hash % num_partitions (with optional wire-format round-trip
+  /// and payload corruption injection), returning per-destination rows
+  /// that CARRY the memoized key hash and the number of bytes moved.
+  StatusOr<std::vector<HashedVec>> ShuffleCore(
+      int stage, const std::vector<int64_t>& task_work,
+      const std::function<Status(int, const EmitFn&)>& produce,
+      int64_t* shuffle_bytes, StageRecovery* rec);
+
   /// Hash-partitions keyed rows of `in` into num_partitions buckets as
   /// one task wave: a single-pass scatter that applies `in`'s pending
-  /// fused chain element-by-element and hashes each produced row ONCE
-  /// into its destination buffer (with optional wire-format round-trip
-  /// and payload corruption injection), returning the buckets and the
-  /// number of bytes that crossed partitions.
-  StatusOr<std::vector<ValueVec>> ShuffleWave(const Dataset& in, int stage,
-                                              int64_t* shuffle_bytes,
-                                              StageRecovery* rec,
-                                              StageStats* stats);
+  /// fused chain element-by-element and hashes each produced row's key
+  /// ONCE into its destination buffer; the reduce side reuses the
+  /// carried hash instead of rehashing.
+  StatusOr<std::vector<HashedVec>> ShuffleWave(const Dataset& in, int stage,
+                                               int64_t* shuffle_bytes,
+                                               StageRecovery* rec,
+                                               StageStats* stats);
+
+  /// ShuffleWave over rows whose key hashes are already memoized (the
+  /// map-side combine output of ReduceByKey): no key is ever rehashed.
+  StatusOr<std::vector<HashedVec>> ShuffleHashed(
+      const std::vector<HashedVec>& in, int stage, int64_t* shuffle_bytes,
+      StageRecovery* rec);
 
   /// Merges `rec` into `stats` and records the stage.
   void FinishStage(StageStats stats, const StageRecovery& rec);
@@ -261,6 +301,11 @@ class Engine {
   Metrics metrics_;
   FaultInjector injector_;
   int next_stage_id_ = 0;
+  /// Persistent worker pool (EngineConfig::persistent_pool), created
+  /// lazily on the first multi-threaded wave and reused for the
+  /// engine's whole lifetime. Mutable: creating it does not change
+  /// observable engine state.
+  mutable std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace diablo::runtime

@@ -1,0 +1,176 @@
+#include "runtime/worker_pool.h"
+
+#include <atomic>
+#include <climits>
+#include <utility>
+
+namespace diablo::runtime {
+
+namespace {
+
+constexpr uint64_t PackRange(uint32_t begin, uint32_t end) {
+  return (static_cast<uint64_t>(begin) << 32) | end;
+}
+constexpr uint32_t RangeBegin(uint64_t bits) {
+  return static_cast<uint32_t>(bits >> 32);
+}
+constexpr uint32_t RangeEnd(uint64_t bits) {
+  return static_cast<uint32_t>(bits & 0xffffffffu);
+}
+
+/// Claims the front index of `range`, or -1 when empty.
+int PopFront(std::atomic<uint64_t>& range) {
+  uint64_t cur = range.load();
+  for (;;) {
+    const uint32_t begin = RangeBegin(cur), end = RangeEnd(cur);
+    if (begin >= end) return -1;
+    if (range.compare_exchange_weak(cur, PackRange(begin + 1, end))) {
+      return static_cast<int>(begin);
+    }
+  }
+}
+
+/// Moves the back half of `victim`'s range into `mine` (which must be
+/// empty — only its owner refills it). Returns false when the victim
+/// has nothing to steal.
+bool StealInto(std::atomic<uint64_t>& victim, std::atomic<uint64_t>& mine) {
+  uint64_t cur = victim.load();
+  for (;;) {
+    const uint32_t begin = RangeBegin(cur), end = RangeEnd(cur);
+    if (begin >= end) return false;
+    const uint32_t take = (end - begin + 1) / 2;
+    if (victim.compare_exchange_weak(cur, PackRange(begin, end - take))) {
+      mine.store(PackRange(end - take, end));
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+struct WorkerPool::Wave {
+  explicit Wave(int workers) : ranges(workers) {}
+
+  int n = 0;
+  const std::function<Status(int)>* fn = nullptr;
+  /// One packed [begin, end) index range per worker.
+  std::vector<std::atomic<uint64_t>> ranges;
+  /// Indices not yet executed-or-skipped; 0 completes the wave.
+  std::atomic<int> remaining{0};
+  /// Lowest failing index seen so far; tasks above it are skipped.
+  std::atomic<int> error_bound{INT_MAX};
+  std::mutex err_mu;
+  int err_index = INT_MAX;
+  Status error;
+  /// Back-pointers for completion signalling.
+  std::mutex* pool_mu = nullptr;
+  std::condition_variable* done_cv = nullptr;
+};
+
+WorkerPool::WorkerPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::WorkerLoop(int self) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Wave> wave;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      wave = wave_;
+    }
+    // A worker that slept through an entire wave picks up the finished
+    // wave here and finds every range empty — harmless.
+    if (wave != nullptr) WorkOn(*wave, self);
+  }
+}
+
+void WorkerPool::RunTask(Wave& wave, int index) {
+  // Skip indices above a known failure: they cannot beat it for the
+  // lowest-index report and the wave aborts regardless. Indices BELOW
+  // it always run — one of them may fail with a lower number.
+  if (index < wave.error_bound.load()) {
+    Status st = (*wave.fn)(index);
+    if (!st.ok()) {
+      int cur = wave.error_bound.load();
+      while (index < cur &&
+             !wave.error_bound.compare_exchange_weak(cur, index)) {
+      }
+      std::lock_guard<std::mutex> lock(wave.err_mu);
+      if (index < wave.err_index) {
+        wave.err_index = index;
+        wave.error = std::move(st);
+      }
+    }
+  }
+  if (wave.remaining.fetch_sub(1) == 1) {
+    // Last index done: wake Run(). Lock the pool mutex so the notify
+    // cannot slip between Run's predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(*wave.pool_mu);
+    wave.done_cv->notify_all();
+  }
+}
+
+void WorkerPool::WorkOn(Wave& wave, int self) {
+  const int workers = static_cast<int>(wave.ranges.size());
+  for (;;) {
+    const int index = PopFront(wave.ranges[self]);
+    if (index >= 0) {
+      RunTask(wave, index);
+      continue;
+    }
+    bool stole = false;
+    for (int off = 1; off < workers; ++off) {
+      if (StealInto(wave.ranges[(self + off) % workers], wave.ranges[self])) {
+        stole = true;
+        break;
+      }
+    }
+    // Ranges only ever shrink or move between workers, so one full scan
+    // finding nothing means no work will ever appear again.
+    if (!stole) return;
+  }
+}
+
+Status WorkerPool::Run(int n, const std::function<Status(int)>& fn) {
+  if (n <= 0) return Status::OK();
+  const int workers = threads();
+  auto wave = std::make_shared<Wave>(workers);
+  wave->n = n;
+  wave->fn = &fn;
+  wave->remaining.store(n);
+  wave->pool_mu = &mu_;
+  wave->done_cv = &done_cv_;
+  for (int w = 0; w < workers; ++w) {
+    const uint32_t begin = static_cast<uint32_t>(
+        static_cast<int64_t>(n) * w / workers);
+    const uint32_t end = static_cast<uint32_t>(
+        static_cast<int64_t>(n) * (w + 1) / workers);
+    wave->ranges[w].store(PackRange(begin, end));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  wave_ = wave;
+  ++generation_;
+  wake_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return wave->remaining.load() == 0; });
+  std::lock_guard<std::mutex> err_lock(wave->err_mu);
+  return wave->error;
+}
+
+}  // namespace diablo::runtime

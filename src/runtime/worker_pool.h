@@ -1,0 +1,72 @@
+#ifndef DIABLO_RUNTIME_WORKER_POOL_H_
+#define DIABLO_RUNTIME_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diablo::runtime {
+
+/// A persistent work-stealing thread pool for partition task waves.
+///
+/// The engine used to spawn (and join) a fresh std::thread vector for
+/// every task wave; a multi-stage plan paid that startup cost per stage
+/// per retry wave. This pool starts its workers once and reuses them for
+/// every wave of the engine's lifetime.
+///
+/// Scheduling: each wave splits [0, n) into one contiguous index range
+/// per worker, packed into a single 64-bit atomic (begin << 32 | end).
+/// A worker pops from the front of its own range with a CAS; when its
+/// range drains it steals the back half of a victim's range with a CAS
+/// on the same word, so owner pops and thief steals linearize without
+/// locks. Every index is executed exactly once regardless of stealing.
+///
+/// Error discipline: task errors never race. The pool runs every index
+/// that could fail with a lower number than the lowest failure seen so
+/// far (indices above a known failure are skipped — the wave aborts
+/// anyway) and returns the error of the LOWEST-indexed failing task, so
+/// a failing stage reports the same error for every worker count,
+/// host_threads=1 included.
+///
+/// Run() is not reentrant and must be called from one thread at a time
+/// (the engine driver). Tasks must not call back into the pool.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and returns the error of the
+  /// lowest-indexed failing task, or OK when all succeed.
+  Status Run(int n, const std::function<Status(int)>& fn);
+
+ private:
+  struct Wave;
+
+  void WorkerLoop(int self);
+  static void WorkOn(Wave& wave, int self);
+  static void RunTask(Wave& wave, int index);
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  /// Bumped per wave; sleeping workers compare against their last seen
+  /// generation to pick up new work.
+  uint64_t generation_ = 0;
+  std::shared_ptr<Wave> wave_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_WORKER_POOL_H_

@@ -1,0 +1,453 @@
+// Hash-aggregation and worker-pool property tests.
+//
+// The engine's wide operators aggregate through the open-addressing
+// KeyedAccumulator (hash_aggregation = true, the default) instead of the
+// ordered std::map path. The contract: results are byte-identical to the
+// ordered path for every workload, partition count, host thread count,
+// fusion setting and fault schedule — hash-table iteration order must
+// never be observable. The persistent work-stealing pool carries a
+// matching contract: every index runs exactly once and a failing wave
+// reports the error of the lowest-indexed failing task no matter how
+// many threads raced.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/fault.h"
+#include "runtime/keyed_accumulator.h"
+#include "runtime/worker_pool.h"
+
+namespace diablo::runtime {
+namespace {
+
+Value I(int64_t v) { return Value::MakeInt(v); }
+Value D(double v) { return Value::MakeDouble(v); }
+Value S(const std::string& v) { return Value::MakeString(v); }
+
+// ---------------------------------------------------------------------
+// KeyedAccumulator unit tests.
+
+TEST(KeyedAccumulator, FindOrCreateGroupsAndGrows) {
+  // Start far below the final key count so Grow() runs several times;
+  // growth must keep every cached-hash bucket reachable.
+  KeyedAccumulator<int64_t> acc(/*expected_keys=*/0);
+  for (int64_t i = 0; i < 500; ++i) {
+    const Value key = I(i % 101);
+    auto ref = acc.FindOrCreate(key.Hash(), key);
+    if (ref.inserted) ref.payload = 0;
+    ref.payload += 1;
+  }
+  EXPECT_EQ(acc.size(), 101u);
+  for (int64_t k = 0; k < 101; ++k) {
+    const Value key = I(k);
+    int64_t* count = acc.Find(key.Hash(), key);
+    ASSERT_NE(count, nullptr) << "key " << k;
+    // 500 draws over 101 keys: keys 0..95 appear 5 times, the rest 4.
+    EXPECT_EQ(*count, k < 96 ? 5 : 4) << "key " << k;
+  }
+  const Value absent = I(101);
+  EXPECT_EQ(acc.Find(absent.Hash(), absent), nullptr);
+}
+
+TEST(KeyedAccumulator, SortByKeyCanonicalizesAndStaysUsable) {
+  KeyedAccumulator<int64_t> acc;
+  std::mt19937_64 rng(7);
+  std::vector<int64_t> keys{9, 3, 14, 0, 7, 11, 2};
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int64_t k : keys) {
+    const Value key = I(k);
+    acc.FindOrCreate(key.Hash(), key).payload = k * 10;
+  }
+  acc.SortByKey();
+  std::sort(keys.begin(), keys.end());
+  ASSERT_EQ(acc.entries().size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(acc.entries()[i].key, I(keys[i]));
+  }
+  // The probe table is rebuilt after the sort: lookups still hit.
+  for (int64_t k : keys) {
+    const Value key = I(k);
+    int64_t* payload = acc.Find(key.Hash(), key);
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(*payload, k * 10);
+  }
+}
+
+TEST(KeyedAccumulator, StructuralKeysCompareByValueNotHash) {
+  // Tuple keys exercise the equality fallback behind the hash compare.
+  KeyedAccumulator<ValueVec> acc;
+  for (int round = 0; round < 3; ++round) {
+    for (int64_t a = 0; a < 8; ++a) {
+      const Value key = Value::MakePair(I(a), S("k" + std::to_string(a % 3)));
+      acc.FindOrCreate(key.Hash(), key).payload.push_back(I(round));
+    }
+  }
+  EXPECT_EQ(acc.size(), 8u);
+  for (auto& e : acc.entries()) EXPECT_EQ(e.payload.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// WorkerPool unit tests.
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  for (int wave = 0; wave < 20; ++wave) {
+    const int n = 1 + wave * 37;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    Status st = pool.Run(n, [&](int i) -> Status {
+      hits[i].fetch_add(1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "wave " << wave << " index " << i;
+    }
+  }
+}
+
+TEST(WorkerPool, ReportsLowestIndexedError) {
+  // Two failing indices; the higher one sits in the range a different
+  // worker owns, so with naive first-error reporting the winner would
+  // depend on thread timing. The pool must always report index 3.
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    for (int rep = 0; rep < 25; ++rep) {
+      Status st = pool.Run(64, [&](int i) -> Status {
+        if (i == 3 || i == 60) {
+          return Status::RuntimeError("task " + std::to_string(i));
+        }
+        return Status::OK();
+      });
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.message(), "task 3") << "threads " << threads;
+    }
+  }
+}
+
+TEST(WorkerPool, EmptyAndUndersizedWaves) {
+  WorkerPool pool(8);
+  EXPECT_TRUE(pool.Run(0, [](int) { return Status::OK(); }).ok());
+  // Fewer indices than workers: most ranges start empty and workers can
+  // only find work by stealing.
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  Status st = pool.Run(3, [&](int i) -> Status {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level property: hash aggregation is byte-identical to the
+// ordered-map path across workloads and engine configurations.
+
+// Word count: (word, 1) pairs reduced by key. String keys stress
+// hashing/compare asymmetry.
+StatusOr<ValueVec> WordCount(Engine& engine, const ValueVec& words) {
+  Dataset ds = engine.Parallelize(words);
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset pairs, engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+        return Value::MakePair(v, I(1));
+      }));
+  DIABLO_ASSIGN_OR_RETURN(Dataset counts,
+                          engine.ReduceByKey(pairs, BinOp::kAdd));
+  return engine.Collect(counts);
+}
+
+// PageRank-flavoured: two iterations of join(ranks, links) →
+// contributions → reduceByKey over doubles. Float folds make any
+// arrival-order divergence between the paths visible bit-for-bit.
+StatusOr<ValueVec> PageRankIters(Engine& engine, const ValueVec& edges) {
+  Dataset links = engine.Parallelize(edges);
+  DIABLO_ASSIGN_OR_RETURN(Dataset grouped, engine.GroupByKey(links));
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset ranks,
+      engine.MapValues(grouped,
+                       [](const Value&) -> StatusOr<Value> { return D(1.0); }));
+  for (int iter = 0; iter < 2; ++iter) {
+    DIABLO_ASSIGN_OR_RETURN(Dataset joined, engine.Join(grouped, ranks));
+    DIABLO_ASSIGN_OR_RETURN(
+        Dataset contribs,
+        engine.FlatMap(joined, [](const Value& v) -> StatusOr<ValueVec> {
+          const ValueVec& outs = v.tuple()[1].tuple()[0].bag();
+          const double rank = v.tuple()[1].tuple()[1].AsDouble();
+          ValueVec out;
+          out.reserve(outs.size());
+          for (const Value& dst : outs) {
+            out.push_back(Value::MakePair(
+                dst, D(rank / static_cast<double>(outs.size()))));
+          }
+          return out;
+        }));
+    DIABLO_ASSIGN_OR_RETURN(Dataset summed,
+                            engine.ReduceByKey(contribs, BinOp::kAdd));
+    DIABLO_ASSIGN_OR_RETURN(
+        ranks, engine.MapValues(summed, [](const Value& v) -> StatusOr<Value> {
+          return D(0.15 + 0.85 * v.AsDouble());
+        }));
+  }
+  return engine.Collect(ranks);
+}
+
+// Join + coGroup + distinct over the same keyed rows, concatenated.
+StatusOr<ValueVec> RelationalMix(Engine& engine, const ValueVec& rows) {
+  Dataset ds = engine.Parallelize(rows);
+  DIABLO_ASSIGN_OR_RETURN(Dataset sums, engine.ReduceByKey(ds, BinOp::kAdd));
+  DIABLO_ASSIGN_OR_RETURN(Dataset joined, engine.Join(ds, sums));
+  DIABLO_ASSIGN_OR_RETURN(ValueVec out, engine.Collect(joined));
+  DIABLO_ASSIGN_OR_RETURN(Dataset cg, engine.CoGroup(ds, sums));
+  DIABLO_ASSIGN_OR_RETURN(ValueVec cg_rows, engine.Collect(cg));
+  DIABLO_ASSIGN_OR_RETURN(
+      Dataset keys, engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+        return v.tuple()[0];
+      }));
+  DIABLO_ASSIGN_OR_RETURN(Dataset uniq, engine.Distinct(keys));
+  DIABLO_ASSIGN_OR_RETURN(ValueVec uniq_rows, engine.Collect(uniq));
+  out.insert(out.end(), cg_rows.begin(), cg_rows.end());
+  out.insert(out.end(), uniq_rows.begin(), uniq_rows.end());
+  return out;
+}
+
+StatusOr<ValueVec> RunWorkload(Engine& engine, int which,
+                               const ValueVec& rows) {
+  switch (which) {
+    case 0:
+      return WordCount(engine, rows);
+    case 1:
+      return PageRankIters(engine, rows);
+    default:
+      return RelationalMix(engine, rows);
+  }
+}
+
+ValueVec WorkloadInput(int which, std::mt19937_64& rng) {
+  ValueVec rows;
+  if (which == 0) {
+    const int n = 200 + static_cast<int>(rng() % 300);
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(S("word" + std::to_string(rng() % 37)));
+    }
+  } else if (which == 1) {
+    const int nodes = 20 + static_cast<int>(rng() % 20);
+    const int edges = 150 + static_cast<int>(rng() % 150);
+    for (int i = 0; i < edges; ++i) {
+      rows.push_back(Value::MakePair(I(static_cast<int64_t>(rng() % nodes)),
+                                     I(static_cast<int64_t>(rng() % nodes))));
+    }
+  } else {
+    const int n = 150 + static_cast<int>(rng() % 250);
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(Value::MakePair(
+          I(static_cast<int64_t>(rng() % 23)),
+          D(static_cast<double>(rng() % 1000) / 7.0 - 50.0)));
+    }
+  }
+  return rows;
+}
+
+TEST(HashAggProperty, HashMatchesOrderedByteForByte) {
+  for (int which = 0; which < 3; ++which) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      std::mt19937_64 rng(seed * 6151 + which + 1);
+      ValueVec rows = WorkloadInput(which, rng);
+      const int parts = 1 + static_cast<int>(rng() % 12);
+      for (int host_threads : {1, 4}) {
+        for (bool fuse : {true, false}) {
+          EngineConfig hash_config;
+          hash_config.num_partitions = parts;
+          hash_config.host_threads = host_threads;
+          hash_config.fuse_narrow = fuse;
+          hash_config.hash_aggregation = true;
+          EngineConfig ordered_config = hash_config;
+          ordered_config.hash_aggregation = false;
+          ordered_config.persistent_pool = false;
+
+          Engine hash(hash_config), ordered(ordered_config);
+          auto hash_out = RunWorkload(hash, which, rows);
+          auto ordered_out = RunWorkload(ordered, which, rows);
+          ASSERT_TRUE(hash_out.ok()) << hash_out.status().ToString();
+          ASSERT_TRUE(ordered_out.ok()) << ordered_out.status().ToString();
+          EXPECT_EQ(*hash_out, *ordered_out)
+              << "workload " << which << " seed " << seed << " threads "
+              << host_threads << " fuse " << fuse;
+        }
+      }
+    }
+  }
+}
+
+TEST(HashAggProperty, HashUnderFaultsMatchesOrderedFaultFree) {
+  // Fault schedules key off (stage id, partition, attempt, row index) —
+  // coordinates the aggregation strategy does not change — so the same
+  // injected faults hit both paths and neither may diverge from the
+  // fault-free answer.
+  for (int which = 0; which < 3; ++which) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      std::mt19937_64 rng(seed * 2741 + which + 11);
+      ValueVec rows = WorkloadInput(which, rng);
+
+      EngineConfig clean_config;
+      clean_config.hash_aggregation = false;
+      clean_config.persistent_pool = false;
+      Engine clean(clean_config);
+      auto expected = RunWorkload(clean, which, rows);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+      for (bool hash_agg : {true, false}) {
+        EngineConfig faulty_config;
+        faulty_config.hash_aggregation = hash_agg;
+        faulty_config.host_threads = 4;
+        faulty_config.faults.seed = seed + 17;
+        faulty_config.faults.task_failure_rate = 0.08;
+        faulty_config.faults.corrupt_shuffle_rate = 0.01;
+        faulty_config.faults.max_task_attempts = 12;
+        faulty_config.serialize_shuffles = true;
+        Engine faulty(faulty_config);
+        auto got = RunWorkload(faulty, which, rows);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(*got, *expected)
+            << "workload " << which << " seed " << seed << " hash_agg "
+            << hash_agg;
+      }
+    }
+  }
+}
+
+TEST(HashAggProperty, LostPartitionRecoveryUsesAccumulatorReplay) {
+  // Deterministic lost-partition directives drive the recompute_many
+  // closures (the accumulator-based replay paths) for every wide
+  // operator in the mix; the rebuilt partitions must be byte-identical.
+  std::mt19937_64 rng(4242);
+  ValueVec rows = WorkloadInput(/*which=*/2, rng);
+  EngineConfig clean_config;
+  Engine clean(clean_config);
+  auto expected = RunWorkload(clean, 2, rows);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  int64_t fired = 0;
+  for (int stage = 0; stage < 8; ++stage) {
+    EngineConfig config;
+    config.faults.lose_partitions.push_back({stage, 2, 0});
+    Engine engine(config);
+    auto got = RunWorkload(engine, 2, rows);
+    ASSERT_TRUE(got.ok()) << "stage " << stage << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, *expected) << "stage " << stage;
+    fired += engine.metrics().total_recomputed_partitions();
+  }
+  // Not every stage id consumes a shuffle input, but several must have
+  // replayed a lost partition through the accumulator-based closures.
+  EXPECT_GE(fired, 3);
+}
+
+TEST(HashAggProperty, DistinctRecoveryUnderFaults) {
+  // Distinct's dedup and its lost-partition replay both run on the
+  // accumulator now; randomized faults plus a directed partition loss
+  // must reproduce the clean answer.
+  ValueVec rows;
+  std::mt19937_64 rng(91);
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back(Value::MakePair(I(static_cast<int64_t>(rng() % 29)),
+                                   S("v" + std::to_string(rng() % 5))));
+  }
+  auto run = [&](EngineConfig config) {
+    Engine engine(config);
+    Dataset ds = engine.Parallelize(rows);
+    auto uniq = engine.Distinct(ds);
+    EXPECT_TRUE(uniq.ok()) << uniq.status().ToString();
+    auto out = engine.Collect(*uniq);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? *out : ValueVec{};
+  };
+  const ValueVec expected = run(EngineConfig{});
+  ASSERT_FALSE(expected.empty());
+
+  EngineConfig faulty;
+  faulty.faults.seed = 5;
+  faulty.faults.task_failure_rate = 0.1;
+  faulty.faults.max_task_attempts = 10;
+  faulty.faults.lose_partitions.push_back({1, 3, 0});
+  EXPECT_EQ(run(faulty), expected);
+
+  EngineConfig ordered = faulty;
+  ordered.hash_aggregation = false;
+  EXPECT_EQ(run(ordered), expected);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic error selection (the RunPerPartition contract).
+
+TEST(DeterministicErrors, SameErrorForEveryThreadCountAndScheduler) {
+  // Several partitions fail; the reported error must be the one from the
+  // lowest-indexed failing partition regardless of host_threads or
+  // whether the persistent pool or the spawn-per-wave path ran the wave.
+  ValueVec rows;
+  for (int i = 0; i < 160; ++i) rows.push_back(I(i));
+
+  auto run = [&](int host_threads, bool pool) {
+    EngineConfig config;
+    config.num_partitions = 16;
+    config.host_threads = host_threads;
+    config.persistent_pool = pool;
+    config.fuse_narrow = false;  // eager: the map wave itself fails
+    Engine engine(config);
+    Dataset ds = engine.Parallelize(rows);
+    auto mapped = engine.Map(ds, [](const Value& v) -> StatusOr<Value> {
+      // Rows 155 (partition 15) and 72 (partition 7) fail; partition 7
+      // is the lowest failing partition, and 72 is its first bad row.
+      if (v.AsInt() == 72 || v.AsInt() == 155) {
+        return Status::RuntimeError("bad row " + std::to_string(v.AsInt()));
+      }
+      return v;
+    });
+    return mapped.ok() ? Status::OK() : mapped.status();
+  };
+
+  const Status expected = run(1, false);
+  ASSERT_FALSE(expected.ok());
+  EXPECT_EQ(expected.message(), "bad row 72");
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool pool : {true, false}) {
+      for (int rep = 0; rep < 10; ++rep) {
+        const Status got = run(threads, pool);
+        ASSERT_FALSE(got.ok());
+        EXPECT_EQ(got.ToString(), expected.ToString())
+            << "threads " << threads << " pool " << pool;
+      }
+    }
+  }
+}
+
+TEST(PersistentPool, ReusedAcrossStagesAndMatchesSpawn) {
+  // One engine drives a multi-stage program twice; the pool is created
+  // once and must keep producing results identical to the spawn path.
+  std::mt19937_64 rng(2026);
+  ValueVec rows = WorkloadInput(/*which=*/1, rng);
+  EngineConfig pool_config;
+  pool_config.host_threads = 4;
+  pool_config.persistent_pool = true;
+  EngineConfig spawn_config = pool_config;
+  spawn_config.persistent_pool = false;
+
+  Engine pooled(pool_config), spawning(spawn_config);
+  for (int round = 0; round < 3; ++round) {
+    pooled.ResetRunState();
+    spawning.ResetRunState();
+    auto a = RunWorkload(pooled, 1, rows);
+    auto b = RunWorkload(spawning, 1, rows);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(*a, *b) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace diablo::runtime

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold PCT]
+                              [--prefix NAME]
+
+Fails (exit 1) when any benchmark matched by --prefix (default:
+BM_ReduceByKeyHot, the hash-aggregation hot path) is more than
+--threshold percent (default: 20) slower than the committed baseline,
+by real_time per iteration. Benchmarks present on only one side are
+reported but never fail the check — CI machines differ, thresholds
+guard the tracked hot path only.
+
+Stdlib only; runs on any python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> real_time (ns per iteration) for every benchmark entry."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="max allowed slowdown in percent (default 20)")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="benchmark name prefix to gate on; repeatable "
+                             "(default: BM_ReduceByKeyHot)")
+    args = parser.parse_args()
+    prefixes = args.prefix or ["BM_ReduceByKeyHot"]
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    failures = []
+    checked = 0
+    for name, base_ns in sorted(baseline.items()):
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        if name not in current:
+            print(f"NOTE  {name}: in baseline but not in current run")
+            continue
+        checked += 1
+        cur_ns = current[name]
+        delta_pct = (cur_ns - base_ns) / base_ns * 100.0
+        verdict = "OK"
+        if delta_pct > args.threshold:
+            verdict = "FAIL"
+            failures.append(name)
+        print(f"{verdict:5} {name}: baseline {base_ns:.0f} ns, "
+              f"current {cur_ns:.0f} ns ({delta_pct:+.1f}%)")
+    for name in sorted(current):
+        if any(name.startswith(p) for p in prefixes) and name not in baseline:
+            print(f"NOTE  {name}: new benchmark, no baseline")
+
+    if checked == 0:
+        print(f"ERROR: no benchmarks matched prefixes {prefixes}",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"FAILED: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"All {checked} gated benchmark(s) within {args.threshold:.0f}% "
+          "of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
