@@ -149,6 +149,25 @@ BENCHMARK(BM_ReduceByKeyHot)
     ->Args({200000, 20000, 1})
     ->ArgNames({"rows", "keys", "hash"});
 
+// The AB8 overhead gate: the same hot reduceByKey with tracing off vs
+// on. tools/check_trace_overhead.py compares the two variants from one
+// benchmark JSON and fails CI when the traced run is > 5% slower.
+void BM_ReduceByKeyHotTraced(benchmark::State& state) {
+  diablo::runtime::EngineConfig config;
+  config.tracing = state.range(2) != 0;
+  Engine engine(config);
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.ReduceByKey(ds, BinOp::kAdd);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKeyHotTraced)
+    ->Args({200000, 20000, 0})
+    ->Args({200000, 20000, 1})
+    ->ArgNames({"rows", "keys", "trace"});
+
 // Join probe throughput: the build side fits a hash table; the probe
 // side reuses the memoized shuffle hash instead of re-walking the key.
 void BM_JoinProbe(benchmark::State& state) {

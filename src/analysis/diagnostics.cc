@@ -173,7 +173,7 @@ std::string JsonIteration(
 
 }  // namespace
 
-std::string RenderJson(const Diagnostic& d) {
+std::string RenderJson(const Diagnostic& d, const std::string& filename) {
   std::string out = StrCat(
       "{\"code\":\"", JsonEscape(d.code), "\",\"severity\":\"",
       SeverityName(d.severity), "\",\"line\":", d.loc.line,
@@ -193,14 +193,23 @@ std::string RenderJson(const Diagnostic& d) {
                   "\",\"write\":", JsonIteration(w.write_iteration),
                   ",\"read\":", JsonIteration(w.read_iteration), "}");
   }
+  // Plan-statistics lints share the tracer's location schema so a P0xx
+  // finding and a stage span for the same statement join on one shape.
+  if (d.code.size() >= 2 && d.code[0] == 'P' && d.code[1] == '0') {
+    out += StrCat(",\"location\":{\"file\":\"", JsonEscape(filename),
+                  "\",\"line\":", d.loc.line, ",\"column\":", d.loc.column,
+                  "}");
+  }
   out += "}";
   return out;
 }
 
+std::string RenderJson(const Diagnostic& d) { return RenderJson(d, ""); }
+
 std::string RenderJsonAll(const std::vector<Diagnostic>& diags,
                           const std::string& filename) {
   std::vector<std::string> items;
-  for (const auto& d : diags) items.push_back(RenderJson(d));
+  for (const auto& d : diags) items.push_back(RenderJson(d, filename));
   return StrCat("{\"file\":\"", JsonEscape(filename),
                 "\",\"diagnostics\":[", Join(items, ","),
                 "],\"errors\":", CountSeverity(diags, Severity::kError),

@@ -114,7 +114,12 @@ std::string RenderTextAll(const std::vector<Diagnostic>& diags,
 /// Renders one diagnostic as a single JSON object with a schema-stable
 /// key order: code, severity, line, column, message, then optionally
 /// hint and witness. The witness object has keys array, element,
-/// element_string, conflict, write, read.
+/// element_string, conflict, write, read. Plan-statistics diagnostics
+/// (P0xx) additionally carry a trailing "location" object —
+/// {"file":...,"line":N,"column":N} — the same provenance schema the
+/// runtime tracer stamps on stage spans, so lint findings and trace
+/// spans join on one location shape (docs/diagnostics.md).
+std::string RenderJson(const Diagnostic& d, const std::string& filename);
 std::string RenderJson(const Diagnostic& d);
 
 /// {"file":"...","diagnostics":[...],"errors":N,"warnings":N,"notes":N}

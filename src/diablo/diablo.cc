@@ -35,6 +35,7 @@ StatusOr<ProgramRun> Run(const CompiledProgram& program,
     return Status::InvalidArgument("Run requires an engine");
   }
   auto executor = std::make_unique<exec::TargetExecutor>(engine);
+  executor->SetProgramName(options.program_name);
   if (!options.tiled_arrays.empty()) {
     executor->EnableTiledStorage(options.tiled_arrays, options.tile_config);
   }

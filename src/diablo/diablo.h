@@ -96,6 +96,9 @@ struct RunOptions {
   /// exec::TargetExecutor::EnableTiledStorage for the semantics.
   std::set<std::string> tiled_arrays;
   tiles::TileConfig tile_config;
+  /// Source file name stamped into trace spans and stage provenance
+  /// ("[pagerank.diablo:12:3]"); empty renders as "<program>".
+  std::string program_name;
 };
 
 /// Executes a compiled program on the distributed engine.

@@ -11,6 +11,36 @@ using runtime::Dataset;
 using runtime::Value;
 using runtime::ValueVec;
 
+namespace {
+
+/// Human-readable label for a statement's trace span.
+std::string StmtLabel(const comp::TargetStmtPtr& stmt) {
+  if (stmt->is<TargetStmt::Declare>()) {
+    return StrCat("declare ", stmt->as<TargetStmt::Declare>().var);
+  }
+  if (stmt->is<TargetStmt::Assign>()) {
+    return StrCat("assign ", stmt->as<TargetStmt::Assign>().var);
+  }
+  return "while";
+}
+
+/// Installs statement provenance on the engine for the current scope and
+/// restores the previous provenance on exit (While bodies re-enter).
+class ProvenanceScope {
+ public:
+  ProvenanceScope(runtime::Engine* engine, runtime::EngineProvenance p)
+      : engine_(engine), prev_(engine->SwapProvenance(std::move(p))) {}
+  ~ProvenanceScope() { engine_->SwapProvenance(std::move(prev_)); }
+  ProvenanceScope(const ProvenanceScope&) = delete;
+  ProvenanceScope& operator=(const ProvenanceScope&) = delete;
+
+ private:
+  runtime::Engine* engine_;
+  runtime::EngineProvenance prev_;
+};
+
+}  // namespace
+
 plan::ExecState TargetExecutor::State() {
   plan::ExecState state;
   state.engine = engine_;
@@ -97,6 +127,12 @@ Status TargetExecutor::Run(const comp::TargetProgram& program,
   arrays_.clear();
   tiled_.clear();
   statements_executed_ = 0;
+  // The run span is the root of the trace; input materialization below
+  // happens inside it but outside any statement span, so reports group
+  // those stages as setup.
+  runtime::ScopedSpan run_span(
+      engine_->trace(), runtime::SpanKind::kRun,
+      program_name_.empty() ? "run" : StrCat("run ", program_name_));
   for (const auto& [name, value] : inputs) {
     if (value.is_bag()) {
       ValueVec rows = value.bag();
@@ -122,6 +158,13 @@ Status TargetExecutor::Run(const comp::TargetProgram& program,
 
 Status TargetExecutor::ExecStmt(const comp::TargetStmtPtr& stmt) {
   ++statements_executed_;
+  std::string label = StmtLabel(stmt);
+  runtime::ScopedSpan stmt_span(engine_->trace(),
+                                runtime::SpanKind::kStatement, label);
+  stmt_span.SetLocation(program_name_, stmt->loc.line, stmt->loc.column);
+  ProvenanceScope provenance(
+      engine_, runtime::EngineProvenance{program_name_, stmt->loc.line,
+                                         stmt->loc.column, std::move(label)});
   if (stmt->is<TargetStmt::Declare>()) {
     const auto& d = stmt->as<TargetStmt::Declare>();
     if (d.is_array) {

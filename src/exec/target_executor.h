@@ -44,6 +44,10 @@ class TargetExecutor {
     tile_config_ = config;
   }
 
+  /// Program (file) name used as the provenance `file` on trace spans
+  /// and stage stats; empty renders as "<program>".
+  void SetProgramName(std::string name) { program_name_ = std::move(name); }
+
   /// Runs a target program. `inputs` bind the program's free variables.
   Status Run(const comp::TargetProgram& program, const Bindings& inputs);
 
@@ -89,6 +93,7 @@ class TargetExecutor {
   Status CheckpointLoopArrays();
 
   runtime::Engine* engine_;
+  std::string program_name_;
   std::map<std::string, runtime::Value> scalars_;
   /// Sparse views read by the planner. For tiled arrays this is a cache
   /// of Unpack(tiled_[name]), invalidated through dirty_.

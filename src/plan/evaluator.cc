@@ -583,7 +583,7 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
         ship.wide = true;
         ship.shuffle_bytes =
             build_bytes * engine.config().cluster.num_workers;
-        engine.metrics().AddStage(std::move(ship));
+        engine.RecordPlannerStage(std::move(ship));
         break;
       }
       case StreamOp::Kind::kCartesianArray: {
@@ -636,7 +636,7 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
                 std::max(1, engine.config().num_partitions));
         extra.shuffle_bytes =
             right_bytes * engine.config().cluster.num_workers;
-        engine.metrics().AddStage(std::move(extra));
+        engine.RecordPlannerStage(std::move(extra));
         break;
       }
       case StreamOp::Kind::kGroupBy: {

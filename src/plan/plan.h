@@ -71,6 +71,10 @@ struct StreamOp {
   /// Variables in scope after this operator, in row order.
   std::vector<std::string> schema_after;
 
+  /// Source location of the loop statement this operator was translated
+  /// from (line 0 = unknown). Flows into StageStats and trace spans.
+  SourceLocation loc{0, 0};
+
   std::string ToString() const;
 };
 
@@ -82,6 +86,10 @@ struct CompPlan {
   /// True when the comprehension touches no distributed array: it can be
   /// evaluated entirely on the driver.
   bool driver_only = false;
+  /// Source location of the originating loop statement (line 0 =
+  /// unknown), stamped by BuildPlan from the executor's current
+  /// statement.
+  SourceLocation loc{0, 0};
 
   /// Number of shuffling (wide) operators in the pipeline.
   int NumShuffles() const;

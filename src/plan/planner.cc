@@ -96,6 +96,13 @@ StatusOr<CompPlan> BuildPlan(const comp::CompPtr& comp,
                              const ExecState& state) {
   CompPlan plan;
   plan.head = comp->head;
+  // Provenance: the executor sets the engine's current statement before
+  // planning, so every plan (and through it every stage) knows the loop
+  // statement it came from.
+  if (state.engine != nullptr) {
+    const runtime::EngineProvenance& prov = state.engine->provenance();
+    plan.loc = SourceLocation{prov.line, prov.column};
+  }
   std::vector<std::string> schema;
   std::set<std::string> schema_set;
   std::set<size_t> consumed;
@@ -317,6 +324,7 @@ StatusOr<CompPlan> BuildPlan(const comp::CompPtr& comp,
   }
 
   plan.driver_only = !has_source;
+  for (StreamOp& op : plan.ops) op.loc = plan.loc;
   return plan;
 }
 

@@ -150,6 +150,9 @@ Engine::Engine(EngineConfig config)
   if (config_.num_partitions < 1) config_.num_partitions = 1;
   if (config_.host_threads < 1) config_.host_threads = 1;
   if (config_.faults.max_task_attempts < 1) config_.faults.max_task_attempts = 1;
+#ifndef DIABLO_DISABLE_TRACING
+  if (config_.tracing) trace_ = std::make_unique<TraceRecorder>();
+#endif
 }
 
 Engine::~Engine() = default;
@@ -195,6 +198,7 @@ Status Engine::RunPerPartition(int n,
     if (pool_ == nullptr) {
       pool_ = std::make_unique<WorkerPool>(config_.host_threads);
     }
+    pool_tasks_pending_ += n;
     return pool_->Run(n, fn);
   }
   // Spawn-per-wave baseline (AB7): fresh threads every call, same
@@ -226,7 +230,12 @@ Status Engine::RunPerPartition(int n,
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&worker, t] {
+      SetCurrentTraceWorker(t + 1);
+      worker();
+    });
+  }
   for (auto& t : pool) t.join();
   return error;
 }
@@ -237,11 +246,25 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
                            StageRecovery* rec) {
   const int n = static_cast<int>(task_work.size());
   if (n == 0) return Status::OK();
+  TraceRecorder* tr = trace();
+  ScopedSpan wave_span(tr, SpanKind::kWave, label);
+  wave_span.SetStageId(stage);
+  // Times one task attempt into a task span under the wave. Tracing
+  // never perturbs execution: the stage/partition/attempt coordinates
+  // the fault injector sees are identical either way.
+  auto invoke = [&](int p, int attempt) -> Status {
+    if (tr == nullptr) return fn(p, attempt);
+    const double t0 = tr->NowUs();
+    Status st = fn(p, attempt);
+    tr->AddTask(wave_span.id(), t0, tr->NowUs() - t0, CurrentTraceWorker(), p,
+                attempt, stage, task_work[p]);
+    return st;
+  };
   if (!config_.faults.enabled()) {
     // Fault-free fast path: every task succeeds on its first attempt and
     // no retry bookkeeping is kept.
     rec->attempts += n;
-    return RunPerPartition(n, [&](int p) { return fn(p, 0); });
+    return RunPerPartition(n, [&](int p) { return invoke(p, 0); });
   }
   const FaultConfig& fc = config_.faults;
   const int budget = fc.max_task_attempts;
@@ -260,7 +283,7 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
         recovery[p] += task_seconds + RetryBackoff(fc, attempt);
         continue;
       }
-      Status run = fn(p, attempt);
+      Status run = invoke(p, attempt);
       if (run.ok()) {
         const double mult = injector_.StragglerMultiplier(stage, p, attempt);
         if (mult > 1.0) recovery[p] += (mult - 1.0) * task_seconds;
@@ -292,6 +315,13 @@ StatusOr<Dataset> Engine::RecoverInput(const Dataset& in, int stage,
   std::sort(lost.begin(), lost.end());
   lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
   const std::shared_ptr<const LineageNode>& lineage = in.lineage();
+  // Lineage recomputation attributed as its own span nested under the
+  // consuming stage.
+  ScopedSpan recovery_span(
+      trace(), SpanKind::kRecovery,
+      StrCat("recover input ", input_index, " (", lost.size(),
+             " lost partition", lost.size() == 1 ? "" : "s", ")"));
+  recovery_span.SetStageId(stage);
   std::vector<ValueVec> parts = in.partitions();
   if (lineage == nullptr || lineage->durable) {
     // Durable data (source or checkpoint): re-read from stable
@@ -342,6 +372,47 @@ void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
   stats.attempts = rec.attempts;
   stats.recomputed_partitions = rec.recomputed_partitions;
   stats.recovery_seconds = rec.recovery_seconds;
+  stats.pool_tasks = pool_tasks_pending_;
+  pool_tasks_pending_ = 0;
+  if (provenance_.line > 0) {
+    stats.src_file = provenance_.file;
+    stats.src_line = provenance_.line;
+    stats.src_column = provenance_.column;
+  }
+  if (TraceRecorder* t = trace()) {
+    // The innermost open stage span belongs to the operator finishing
+    // this stage (each operator opens exactly one before it runs).
+    const int64_t span = t->OpenSpan(SpanKind::kStage);
+    if (span >= 0) {
+      t->SetName(span, stats.label);
+      t->SetMetricsIndex(span, static_cast<int>(metrics_.stages().size()));
+      t->SetShuffleBytes(span, stats.shuffle_bytes);
+      if (!stats.partition_rows.empty()) {
+        int64_t rows = 0;
+        for (int64_t c : stats.partition_rows) rows += c;
+        t->SetRows(span, rows);
+      }
+      t->SetLocation(span, stats.src_file, stats.src_line, stats.src_column);
+    }
+  }
+  metrics_.AddStage(std::move(stats));
+}
+
+void Engine::RecordPlannerStage(StageStats stats) {
+  if (provenance_.line > 0) {
+    stats.src_file = provenance_.file;
+    stats.src_line = provenance_.line;
+    stats.src_column = provenance_.column;
+  }
+  if (TraceRecorder* t = trace()) {
+    // Zero-duration stage span: the work happened inside other spans
+    // (or is purely simulated); this records the stage's existence,
+    // label, and provenance in the trace.
+    ScopedSpan span(t, SpanKind::kStage, stats.label);
+    t->SetMetricsIndex(span.id(), static_cast<int>(metrics_.stages().size()));
+    t->SetShuffleBytes(span.id(), stats.shuffle_bytes);
+    span.SetLocation(stats.src_file, stats.src_line, stats.src_column);
+  }
   metrics_.AddStage(std::move(stats));
 }
 
@@ -378,7 +449,9 @@ StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
     op.map = fn;
     return in.WithOp(std::move(op));
   }
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
@@ -396,7 +469,9 @@ StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  StageStats map_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  map_stats.partition_rows = RowCounts(out);
+  FinishStage(std::move(map_stats), rec);
   auto lineage = MakeLineage(
       "map", label, {src.lineage()},
       [src, fn](int p, int64_t* work) -> StatusOr<ValueVec> {
@@ -444,7 +519,9 @@ StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
     op.pred = pred;
     return in.WithOp(std::move(op));
   }
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
@@ -460,7 +537,9 @@ StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  StageStats filter_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  filter_stats.partition_rows = RowCounts(out);
+  FinishStage(std::move(filter_stats), rec);
   auto lineage = MakeLineage(
       "filter", label, {src.lineage()},
       [src, pred](int p, int64_t* work) -> StatusOr<ValueVec> {
@@ -485,7 +564,9 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
     op.flat = fn;
     return in.WithOp(std::move(op));
   }
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
@@ -501,7 +582,9 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
       },
       &rec);
   if (!st.ok()) return st;
-  FinishStage({label, /*wide=*/false, RowCounts(src), {}, 0}, rec);
+  StageStats flat_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  flat_stats.partition_rows = RowCounts(out);
+  FinishStage(std::move(flat_stats), rec);
   auto lineage = MakeLineage(
       "flatMap", label, {src.lineage()},
       [src, fn](int p, int64_t* work) -> StatusOr<ValueVec> {
@@ -521,7 +604,9 @@ StatusOr<Dataset> Engine::Force(const Dataset& in) {
   if (in.materialized()) return in;
   const FusedChain& chain = in.chain();
   const std::string label = ChainLabel(chain);
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   const int n = src.num_partitions();
@@ -551,6 +636,7 @@ StatusOr<Dataset> Engine::Force(const Dataset& in) {
   StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   stats.fused_ops = static_cast<int64_t>(chain.size());
   for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  stats.partition_rows = RowCounts(out);
   FinishStage(std::move(stats), rec);
   auto lineage = MakeLineage(
       "fused", label, {src.lineage()},
@@ -584,13 +670,18 @@ StatusOr<const Value*> Engine::RowKey(const Value& row) {
 StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
     int stage, const std::vector<int64_t>& task_work,
     const std::function<Status(int, const EmitFn&)>& produce,
-    int64_t* shuffle_bytes, StageRecovery* rec) {
+    int64_t* shuffle_bytes, std::vector<int64_t>* dest_bytes,
+    StageRecovery* rec) {
   const int out_parts = config_.num_partitions;
   const int n = static_cast<int>(task_work.size());
   // buckets[src][dst]
   std::vector<std::vector<HashedVec>> buckets(
       n, std::vector<HashedVec>(out_parts));
   std::vector<int64_t> moved_bytes(n, 0);
+  // bucket_bytes[src][dst]: bytes each source task shipped per
+  // destination, reduced into `dest_bytes` after the wave.
+  std::vector<std::vector<int64_t>> bucket_bytes(
+      n, std::vector<int64_t>(out_parts, 0));
   const bool serialize = config_.serialize_shuffles;
   const bool inject = config_.faults.enabled();
   Status st = RunTaskWave(
@@ -607,6 +698,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
             1;
         for (HashedVec& bucket : buckets[p]) bucket.reserve(hint);
         moved_bytes[p] = 0;
+        bucket_bytes[p].assign(out_parts, 0);
         int64_t row_idx = 0;
         // Single-pass scatter: each produced row arrives with its key
         // hash (computed exactly once by the producer) and is appended
@@ -624,6 +716,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
             // Ship the encoded bytes, exactly as a real shuffle would.
             std::string wire = Serialize(row);
             moved_bytes[p] += static_cast<int64_t>(wire.size());
+            bucket_bytes[p][dst] += static_cast<int64_t>(wire.size());
             if (inject &&
                 injector_.CorruptShuffleRow(stage, p, attempt, row_idx)) {
               // Flip one byte in flight. The decoder must survive the
@@ -641,7 +734,9 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
             DIABLO_ASSIGN_OR_RETURN(Value decoded, Deserialize(wire));
             buckets[p][dst].push_back(HashedRow{hash, std::move(decoded)});
           } else {
-            moved_bytes[p] += row.SerializedBytes();
+            const int64_t approx = row.SerializedBytes();
+            moved_bytes[p] += approx;
+            bucket_bytes[p][dst] += approx;
             buckets[p][dst].push_back(HashedRow{hash, row});
           }
           ++row_idx;
@@ -654,6 +749,16 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
   if (shuffle_bytes != nullptr) {
     *shuffle_bytes = 0;
     for (int64_t b : moved_bytes) *shuffle_bytes += b;
+  }
+  if (dest_bytes != nullptr) {
+    if (dest_bytes->size() < static_cast<size_t>(out_parts)) {
+      dest_bytes->resize(static_cast<size_t>(out_parts), 0);
+    }
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < out_parts; ++dst) {
+        (*dest_bytes)[dst] += bucket_bytes[src][dst];
+      }
+    }
   }
   std::vector<HashedVec> out(out_parts);
   for (int dst = 0; dst < out_parts; ++dst) {
@@ -687,7 +792,8 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleWave(const Dataset& in,
         }
         return Status::OK();
       },
-      shuffle_bytes, rec);
+      shuffle_bytes, stats != nullptr ? &stats->partition_bytes : nullptr,
+      rec);
   if (result.ok() && stats != nullptr) {
     stats->fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(stats);
@@ -697,7 +803,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleWave(const Dataset& in,
 
 StatusOr<std::vector<HashedVec>> Engine::ShuffleHashed(
     const std::vector<HashedVec>& in, int stage, int64_t* shuffle_bytes,
-    StageRecovery* rec) {
+    StageRecovery* rec, StageStats* stats) {
   return ShuffleCore(
       stage, RowCounts(in),
       [&](int p, const EmitFn& emit) -> Status {
@@ -706,13 +812,16 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleHashed(
         }
         return Status::OK();
       },
-      shuffle_bytes, rec);
+      shuffle_bytes, stats != nullptr ? &stats->partition_bytes : nullptr,
+      rec);
 }
 
 StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
                                      const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int shuffle_stage = NextStageId();
   const int reduce_stage = NextStageId();
+  stage_span.SetStageId(shuffle_stage);
   StageRecovery rec;
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, shuffle_stage, 0, &rec));
@@ -760,6 +869,11 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   stats.map_work = RowCounts(src);
   stats.reduce_work = RowCounts(shuffled);
   stats.shuffle_bytes = bytes;
+  stats.partition_rows = RowCounts(out);
+  if (hash_agg) {
+    for (int64_t c : RowCounts(shuffled)) stats.hash_agg_rows += c;
+    for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
+  }
   FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
@@ -811,9 +925,11 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
 
 StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
                                       const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int combine_stage = NextStageId();
   const int shuffle_stage = NextStageId();
   const int reduce_stage = NextStageId();
+  stage_span.SetStageId(combine_stage);
   StageRecovery rec;
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, combine_stage, 0, &rec));
@@ -866,11 +982,13 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
     if (!st.ok()) return st;
     stats.fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(&stats);
+    for (int64_t c : RowCounts(src)) stats.hash_agg_rows += c;
+    for (int64_t c : RowCounts(combined)) stats.hash_agg_keys += c;
     // The combined pairs carry their memoized key hashes straight into
     // the scatter: no key is hashed twice anywhere in this operator.
     DIABLO_ASSIGN_OR_RETURN(shuffled,
                             ShuffleHashed(combined, shuffle_stage, &bytes,
-                                          &rec));
+                                          &rec, &stats));
   } else {
     std::vector<ValueVec> combined(src.num_partitions());
     st = RunTaskWave(
@@ -956,6 +1074,11 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   stats.map_work = RowCounts(src);
   stats.reduce_work = RowCounts(shuffled);
   stats.shuffle_bytes = bytes;
+  stats.partition_rows = RowCounts(out);
+  if (hash_agg) {
+    for (int64_t c : RowCounts(shuffled)) stats.hash_agg_rows += c;
+    for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
+  }
   FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
@@ -1035,9 +1158,11 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
 
 StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
                                const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int left_stage = NextStageId();
   const int right_stage = NextStageId();
   const int join_stage = NextStageId();
+  stage_span.SetStageId(left_stage);
   StageRecovery rec;
   StageStats stats;
   // Loss directives address both inputs at the operator's first stage:
@@ -1106,6 +1231,10 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
   for (int64_t c : RowCounts(r)) stats.map_work.push_back(c);
   stats.reduce_work = std::move(reduce_work);
   stats.shuffle_bytes = bytes_l + bytes_r;
+  stats.partition_rows = RowCounts(out);
+  if (hash_agg) {
+    for (int64_t c : RowCounts(ls)) stats.hash_agg_rows += c;
+  }
   FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   const int chain_depth = static_cast<int>(
@@ -1170,9 +1299,11 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
 
 StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
                                   const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int left_stage = NextStageId();
   const int right_stage = NextStageId();
   const int cogroup_stage = NextStageId();
+  stage_span.SetStageId(left_stage);
   StageRecovery rec;
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset l, RecoverInput(left, left_stage, 0, &rec));
@@ -1239,6 +1370,11 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
   for (int64_t c : RowCounts(r)) stats.map_work.push_back(c);
   stats.reduce_work = std::move(reduce_work);
   stats.shuffle_bytes = bytes_l + bytes_r;
+  stats.partition_rows = RowCounts(out);
+  if (hash_agg) {
+    for (int64_t c : stats.reduce_work) stats.hash_agg_rows += c;
+    for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
+  }
   FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   const int chain_depth = static_cast<int>(
@@ -1297,6 +1433,7 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
 }
 
 StatusOr<Dataset> Engine::Union(const Dataset& in_a, const Dataset& in_b) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, "union");
   DIABLO_ASSIGN_OR_RETURN(Dataset a, Force(in_a));
   DIABLO_ASSIGN_OR_RETURN(Dataset b, Force(in_b));
   const int n = std::max(a.num_partitions(), b.num_partitions());
@@ -1313,7 +1450,9 @@ StatusOr<Dataset> Engine::Union(const Dataset& in_a, const Dataset& in_b) {
   for (int p = 0; p < b.num_partitions(); ++p) {
     for (const Value& v : b.partition(p)) out[p].push_back(v);
   }
-  FinishStage({"union", /*wide=*/false, RowCounts(out), {}, 0}, StageRecovery());
+  StageStats union_stats{"union", /*wide=*/false, RowCounts(out), {}, 0};
+  union_stats.partition_rows = RowCounts(out);
+  FinishStage(std::move(union_stats), StageRecovery());
   auto lineage = MakeLineage(
       "union", "union", {a.lineage(), b.lineage()},
       [a, b](int p, int64_t* work) -> StatusOr<ValueVec> {
@@ -1336,6 +1475,7 @@ StatusOr<Dataset> Engine::Union(const Dataset& in_a, const Dataset& in_b) {
 
 StatusOr<Dataset> Engine::Distinct(const Dataset& in,
                                    const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   // Key each row by itself, shuffle, dedup per partition.
   DIABLO_ASSIGN_OR_RETURN(
       Dataset keyed,
@@ -1344,6 +1484,7 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
       }, label + ".key"));
   const int shuffle_stage = NextStageId();
   const int dedup_stage = NextStageId();
+  stage_span.SetStageId(shuffle_stage);
   StageRecovery rec;
   StageStats stats;
   DIABLO_ASSIGN_OR_RETURN(Dataset src,
@@ -1382,6 +1523,11 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
   stats.map_work = RowCounts(src);
   stats.reduce_work = RowCounts(shuffled);
   stats.shuffle_bytes = bytes;
+  stats.partition_rows = RowCounts(out);
+  if (hash_agg) {
+    for (int64_t c : RowCounts(shuffled)) stats.hash_agg_rows += c;
+    for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
+  }
   FinishStage(std::move(stats), rec);
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
@@ -1427,7 +1573,9 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
 
 StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
                                      const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   const FusedChain& chain = src.chain();
@@ -1472,6 +1620,7 @@ StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
   StageStats stats{label, /*wide=*/false, RowCounts(src), {}, total_bytes};
   stats.fused_ops = static_cast<int64_t>(chain.size());
   for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  stats.partition_rows = chain.empty() ? RowCounts(src) : RowCounts(out);
   FinishStage(std::move(stats), rec);
   // Durable node: recoveries stop here, and lineage depth resets to 0.
   auto node = std::make_shared<LineageNode>();
@@ -1486,7 +1635,9 @@ StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
 StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
                                               const ReduceFn& fn,
                                               const std::string& label) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
+  stage_span.SetStageId(stage);
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   const FusedChain& chain = src.chain();
@@ -1550,8 +1701,11 @@ StatusOr<Value> Engine::First(const Dataset& in) {
 }
 
 StatusOr<int64_t> Engine::Count(const Dataset& in) {
+  ScopedSpan stage_span(trace(), SpanKind::kStage, "count");
   DIABLO_ASSIGN_OR_RETURN(Dataset src, Force(in));
-  FinishStage({"count", /*wide=*/false, RowCounts(src), {}, 0}, StageRecovery());
+  StageStats count_stats{"count", /*wide=*/false, RowCounts(src), {}, 0};
+  count_stats.partition_rows = RowCounts(src);
+  FinishStage(std::move(count_stats), StageRecovery());
   return src.TotalRows();
 }
 

@@ -13,6 +13,7 @@
 #include "runtime/keyed_accumulator.h"
 #include "runtime/metrics.h"
 #include "runtime/operators.h"
+#include "runtime/trace.h"
 #include "runtime/value.h"
 
 namespace diablo::runtime {
@@ -67,6 +68,26 @@ struct EngineConfig {
   /// Off by default: with no fault class enabled the engine skips all
   /// fault bookkeeping and retains no lineage closures.
   FaultConfig faults;
+  /// When true (the default), the engine records wall-clock trace spans
+  /// (run > statement > stage > wave > task, plus recovery spans) into a
+  /// TraceRecorder reachable via Engine::trace() — see runtime/trace.h
+  /// and DESIGN.md §13. Tracing never changes stage numbering, fault
+  /// coordinates, or any program output byte (asserted in trace_test).
+  /// False makes every hook a single null-pointer test; defining
+  /// DIABLO_DISABLE_TRACING compiles the hooks out entirely.
+  bool tracing = true;
+};
+
+/// Source provenance the engine stamps into every finished stage (and
+/// its trace span): the statement of the source program currently
+/// executing. Installed by the target executor / plan evaluator around
+/// each statement via Engine::SwapProvenance; `line == 0` means "no
+/// statement scope is active".
+struct EngineProvenance {
+  std::string file;       ///< source program path ("" = unknown)
+  int line = 0;
+  int column = 0;
+  std::string statement;  ///< short statement label, e.g. "assign P"
 };
 
 /// Per-stage fault-handling tallies, merged into the recorded StageStats.
@@ -128,12 +149,41 @@ class Engine {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// The engine's trace recorder, or null when tracing is off — the
+  /// null test IS the tracing-off fast path, and every trace hook in
+  /// the engine folds away when DIABLO_DISABLE_TRACING is defined.
+  TraceRecorder* trace() const {
+#ifdef DIABLO_DISABLE_TRACING
+    return nullptr;
+#else
+    return trace_.get();
+#endif
+  }
+
+  /// Installs the source provenance stamped into subsequently finished
+  /// stages, returning the previous value so callers can nest scopes
+  /// and restore on exit (While bodies re-enter statement scopes).
+  EngineProvenance SwapProvenance(EngineProvenance p) {
+    std::swap(p, provenance_);
+    return p;
+  }
+  const EngineProvenance& provenance() const { return provenance_; }
+
+  /// Records a driver-side synthetic stage produced outside the normal
+  /// operator paths (the planner's broadcast-join ship / cartesian
+  /// product accounting), stamped with provenance and traced like any
+  /// other stage.
+  void RecordPlannerStage(StageStats stats);
+
   /// Clears recorded metrics and restarts stage numbering, so a fresh
   /// run on this engine sees the same fault schedule as the previous one
-  /// (stage ids are the injector's coordinates).
+  /// (stage ids are the injector's coordinates). Trace spans recorded so
+  /// far are dropped with them (span stage indexes point into metrics).
   void ResetRunState() {
     metrics_.Clear();
     next_stage_id_ = 0;
+    pool_tasks_pending_ = 0;
+    if (TraceRecorder* t = trace()) t->Clear();
   }
 
   /// Splits `rows` into num_partitions contiguous chunks. No stage is
@@ -260,10 +310,14 @@ class Engine {
   /// row to hash % num_partitions (with optional wire-format round-trip
   /// and payload corruption injection), returning per-destination rows
   /// that CARRY the memoized key hash and the number of bytes moved.
+  /// When `dest_bytes` is non-null the bytes received per destination
+  /// partition are ACCUMULATED into it (the per-partition byte
+  /// histogram of the profile export).
   StatusOr<std::vector<HashedVec>> ShuffleCore(
       int stage, const std::vector<int64_t>& task_work,
       const std::function<Status(int, const EmitFn&)>& produce,
-      int64_t* shuffle_bytes, StageRecovery* rec);
+      int64_t* shuffle_bytes, std::vector<int64_t>* dest_bytes,
+      StageRecovery* rec);
 
   /// Hash-partitions keyed rows of `in` into num_partitions buckets as
   /// one task wave: a single-pass scatter that applies `in`'s pending
@@ -279,7 +333,7 @@ class Engine {
   /// map-side combine output of ReduceByKey): no key is ever rehashed.
   StatusOr<std::vector<HashedVec>> ShuffleHashed(
       const std::vector<HashedVec>& in, int stage, int64_t* shuffle_bytes,
-      StageRecovery* rec);
+      StageRecovery* rec, StageStats* stats);
 
   /// Merges `rec` into `stats` and records the stage.
   void FinishStage(StageStats stats, const StageRecovery& rec);
@@ -301,6 +355,16 @@ class Engine {
   Metrics metrics_;
   FaultInjector injector_;
   int next_stage_id_ = 0;
+  /// Created in the constructor when config_.tracing; never reassigned,
+  /// so trace() is stable for the engine's lifetime.
+  std::unique_ptr<TraceRecorder> trace_;
+  /// Current statement scope (SwapProvenance), driver-side only.
+  EngineProvenance provenance_;
+  /// Tasks run on the persistent pool since the last FinishStage, which
+  /// drains the tally into StageStats::pool_tasks. Driver-side counter
+  /// (RunPerPartition returns only after the wave completes); mutable
+  /// because RunPerPartition is const.
+  mutable int64_t pool_tasks_pending_ = 0;
   /// Persistent worker pool (EngineConfig::persistent_pool), created
   /// lazily on the first multi-threaded wave and reused for the
   /// engine's whole lifetime. Mutable: creating it does not change

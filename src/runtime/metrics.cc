@@ -83,6 +83,24 @@ int64_t Metrics::total_bytes_not_materialized() const {
   return n;
 }
 
+int64_t Metrics::total_hash_agg_rows() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.hash_agg_rows;
+  return n;
+}
+
+int64_t Metrics::total_hash_agg_keys() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.hash_agg_keys;
+  return n;
+}
+
+int64_t Metrics::total_pool_tasks() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.pool_tasks;
+  return n;
+}
+
 double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {
@@ -111,8 +129,12 @@ std::string Metrics::Report() const {
     int64_t map_total = 0, reduce_total = 0;
     for (int64_t w : s.map_work) map_total += w;
     for (int64_t w : s.reduce_work) reduce_total += w;
-    os << (s.wide ? "[wide]   " : "[narrow] ") << s.label << ": map_work="
-       << map_total << " reduce_work=" << reduce_total
+    os << (s.wide ? "[wide]   " : "[narrow] ") << s.label;
+    if (s.src_line > 0) {
+      os << " [" << (s.src_file.empty() ? "<program>" : s.src_file) << ":"
+         << s.src_line << ":" << s.src_column << "]";
+    }
+    os << ": map_work=" << map_total << " reduce_work=" << reduce_total
        << " shuffle_bytes=" << s.shuffle_bytes << " attempts=" << s.attempts;
     if (s.recomputed_partitions > 0 || s.recovery_seconds > 0) {
       os << " recomputed=" << s.recomputed_partitions
@@ -123,6 +145,11 @@ std::string Metrics::Report() const {
          << " rows_unmaterialized=" << s.rows_not_materialized
          << " bytes_unmaterialized=" << s.bytes_not_materialized;
     }
+    if (s.hash_agg_rows > 0 || s.hash_agg_keys > 0) {
+      os << " hash_agg_rows=" << s.hash_agg_rows
+         << " hash_agg_keys=" << s.hash_agg_keys;
+    }
+    if (s.pool_tasks > 0) os << " pool_tasks=" << s.pool_tasks;
     os << "\n";
   }
   return os.str();

@@ -44,6 +44,31 @@ struct StageStats {
   int64_t fused_ops = 0;
   int64_t rows_not_materialized = 0;
   int64_t bytes_not_materialized = 0;
+  /// Hash-aggregation accounting (runtime/keyed_accumulator.h). Rows
+  /// inserted into open-addressing KeyedAccumulators while executing
+  /// this stage (combine + reduce side), and distinct keys they
+  /// produced. Both 0 when EngineConfig::hash_aggregation is off or the
+  /// stage has no keyed aggregation.
+  int64_t hash_agg_rows = 0;
+  int64_t hash_agg_keys = 0;
+  /// Tasks this stage ran on the persistent work-stealing WorkerPool
+  /// (0 when EngineConfig::persistent_pool is off, host_threads <= 1,
+  /// or the waves were too small to parallelize).
+  int64_t pool_tasks = 0;
+  /// Source provenance: the loop statement in the .diablo program this
+  /// stage was translated from. `src_line == 0` means unknown (e.g. a
+  /// stage run outside any statement scope). Reports render it as
+  /// "label [file:line:col]".
+  std::string src_file;
+  int src_line = 0;
+  int src_column = 0;
+  /// Output rows per partition after the stage ran (per-partition skew
+  /// histograms in the profile export; may be empty for driver-side
+  /// metadata stages).
+  std::vector<int64_t> partition_rows;
+  /// Shuffle bytes received per destination partition (empty for narrow
+  /// stages; sums to shuffle_bytes for shuffling stages).
+  std::vector<int64_t> partition_bytes;
 };
 
 /// Parameters of the deterministic cluster cost model.
@@ -95,6 +120,12 @@ class Metrics {
   int64_t total_rows_not_materialized() const;
   /// Estimated bytes of those skipped intermediates.
   int64_t total_bytes_not_materialized() const;
+  /// Rows inserted into hash KeyedAccumulators across all stages.
+  int64_t total_hash_agg_rows() const;
+  /// Distinct keys those accumulators produced.
+  int64_t total_hash_agg_keys() const;
+  /// Tasks executed on the persistent worker pool across all stages.
+  int64_t total_pool_tasks() const;
 
   /// Simulated wall-clock seconds on a cluster described by `model`,
   /// recovery overhead included.

@@ -4,6 +4,8 @@
 #include <climits>
 #include <utility>
 
+#include "runtime/trace.h"
+
 namespace diablo::runtime {
 
 namespace {
@@ -85,6 +87,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::WorkerLoop(int self) {
+  SetCurrentTraceWorker(self + 1);
   uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Wave> wave;

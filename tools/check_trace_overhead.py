@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gate the tracing overhead from one google-benchmark JSON run.
+
+Usage:
+    check_trace_overhead.py BENCH.json [--threshold PCT] [--prefix NAME]
+
+Pairs up the trace:0 / trace:1 variants of each benchmark matched by
+--prefix (default: BM_ReduceByKeyHotTraced, the AB8 gate pair) and
+fails (exit 1) when the traced variant is more than --threshold percent
+(default: 5) slower than the untraced one. Compares cpu_time medians by
+default — tracing overhead is CPU work (span appends), and cpu_time is
+robust against a loaded CI machine; pass --metric real_time to gate on
+wall clock instead. Run the benchmark with --benchmark_repetitions and
+--benchmark_enable_random_interleaving=true so the compared medians are
+free of run-order warmup bias.
+
+Stdlib only; runs on any python3.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path, prefixes, metric):
+    """(base name, trace flag) -> `metric`, preferring _median entries."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"]
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        run_type = bench.get("run_type", "iteration")
+        aggregate = bench.get("aggregate_name", "")
+        if run_type == "aggregate" and aggregate != "median":
+            continue
+        m = re.search(r"/trace:([01])", name)
+        if not m:
+            continue
+        base = name[:m.start()] + name[m.end():]
+        base = re.sub(r"_median$", "", base)
+        key = (base, m.group(1) == "1")
+        # Aggregates (median) win over raw iterations when both exist.
+        if run_type == "aggregate" or key not in times:
+            times[key] = float(bench[metric])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max allowed tracing overhead in percent "
+                             "(default 5)")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="benchmark name prefix to gate on; repeatable "
+                             "(default: BM_ReduceByKeyHotTraced)")
+    parser.add_argument("--metric", choices=["cpu_time", "real_time"],
+                        default="cpu_time",
+                        help="benchmark field to compare (default cpu_time)")
+    args = parser.parse_args()
+    prefixes = args.prefix or ["BM_ReduceByKeyHotTraced"]
+
+    times = load_times(args.bench_json, prefixes, args.metric)
+    pairs = sorted({base for base, _ in times})
+    failures = []
+    checked = 0
+    for base in pairs:
+        off = times.get((base, False))
+        on = times.get((base, True))
+        if off is None or on is None:
+            print(f"NOTE  {base}: missing trace:{'0' if off is None else '1'} "
+                  "variant")
+            continue
+        checked += 1
+        overhead_pct = (on - off) / off * 100.0
+        verdict = "OK"
+        if overhead_pct > args.threshold:
+            verdict = "FAIL"
+            failures.append(base)
+        print(f"{verdict:5} {base}: untraced {off:.0f} ns, "
+              f"traced {on:.0f} ns ({overhead_pct:+.1f}%)")
+
+    if checked == 0:
+        print(f"ERROR: no trace:0/trace:1 pairs matched prefixes {prefixes}",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"FAILED: tracing overhead above {args.threshold:.0f}% on: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"All {checked} pair(s) within {args.threshold:.0f}% tracing "
+          "overhead.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

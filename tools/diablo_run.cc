@@ -13,6 +13,18 @@
 //   --print NAME             print a scalar or array output (repeatable)
 //   --target                 print the translated target code
 //   --plan-report            print the engine stage report after the run
+//   --explain-analyze        print the plan tree annotated with observed
+//                            runtime stats (task-time percentiles, skew
+//                            ratio, stragglers) after the run
+//   --trace-out=FILE         write a Chrome trace_event JSON of the run
+//                            (open in chrome://tracing or Perfetto)
+//   --profile-out=FILE       write the schema-stable profile JSON
+//                            (validated by tools/check_trace_profile.py)
+//   --no-trace               disable span recording (EngineConfig::tracing)
+//   --no-fusion              eager narrow operators (fuse_narrow=0, AB6)
+//   --no-hash-agg            ordered-map shuffle aggregation
+//                            (hash_aggregation=0, AB7)
+//   --no-pool                spawn threads per wave (persistent_pool=0)
 //   --partitions N           engine partitions (default 8)
 //   --workers N              simulated cluster workers (default 4)
 //   --threads N              host threads executing partition tasks
@@ -60,6 +72,7 @@
 #include "analysis/restrictions.h"
 #include "diablo/diablo.h"
 #include "parser/parser.h"
+#include "runtime/trace.h"
 
 namespace {
 
@@ -234,7 +247,8 @@ int main(int argc, char** argv) {
   diablo::runtime::EngineConfig engine_config;
   diablo::RunOptions run_options;
   bool show_target = false, plan_report = false, use_reference = false;
-  bool use_local = false;
+  bool use_local = false, explain_analyze = false;
+  std::string trace_out, profile_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -257,6 +271,21 @@ int main(int argc, char** argv) {
       show_target = true;
     } else if (arg == "--plan-report") {
       plan_report = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
+    } else if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.size() > 12 ? arg.substr(12) : next();
+    } else if (arg == "--profile-out" ||
+               arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = arg.size() > 14 ? arg.substr(14) : next();
+    } else if (arg == "--no-trace") {
+      engine_config.tracing = false;
+    } else if (arg == "--no-fusion") {
+      engine_config.fuse_narrow = false;
+    } else if (arg == "--no-hash-agg") {
+      engine_config.hash_aggregation = false;
+    } else if (arg == "--no-pool") {
+      engine_config.persistent_pool = false;
     } else if (arg == "--partitions") {
       engine_config.num_partitions = std::atoi(next().c_str());
     } else if (arg == "--workers") {
@@ -313,6 +342,14 @@ int main(int argc, char** argv) {
   }
 
   std::string source = ReadFile(program_path);
+  // Provenance file name: the program's basename, as it should read in
+  // "[pagerank.diablo:12:3]" stage annotations.
+  {
+    size_t slash = program_path.find_last_of('/');
+    run_options.program_name = slash == std::string::npos
+                                   ? program_path
+                                   : program_path.substr(slash + 1);
+  }
 
   // All output lines are buffered and emitted only after every lookup
   // succeeded: an error produces the stderr diagnostic and nothing else,
@@ -406,6 +443,33 @@ int main(int argc, char** argv) {
           static_cast<long long>(metrics.total_recomputed_partitions()),
           metrics.total_recovery_seconds(),
           metrics.SimulatedFaultFreeSeconds(engine_config.cluster));
+    }
+  }
+
+  if (explain_analyze || !trace_out.empty() || !profile_out.empty()) {
+    std::vector<diablo::runtime::TraceSpan> spans;
+    if (engine.trace() != nullptr) spans = engine.trace()->Snapshot();
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) Die("cannot write " + trace_out);
+      diablo::runtime::WriteChromeTrace(spans, out);
+      std::fprintf(stderr, "wrote Chrome trace (%zu spans) to %s\n",
+                   spans.size(), trace_out.c_str());
+    }
+    if (!profile_out.empty()) {
+      std::ofstream out(profile_out);
+      if (!out) Die("cannot write " + profile_out);
+      diablo::runtime::WriteProfileJson(engine.metrics(),
+                                        engine_config.cluster, spans,
+                                        run_options.program_name, out);
+      std::fprintf(stderr, "wrote profile to %s\n", profile_out.c_str());
+    }
+    if (explain_analyze) {
+      std::ostringstream report;
+      diablo::runtime::WriteExplainAnalyze(engine.metrics(),
+                                           engine_config.cluster, spans,
+                                           report);
+      std::printf("%s", report.str().c_str());
     }
   }
   return 0;
