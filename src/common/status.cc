@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kTaskLost:
       return "TaskLost";
+    case StatusCode::kDistError:
+      return "DistError";
   }
   return "Unknown";
 }

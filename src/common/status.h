@@ -32,6 +32,11 @@ enum class StatusCode {
   /// task scheduler re-runs the attempt instead of aborting the job, so
   /// this code never escapes a healthy run. See runtime/fault.h.
   kTaskLost,
+  /// A failure of the real multi-process distributed backend that
+  /// recovery could not absorb (all workers dead with respawn budget
+  /// exhausted, a task past its real-retry budget, a corrupt frame from
+  /// a live peer). See src/dist/.
+  kDistError,
 };
 
 /// Returns a human-readable name for a status code ("ParseError", ...).
@@ -69,6 +74,9 @@ class Status {
   }
   static Status TaskLost(std::string msg) {
     return Status(StatusCode::kTaskLost, std::move(msg));
+  }
+  static Status DistError(std::string msg) {
+    return Status(StatusCode::kDistError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

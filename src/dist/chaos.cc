@@ -1,0 +1,45 @@
+#include "dist/chaos.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace diablo::dist {
+
+namespace {
+
+/// splitmix64 finalizer, same mixing discipline as runtime/fault.cc.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kKillStream = 0xc4a21d05ull;
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(ChaosConfig config)
+    : config_(std::move(config)), consumed_(config_.kills.size(), false) {}
+
+bool ChaosSchedule::ShouldKill(int stage, int worker, int results) {
+  for (std::size_t i = 0; i < config_.kills.size(); ++i) {
+    const ChaosKill& k = config_.kills[i];
+    if (!consumed_[i] && k.stage == stage && k.worker == worker &&
+        k.after_results == results) {
+      consumed_[i] = true;
+      return true;
+    }
+  }
+  if (config_.kill_rate > 0) {
+    uint64_t h = Mix(config_.seed ^ (kKillStream * 0xd6e8feb86659fd93ull));
+    h = Mix(h ^ static_cast<uint64_t>(stage));
+    h = Mix(h ^ static_cast<uint64_t>(worker));
+    h = Mix(h ^ static_cast<uint64_t>(results));
+    double draw = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return draw < config_.kill_rate;
+  }
+  return false;
+}
+
+}  // namespace diablo::dist

@@ -1,0 +1,64 @@
+#ifndef DIABLO_DIST_CHAOS_H_
+#define DIABLO_DIST_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace diablo::dist {
+
+/// Deterministic SIGKILL schedules for the distributed backend's chaos
+/// harness (`diablo_run --chaos-kill`). Kills are decided from pure
+/// draws over (seed, stage, worker, results-installed-so-far), the same
+/// discipline as runtime/fault.h: re-running with the printed seed
+/// reproduces the exact kill schedule because task assignment is static
+/// (task i -> worker i mod W at wave start, dead workers' tasks
+/// redistributed round-robin over survivors in id order) and the
+/// trigger coordinate is the coordinator-side count of installed
+/// results per worker — cumulative across respawns, immune to socket
+/// timing.
+
+/// Explicit directive: SIGKILL `worker` during stage `stage` right
+/// after its `after_results`-th result is installed (0 = on first
+/// dispatch of the stage, before any result). Consumed once.
+struct ChaosKill {
+  int stage = 0;
+  int worker = 0;
+  int after_results = 0;
+};
+
+struct ChaosConfig {
+  /// Seed for rate-based draws; also echoed to stderr by diablo_run so
+  /// any observed schedule can be replayed.
+  uint64_t seed = 0;
+  /// Per-(stage, worker, result-count) probability of a SIGKILL.
+  double kill_rate = 0.0;
+  /// Explicit one-shot kill directives.
+  std::vector<ChaosKill> kills;
+
+  bool enabled() const { return kill_rate > 0 || !kills.empty(); }
+};
+
+/// Stateful schedule: explicit directives are consumed once (a
+/// respawned worker reaching the same result count must not die again
+/// forever), rate draws are pure and never repeat a coordinate.
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+  explicit ChaosSchedule(ChaosConfig config);
+
+  const ChaosConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Should `worker` be SIGKILLed now, given that `results` of its
+  /// results have been installed during stage `stage`? Consumes a
+  /// matching explicit directive.
+  bool ShouldKill(int stage, int worker, int results);
+
+ private:
+  ChaosConfig config_;
+  std::vector<bool> consumed_;
+};
+
+}  // namespace diablo::dist
+
+#endif  // DIABLO_DIST_CHAOS_H_

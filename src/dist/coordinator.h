@@ -1,0 +1,76 @@
+#ifndef DIABLO_DIST_COORDINATOR_H_
+#define DIABLO_DIST_COORDINATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dist/chaos.h"
+#include "runtime/remote.h"
+
+namespace diablo::dist {
+
+/// Knobs of the multi-process distributed backend.
+struct DistConfig {
+  /// Worker processes forked per task wave.
+  int num_workers = 2;
+  /// Worker heartbeat period.
+  int heartbeat_ms = 250;
+  /// A worker is declared dead after this many missed heartbeats
+  /// (timeout = heartbeat_ms * missed_beats). The budget also covers
+  /// the post-fork connect window.
+  int missed_beats = 8;
+  /// Per-task wall-clock deadline; a worker that holds a task longer is
+  /// declared dead and the task is re-dispatched.
+  int task_deadline_ms = 30000;
+  /// Real-retry budget: how many times one task may be re-dispatched
+  /// after losing its worker before the wave fails. Separate from the
+  /// simulated retry budget (FaultConfig::max_task_attempts) — a real
+  /// re-dispatch re-runs the SAME simulated attempt.
+  int max_task_retries = 3;
+  /// How many dead workers may be re-forked per job. Respawn is the
+  /// last resort, used only when a wave has no surviving worker;
+  /// otherwise dead workers' tasks degrade onto survivors.
+  int max_respawns = 4;
+  /// Worker-side reconnect backoff (doubles per attempt).
+  int connect_backoff_ms = 10;
+  int connect_attempts = 10;
+  /// Test hooks: make one worker sleep before every task, so deadline
+  /// and heartbeat recovery can be exercised deterministically.
+  int stall_worker = -1;
+  int stall_ms = 0;
+  /// SIGKILL schedule for the chaos harness.
+  ChaosConfig chaos;
+  /// Log kills/deaths/respawns to stderr.
+  bool verbose = false;
+};
+
+/// Multi-process wave executor: forks `num_workers` children per wave
+/// (copy-on-write gives them the wave closures for free), serves them
+/// tasks over loopback TCP with CRC-framed messages, and survives
+/// worker death via heartbeats, deadlines, task re-dispatch, and
+/// bounded respawn. Plugged into the engine via
+/// EngineConfig::remote.
+class Coordinator : public runtime::RemoteExecutor {
+ public:
+  explicit Coordinator(DistConfig config);
+
+  Status RunWave(const runtime::RemoteTaskWave& wave,
+                 runtime::RemoteWaveStats* stats) override;
+
+  const DistConfig& config() const { return config_; }
+  /// Workers SIGKILLed by the chaos schedule so far (all waves).
+  int chaos_kills() const { return chaos_kills_; }
+  /// Respawn budget consumed so far (all waves).
+  int respawns_used() const { return respawns_used_; }
+
+ private:
+  DistConfig config_;
+  ChaosSchedule chaos_;
+  uint64_t next_token_ = 1;
+  int respawns_used_ = 0;
+  int chaos_kills_ = 0;
+};
+
+}  // namespace diablo::dist
+
+#endif  // DIABLO_DIST_COORDINATOR_H_

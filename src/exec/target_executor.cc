@@ -41,12 +41,11 @@ class ProvenanceScope {
 
 }  // namespace
 
-plan::ExecState TargetExecutor::State() {
-  plan::ExecState state;
-  state.engine = engine_;
-  state.scalars = &scalars_;
-  state.arrays = &arrays_;
-  return state;
+const plan::ExecState& TargetExecutor::State() {
+  state_.engine = engine_;
+  state_.scalars = &scalars_;
+  state_.arrays = &arrays_;
+  return state_;
 }
 
 Status TargetExecutor::StoreArray(const std::string& name, Dataset sparse) {

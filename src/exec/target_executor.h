@@ -66,7 +66,11 @@ class TargetExecutor {
 
  private:
   Status ExecStmt(const comp::TargetStmtPtr& stmt);
-  plan::ExecState State();
+  /// Evaluation state handed to the planner/evaluator. Returns a
+  /// reference to the long-lived member below: row closures capture the
+  /// state by address and survive inside lineage recompute closures, so
+  /// it must outlive every statement, not just the current one.
+  const plan::ExecState& State();
 
   bool IsTiled(const std::string& name) const {
     return tiled_names_.count(name) != 0;
@@ -104,6 +108,8 @@ class TargetExecutor {
   std::set<std::string> tiled_names_;
   tiles::TileConfig tile_config_;
   int64_t statements_executed_ = 0;
+  /// Lives as long as the executor; see State().
+  plan::ExecState state_;
 };
 
 }  // namespace diablo::exec

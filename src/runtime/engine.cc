@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "runtime/remote.h"
 #include "runtime/serialize.h"
 #include "runtime/worker_pool.h"
 
@@ -56,31 +57,8 @@ int HashDestination(size_t hash, int out_parts) {
   return static_cast<int>(hash % static_cast<size_t>(out_parts));
 }
 
-/// Per-task tally of the intermediates a fused chain streamed through
-/// instead of materializing: rows produced at each operator boundary,
-/// with bytes estimated from the first row crossing that boundary (a
-/// full per-row SerializedBytes() walk would cost more than the
-/// materialization it measures).
-struct ChainTally {
-  std::vector<int64_t> rows;
-  std::vector<int64_t> sample_bytes;
-
-  /// Restartable: called at the top of every task attempt.
-  void Reset(size_t boundaries) {
-    rows.assign(boundaries, 0);
-    sample_bytes.assign(boundaries, 0);
-  }
-  void Record(size_t boundary, const Value& v) {
-    if (boundary >= rows.size()) return;
-    if (rows[boundary]++ == 0) sample_bytes[boundary] = v.SerializedBytes();
-  }
-  void MergeInto(StageStats* stats) const {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      stats->rows_not_materialized += rows[i];
-      stats->bytes_not_materialized += rows[i] * sample_bytes[i];
-    }
-  }
-};
+// ChainTally moved to runtime/wave_io.h: the distributed backend
+// marshals the per-task tallies back with the wave's output slots.
 
 /// Applies chain[i..] to `v` element-by-element, delivering every
 /// surviving output row to `sink` (a Status(const Value&) callable).
@@ -150,6 +128,16 @@ Engine::Engine(EngineConfig config)
   if (config_.num_partitions < 1) config_.num_partitions = 1;
   if (config_.host_threads < 1) config_.host_threads = 1;
   if (config_.faults.max_task_attempts < 1) config_.faults.max_task_attempts = 1;
+  if (config_.remote != nullptr) {
+    // The coordinator forks workers mid-wave; the driver must hold no
+    // extra threads at fork time (a forked child inherits only the
+    // calling thread, so a pool worker's locks would be orphaned).
+    config_.host_threads = 1;
+    config_.persistent_pool = false;
+  }
+  // Real kills recover through lineage, so the recompute closures must
+  // survive even with every simulated fault class disarmed.
+  if (config_.dist_lose_on_kill) config_.faults.retain_lineage = true;
 #ifndef DIABLO_DISABLE_TRACING
   if (config_.tracing) trace_ = std::make_unique<TraceRecorder>();
 #endif
@@ -243,12 +231,16 @@ Status Engine::RunPerPartition(int n,
 Status Engine::RunTaskWave(const std::string& label, int stage,
                            const std::vector<int64_t>& task_work,
                            const std::function<Status(int, int)>& fn,
-                           StageRecovery* rec) {
+                           StageRecovery* rec, const WaveSlots* slots) {
   const int n = static_cast<int>(task_work.size());
   if (n == 0) return Status::OK();
   TraceRecorder* tr = trace();
   ScopedSpan wave_span(tr, SpanKind::kWave, label);
   wave_span.SetStageId(stage);
+  if (config_.remote != nullptr && slots != nullptr) {
+    return RunTaskWaveRemote(label, stage, task_work, fn, rec, *slots, tr,
+                             wave_span.id());
+  }
   // Times one task attempt into a task span under the wave. Tracing
   // never perturbs execution: the stage/partition/attempt coordinates
   // the fault injector sees are identical either way.
@@ -306,11 +298,115 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
   return st;
 }
 
+Status Engine::RunTaskWaveRemote(const std::string& label, int stage,
+                                 const std::vector<int64_t>& task_work,
+                                 const std::function<Status(int, int)>& fn,
+                                 StageRecovery* rec, const WaveSlots& slots,
+                                 TraceRecorder* tr, int64_t wave_span_id) {
+  const int n = static_cast<int>(task_work.size());
+  const FaultConfig& fc = config_.faults;
+  const bool faults_on = fc.enabled();
+  // Per-task tallies written by the coordinator-side hooks, merged in
+  // index order below — same deterministic float summation as the local
+  // scheduler, whatever order results come off the sockets.
+  std::vector<int64_t> attempts(n, 0);
+  std::vector<double> recovery(n, 0.0);
+  std::vector<double> dispatch_t0(n, 0.0);
+  auto task_seconds = [&](int p) {
+    return static_cast<double>(task_work[p]) *
+           config_.cluster.seconds_per_work_unit;
+  };
+
+  RemoteTaskWave wave;
+  wave.label = label;
+  wave.stage = stage;
+  wave.task_work = task_work;
+  wave.max_sim_attempts = faults_on ? fc.max_task_attempts : 1;
+  wave.run = fn;
+  wave.encode = [&slots](int p) { return EncodeTaskSlots(slots, p); };
+  wave.install = [&slots](int p, const std::string& bytes) {
+    return DecodeTaskSlots(slots, p, bytes);
+  };
+  wave.begin_attempt = [&attempts](int p) {
+    return static_cast<int>(attempts[p]++);
+  };
+  wave.sim_kill = [this, faults_on, stage](int p, int attempt) {
+    return faults_on && injector_.TaskAttemptFails(stage, p, attempt);
+  };
+  wave.charge_failure = [&](int p, int attempt) {
+    recovery[p] += task_seconds(p) + RetryBackoff(fc, attempt);
+  };
+  wave.charge_success = [&, this](int p, int attempt) {
+    if (!faults_on) return;
+    const double mult = injector_.StragglerMultiplier(stage, p, attempt);
+    if (mult > 1.0) recovery[p] += (mult - 1.0) * task_seconds(p);
+  };
+  const int budget = wave.max_sim_attempts;
+  wave.sim_budget_exhausted = [label, stage, budget](int p) {
+    // Message identical to the local scheduler's, so tests comparing
+    // failure modes across backends see the same error.
+    return Status::RuntimeError(
+        StrCat("stage #", stage, " '", label, "': partition ", p,
+               " failed after ", budget, " attempts; retry budget (", budget,
+               ") exhausted"));
+  };
+  wave.on_dispatch = [&dispatch_t0, tr](int p, int, int) {
+    if (tr != nullptr) dispatch_t0[p] = tr->NowUs();
+  };
+  wave.on_complete = [&, tr, wave_span_id, stage](int p, int attempt,
+                                                  int worker) {
+    if (tr != nullptr) {
+      // Worker-process rows in the Chrome trace: remote worker w runs
+      // as trace worker w+1 (0 is the driver), same convention as the
+      // in-process thread pool.
+      tr->AddTask(wave_span_id, dispatch_t0[p], tr->NowUs() - dispatch_t0[p],
+                  worker + 1, p, attempt, stage, task_work[p]);
+    }
+  };
+  wave.on_worker_lost = [&, this, tr, stage](int worker,
+                                             const std::vector<int>& pending,
+                                             const std::string& reason) {
+    if (tr != nullptr) {
+      ScopedSpan span(tr, SpanKind::kRecovery,
+                      StrCat("worker ", worker, " lost (", reason, "): ",
+                             pending.size(), " task",
+                             pending.size() == 1 ? "" : "s", " re-admitted"));
+      span.SetStageId(stage);
+    }
+    if (config_.dist_lose_on_kill) {
+      // Register the dead worker's partitions for lineage recovery at
+      // the next stage boundary (consumed by RecoverInput).
+      for (int p : pending) pending_lost_partitions_.push_back(p);
+    }
+  };
+
+  RemoteWaveStats stats;
+  Status st = config_.remote->RunWave(wave, &stats);
+  for (int p = 0; p < n; ++p) {
+    rec->attempts += attempts[p];
+    rec->recovery_seconds += recovery[p];
+  }
+  rec->dist_tasks += stats.tasks;
+  rec->dist_retries += stats.real_retries;
+  rec->dist_workers_lost += stats.workers_lost;
+  return st;
+}
+
 StatusOr<Dataset> Engine::RecoverInput(const Dataset& in, int stage,
                                        int input_index, StageRecovery* rec) {
   if (!config_.faults.enabled()) return in;
   std::vector<int> lost =
       injector_.LostPartitions(stage, input_index, in.num_partitions());
+  if (input_index == 0 && !pending_lost_partitions_.empty()) {
+    // Partitions owed by workers that really died in an earlier wave
+    // (dist_lose_on_kill): rebuild them from lineage here. The rebuilt
+    // rows are bit-identical to what the survivors recomputed, so this
+    // only exercises the recovery path — it can never change output.
+    for (int p : pending_lost_partitions_) {
+      if (p >= 0 && p < in.num_partitions()) lost.push_back(p);
+    }
+    pending_lost_partitions_.clear();
+  }
   if (lost.empty()) return in;
   std::sort(lost.begin(), lost.end());
   lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
@@ -372,6 +468,9 @@ void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
   stats.attempts = rec.attempts;
   stats.recomputed_partitions = rec.recomputed_partitions;
   stats.recovery_seconds = rec.recovery_seconds;
+  stats.dist_tasks = rec.dist_tasks;
+  stats.dist_retries = rec.dist_retries;
+  stats.dist_workers_lost = rec.dist_workers_lost;
   stats.pool_tasks = pool_tasks_pending_;
   pool_tasks_pending_ = 0;
   if (provenance_.line > 0) {
@@ -455,6 +554,8 @@ StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
+  WaveSlots slots;
+  slots.rows = &out;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -467,7 +568,7 @@ StatusOr<Dataset> Engine::Map(const Dataset& in, const MapFn& fn,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &slots);
   if (!st.ok()) return st;
   StageStats map_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   map_stats.partition_rows = RowCounts(out);
@@ -525,6 +626,8 @@ StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
+  WaveSlots slots;
+  slots.rows = &out;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -535,7 +638,7 @@ StatusOr<Dataset> Engine::Filter(const Dataset& in, const PredFn& pred,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &slots);
   if (!st.ok()) return st;
   StageStats filter_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   filter_stats.partition_rows = RowCounts(out);
@@ -570,6 +673,8 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
   StageRecovery rec;
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
   std::vector<ValueVec> out(src.num_partitions());
+  WaveSlots slots;
+  slots.rows = &out;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -580,7 +685,7 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &slots);
   if (!st.ok()) return st;
   StageStats flat_stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   flat_stats.partition_rows = RowCounts(out);
@@ -612,6 +717,9 @@ StatusOr<Dataset> Engine::Force(const Dataset& in) {
   const int n = src.num_partitions();
   std::vector<ValueVec> out(n);
   std::vector<ChainTally> tallies(n);
+  WaveSlots slots;
+  slots.rows = &out;
+  slots.tallies = &tallies;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -631,7 +739,7 @@ StatusOr<Dataset> Engine::Force(const Dataset& in) {
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &slots);
   if (!st.ok()) return st;
   StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   stats.fused_ops = static_cast<int64_t>(chain.size());
@@ -671,7 +779,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
     int stage, const std::vector<int64_t>& task_work,
     const std::function<Status(int, const EmitFn&)>& produce,
     int64_t* shuffle_bytes, std::vector<int64_t>* dest_bytes,
-    StageRecovery* rec) {
+    std::vector<ChainTally>* tallies, StageRecovery* rec) {
   const int out_parts = config_.num_partitions;
   const int n = static_cast<int>(task_work.size());
   // buckets[src][dst]
@@ -684,6 +792,11 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
       n, std::vector<int64_t>(out_parts, 0));
   const bool serialize = config_.serialize_shuffles;
   const bool inject = config_.faults.enabled();
+  WaveSlots slots;
+  slots.buckets = &buckets;
+  slots.nums = &moved_bytes;
+  slots.num_vecs = &bucket_bytes;
+  slots.tallies = tallies;
   Status st = RunTaskWave(
       "shuffle", stage, task_work,
       [&](int p, int attempt) -> Status {
@@ -744,7 +857,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleCore(
         };
         return produce(p, scatter);
       },
-      rec);
+      rec, &slots);
   if (!st.ok()) return st;
   if (shuffle_bytes != nullptr) {
     *shuffle_bytes = 0;
@@ -793,7 +906,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleWave(const Dataset& in,
         return Status::OK();
       },
       shuffle_bytes, stats != nullptr ? &stats->partition_bytes : nullptr,
-      rec);
+      &tallies, rec);
   if (result.ok() && stats != nullptr) {
     stats->fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(stats);
@@ -813,7 +926,7 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleHashed(
         return Status::OK();
       },
       shuffle_bytes, stats != nullptr ? &stats->partition_bytes : nullptr,
-      rec);
+      nullptr, rec);
 }
 
 StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
@@ -830,6 +943,8 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
                           ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
   const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(shuffled.size());
+  WaveSlots reduce_slots;
+  reduce_slots.rows = &out;
   Status st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
@@ -862,7 +977,7 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &reduce_slots);
   if (!st.ok()) return st;
   stats.label = FusedStageLabel(src.chain(), label);
   stats.wide = true;
@@ -947,6 +1062,9 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   Status st;
   if (hash_agg) {
     std::vector<HashedVec> combined(src.num_partitions());
+    WaveSlots combine_slots;
+    combine_slots.hashed = &combined;
+    combine_slots.tallies = &tallies;
     st = RunTaskWave(
         label + ".combine", combine_stage, RowCounts(src),
         [&](int p, int) -> Status {
@@ -978,7 +1096,7 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
           }
           return Status::OK();
         },
-        &rec);
+        &rec, &combine_slots);
     if (!st.ok()) return st;
     stats.fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(&stats);
@@ -991,6 +1109,9 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
                                           &rec, &stats));
   } else {
     std::vector<ValueVec> combined(src.num_partitions());
+    WaveSlots combine_slots;
+    combine_slots.rows = &combined;
+    combine_slots.tallies = &tallies;
     st = RunTaskWave(
         label + ".combine", combine_stage, RowCounts(src),
         [&](int p, int) -> Status {
@@ -1018,7 +1139,7 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
           }
           return Status::OK();
         },
-        &rec);
+        &rec, &combine_slots);
     if (!st.ok()) return st;
     stats.fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(&stats);
@@ -1028,6 +1149,8 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
                               &stats));
   }
   std::vector<ValueVec> out(shuffled.size());
+  WaveSlots reduce_slots;
+  reduce_slots.rows = &out;
   st = RunTaskWave(
       label, reduce_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
@@ -1067,7 +1190,7 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &reduce_slots);
   if (!st.ok()) return st;
   stats.label = FusedStageLabel(chain, label);
   stats.wide = true;
@@ -1177,6 +1300,9 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
   const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
+  WaveSlots join_slots;
+  join_slots.rows = &out;
+  join_slots.nums = &reduce_work;
   Status st = RunTaskWave(
       label, join_stage, RowCounts(ls),
       [&](int p, int) -> Status {
@@ -1223,7 +1349,7 @@ StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &join_slots);
   if (!st.ok()) return st;
   stats.label = FusedStageLabel(l.chain(), FusedStageLabel(r.chain(), label));
   stats.wide = true;
@@ -1316,6 +1442,9 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
   const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(ls.size());
   std::vector<int64_t> reduce_work(ls.size(), 0);
+  WaveSlots cg_slots;
+  cg_slots.rows = &out;
+  cg_slots.nums = &reduce_work;
   Status st = RunTaskWave(
       label, cogroup_stage, RowCounts(ls),
       [&](int p, int) -> Status {
@@ -1362,7 +1491,7 @@ StatusOr<Dataset> Engine::CoGroup(const Dataset& left, const Dataset& right,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &cg_slots);
   if (!st.ok()) return st;
   stats.label = FusedStageLabel(l.chain(), FusedStageLabel(r.chain(), label));
   stats.wide = true;
@@ -1494,6 +1623,8 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
                           ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
   const bool hash_agg = config_.hash_aggregation;
   std::vector<ValueVec> out(shuffled.size());
+  WaveSlots dedup_slots;
+  dedup_slots.rows = &out;
   Status st = RunTaskWave(
       label, dedup_stage, RowCounts(shuffled),
       [&](int p, int) -> Status {
@@ -1516,7 +1647,7 @@ StatusOr<Dataset> Engine::Distinct(const Dataset& in,
         for (auto& [v, unused] : seen) out[p].push_back(v);
         return Status::OK();
       },
-      &rec);
+      &rec, &dedup_slots);
   if (!st.ok()) return st;
   stats.label = FusedStageLabel(src.chain(), label);
   stats.wide = true;
@@ -1587,6 +1718,10 @@ StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
   std::vector<ValueVec> out(n);
   std::vector<int64_t> written(n, 0);
   std::vector<ChainTally> tallies(n);
+  WaveSlots ckpt_slots;
+  ckpt_slots.rows = &out;
+  ckpt_slots.nums = &written;
+  ckpt_slots.tallies = &tallies;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -1613,7 +1748,7 @@ StatusOr<Dataset> Engine::Checkpoint(const Dataset& in,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &ckpt_slots);
   if (!st.ok()) return st;
   int64_t total_bytes = 0;
   for (int64_t b : written) total_bytes += b;
@@ -1645,6 +1780,9 @@ StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
   // straight into the partial), then combine partials on the driver.
   std::vector<std::optional<Value>> partials(src.num_partitions());
   std::vector<ChainTally> tallies(src.num_partitions());
+  WaveSlots reduce_slots;
+  reduce_slots.partials = &partials;
+  reduce_slots.tallies = &tallies;
   Status st = RunTaskWave(
       label, stage, RowCounts(src),
       [&](int p, int) -> Status {
@@ -1664,7 +1802,7 @@ StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
         }
         return Status::OK();
       },
-      &rec);
+      &rec, &reduce_slots);
   if (!st.ok()) return st;
   StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
   stats.fused_ops = static_cast<int64_t>(chain.size());

@@ -15,10 +15,12 @@
 #include "runtime/operators.h"
 #include "runtime/trace.h"
 #include "runtime/value.h"
+#include "runtime/wave_io.h"
 
 namespace diablo::runtime {
 
 class WorkerPool;
+class RemoteExecutor;
 
 /// Configuration of the simulated cluster engine.
 struct EngineConfig {
@@ -76,6 +78,21 @@ struct EngineConfig {
   /// False makes every hook a single null-pointer test; defining
   /// DIABLO_DISABLE_TRACING compiles the hooks out entirely.
   bool tracing = true;
+  /// When set, every task wave executes on this remote backend (the
+  /// multi-process coordinator of src/dist/) instead of in-process
+  /// threads: workers run the task closures against their forked
+  /// copy-on-write snapshot and results come back over the wire
+  /// (runtime/wave_io.h). The engine then forces host_threads = 1 and
+  /// persistent_pool = false — the driver must be single-threaded at
+  /// fork time. Not owned.
+  RemoteExecutor* remote = nullptr;
+  /// With `remote`: treat a real worker death as a partition loss and
+  /// route the dead worker's partitions through the lineage
+  /// recompute_many path at the next stage boundary (forces
+  /// FaultConfig::retain_lineage so the closures exist). The rebuilt
+  /// partitions are bit-identical — PR 1's fault-injection invariant is
+  /// the correctness oracle for real SIGKILLs.
+  bool dist_lose_on_kill = false;
 };
 
 /// Source provenance the engine stamps into every finished stage (and
@@ -95,6 +112,10 @@ struct StageRecovery {
   int64_t attempts = 0;
   int64_t recomputed_partitions = 0;
   double recovery_seconds = 0;
+  /// Distributed-backend tallies (zero unless EngineConfig::remote).
+  int64_t dist_tasks = 0;
+  int64_t dist_retries = 0;
+  int64_t dist_workers_lost = 0;
 };
 
 /// The DIABLO execution substrate: a from-scratch, in-process
@@ -291,10 +312,24 @@ class Engine {
   /// fault model: injected kills and TaskLost results are retried up to
   /// the budget with simulated backoff charged to `rec`; genuine errors
   /// abort immediately. `fn(partition, attempt)` must be restartable.
+  /// `slots` describes the per-task output slots `fn` writes; when
+  /// EngineConfig::remote is set the wave runs on the remote backend,
+  /// which marshals exactly those slots back from the workers.
   Status RunTaskWave(const std::string& label, int stage,
                      const std::vector<int64_t>& task_work,
                      const std::function<Status(int, int)>& fn,
-                     StageRecovery* rec);
+                     StageRecovery* rec, const WaveSlots* slots = nullptr);
+
+  /// Remote dispatch of one task wave via EngineConfig::remote: builds
+  /// the RemoteTaskWave closure bundle (worker-side run/encode,
+  /// coordinator-side install, the engine-owned simulated-fault hooks,
+  /// and trace/recovery hooks) and merges the backend's counters into
+  /// `rec` in task-index order for deterministic accounting.
+  Status RunTaskWaveRemote(const std::string& label, int stage,
+                           const std::vector<int64_t>& task_work,
+                           const std::function<Status(int, int)>& fn,
+                           StageRecovery* rec, const WaveSlots& slots,
+                           TraceRecorder* tr, int64_t wave_span_id);
 
   /// Applies any one-shot lost-partition directives targeting
   /// (stage, input_index): rebuilds the lost partitions from `in`'s
@@ -313,11 +348,14 @@ class Engine {
   /// When `dest_bytes` is non-null the bytes received per destination
   /// partition are ACCUMULATED into it (the per-partition byte
   /// histogram of the profile export).
+  /// `tallies` (nullable) are the per-source-task fused-chain tallies
+  /// the producer writes; listed here so the remote backend marshals
+  /// them back with the buckets.
   StatusOr<std::vector<HashedVec>> ShuffleCore(
       int stage, const std::vector<int64_t>& task_work,
       const std::function<Status(int, const EmitFn&)>& produce,
       int64_t* shuffle_bytes, std::vector<int64_t>* dest_bytes,
-      StageRecovery* rec);
+      std::vector<ChainTally>* tallies, StageRecovery* rec);
 
   /// Hash-partitions keyed rows of `in` into num_partitions buckets as
   /// one task wave: a single-pass scatter that applies `in`'s pending
@@ -370,6 +408,12 @@ class Engine {
   /// engine's whole lifetime. Mutable: creating it does not change
   /// observable engine state.
   mutable std::unique_ptr<WorkerPool> pool_;
+  /// Partitions owed by workers that died mid-wave
+  /// (EngineConfig::dist_lose_on_kill): registered by the remote
+  /// backend's on_worker_lost hook, consumed by the next RecoverInput
+  /// (input 0), which rebuilds them from lineage via recompute_many —
+  /// real kills exercise the same recovery path as simulated losses.
+  std::vector<int> pending_lost_partitions_;
 };
 
 }  // namespace diablo::runtime

@@ -26,7 +26,7 @@ enum Stream : uint64_t {
 bool FaultConfig::enabled() const {
   return task_failure_rate > 0 || straggler_rate > 0 ||
          corrupt_shuffle_rate > 0 || !kill_tasks.empty() ||
-         !lose_partitions.empty();
+         !lose_partitions.empty() || retain_lineage;
 }
 
 FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {}

@@ -72,6 +72,11 @@ struct FaultConfig {
   /// One-shot kill / partition-loss directives (see structs above).
   std::vector<KillTask> kill_tasks;
   std::vector<LosePartition> lose_partitions;
+  /// Keep lineage recompute closures alive even with every simulated
+  /// fault class disarmed. The distributed backend (src/dist/) sets
+  /// this: a real SIGKILL can lose partitions at any moment, and
+  /// recovery needs the recompute path that enabled() otherwise prunes.
+  bool retain_lineage = false;
 
   /// True when any fault class can fire. When false the engine skips
   /// all fault bookkeeping (and builds no recompute closures).

@@ -101,6 +101,24 @@ int64_t Metrics::total_pool_tasks() const {
   return n;
 }
 
+int64_t Metrics::total_dist_tasks() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.dist_tasks;
+  return n;
+}
+
+int64_t Metrics::total_dist_retries() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.dist_retries;
+  return n;
+}
+
+int64_t Metrics::total_dist_workers_lost() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.dist_workers_lost;
+  return n;
+}
+
 double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {
@@ -150,6 +168,13 @@ std::string Metrics::Report() const {
          << " hash_agg_keys=" << s.hash_agg_keys;
     }
     if (s.pool_tasks > 0) os << " pool_tasks=" << s.pool_tasks;
+    if (s.dist_tasks > 0) {
+      os << " dist_tasks=" << s.dist_tasks;
+      if (s.dist_retries > 0) os << " dist_retries=" << s.dist_retries;
+      if (s.dist_workers_lost > 0) {
+        os << " dist_workers_lost=" << s.dist_workers_lost;
+      }
+    }
     os << "\n";
   }
   return os.str();

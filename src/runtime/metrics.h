@@ -55,6 +55,14 @@ struct StageStats {
   /// (0 when EngineConfig::persistent_pool is off, host_threads <= 1,
   /// or the waves were too small to parallelize).
   int64_t pool_tasks = 0;
+  /// Multi-process distributed backend accounting (src/dist/). Tasks
+  /// dispatched to worker processes, task re-dispatches after a worker
+  /// died mid-task, and worker processes lost (heartbeat timeout,
+  /// deadline, crash, or chaos SIGKILL) while this stage ran. All 0
+  /// when EngineConfig::remote is unset.
+  int64_t dist_tasks = 0;
+  int64_t dist_retries = 0;
+  int64_t dist_workers_lost = 0;
   /// Source provenance: the loop statement in the .diablo program this
   /// stage was translated from. `src_line == 0` means unknown (e.g. a
   /// stage run outside any statement scope). Reports render it as
@@ -126,6 +134,12 @@ class Metrics {
   int64_t total_hash_agg_keys() const;
   /// Tasks executed on the persistent worker pool across all stages.
   int64_t total_pool_tasks() const;
+  /// Tasks dispatched to distributed worker processes across all stages.
+  int64_t total_dist_tasks() const;
+  /// Task re-dispatches after real worker deaths across all stages.
+  int64_t total_dist_retries() const;
+  /// Worker processes lost (and recovered from) across all stages.
+  int64_t total_dist_workers_lost() const;
 
   /// Simulated wall-clock seconds on a cluster described by `model`,
   /// recovery overhead included.

@@ -1,0 +1,113 @@
+#ifndef DIABLO_RUNTIME_REMOTE_H_
+#define DIABLO_RUNTIME_REMOTE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diablo::runtime {
+
+/// One task wave handed to a remote executor. The engine packages every
+/// wave (map, shuffle, reduce, ...) into this closure bundle so the
+/// scheduling seam stays in runtime/ while the process/socket machinery
+/// lives in src/dist/ — runtime/ never links against dist/.
+///
+/// Split of responsibilities:
+///  - `run` and `encode` execute on the WORKER side (after fork they run
+///    in the child against its copy-on-write snapshot of the wave
+///    closures).
+///  - `install` and every hook below execute on the COORDINATOR side,
+///    against the driver's live slot vectors.
+///
+/// Simulated faults stay engine-owned: the coordinator drives the same
+/// attempt loop the local scheduler runs (begin_attempt / sim_kill /
+/// charge_*) so a distributed run charges byte-identical simulated
+/// retry and straggler time. Real worker deaths are a separate budget:
+/// a task lost to a SIGKILL is re-dispatched with the SAME simulated
+/// attempt number, keeping the deterministic fault schedule aligned
+/// between local and distributed runs.
+///
+/// Every member must be set; the engine always provides all of them
+/// (with trivial bodies when fault injection or tracing is off).
+struct RemoteTaskWave {
+  /// Human-readable op label ("map", "shuffle", ...), for errors/logs.
+  std::string label;
+  /// Stage id (fault-injection coordinate and trace stage).
+  int stage = 0;
+  /// Per-task work estimate (rows), sized to the number of tasks.
+  std::vector<int64_t> task_work;
+  /// Simulated retry budget: a task whose simulated attempt counter
+  /// reaches this bound fails the wave via `sim_budget_exhausted`.
+  int max_sim_attempts = 1;
+
+  /// WORKER: runs task `p` as simulated attempt `attempt`, writing the
+  /// worker-local copy of the wave's slots. May return TaskLost (a
+  /// simulated in-task fault) — retryable by the coordinator.
+  std::function<Status(int p, int attempt)> run;
+  /// WORKER: encodes task `p`'s slots after a successful run.
+  std::function<StatusOr<std::string>(int p)> encode;
+  /// COORDINATOR: installs a worker's encoded slots for task `p` into
+  /// the driver's slot vectors.
+  std::function<Status(int p, const std::string& bytes)> install;
+
+  /// COORDINATOR: starts the next simulated attempt of task `p` and
+  /// returns its 0-based attempt number (charges the engine's per-stage
+  /// attempt counter).
+  std::function<int(int p)> begin_attempt;
+  /// COORDINATOR: true when the deterministic injector kills simulated
+  /// attempt `attempt` of task `p` before it would run.
+  std::function<bool(int p, int attempt)> sim_kill;
+  /// COORDINATOR: charges simulated recovery time (task time + backoff)
+  /// for a failed simulated attempt.
+  std::function<void(int p, int attempt)> charge_failure;
+  /// COORDINATOR: charges simulated straggler slowdown, if any, for a
+  /// successful attempt.
+  std::function<void(int p, int attempt)> charge_success;
+  /// COORDINATOR: the error a task reports when its simulated retry
+  /// budget is exhausted (message identical to the local scheduler's).
+  std::function<Status(int p)> sim_budget_exhausted;
+
+  /// COORDINATOR trace hooks. `worker` is the 0-based worker index.
+  std::function<void(int p, int attempt, int worker)> on_dispatch;
+  std::function<void(int p, int attempt, int worker)> on_complete;
+  /// COORDINATOR: a worker died (heartbeat timeout, task deadline, or a
+  /// real kill); `pending` lists the task indices that were in flight
+  /// on it and will be re-dispatched to survivors.
+  std::function<void(int worker, const std::vector<int>& pending,
+                     const std::string& reason)>
+      on_worker_lost;
+};
+
+/// Counters a remote executor reports back per wave, merged into the
+/// engine's stage metrics.
+struct RemoteWaveStats {
+  /// Tasks dispatched to workers (includes real-retry re-dispatches).
+  int64_t tasks = 0;
+  /// Re-dispatches caused by real worker loss (not simulated faults).
+  int64_t real_retries = 0;
+  /// Workers declared dead during the wave.
+  int64_t workers_lost = 0;
+  /// Total encoded result bytes installed.
+  int64_t result_bytes = 0;
+};
+
+/// The engine's seam to a distributed backend. Implemented by
+/// dist::Coordinator; the engine calls RunWave for every task wave when
+/// EngineConfig::remote is set.
+class RemoteExecutor {
+ public:
+  virtual ~RemoteExecutor() = default;
+
+  /// Executes every task of `wave` remotely, installing all results
+  /// before returning. Returns the first (lowest task index) genuine
+  /// task error, or a DistError when the backend itself fails.
+  virtual Status RunWave(const RemoteTaskWave& wave,
+                         RemoteWaveStats* stats) = 0;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_REMOTE_H_

@@ -19,20 +19,6 @@ enum Tag : char {
   kTagBag = 'g',
 };
 
-void PutU32(uint32_t v, std::string* out) {
-  char buf[4];
-  buf[0] = static_cast<char>(v & 0xff);
-  buf[1] = static_cast<char>((v >> 8) & 0xff);
-  buf[2] = static_cast<char>((v >> 16) & 0xff);
-  buf[3] = static_cast<char>((v >> 24) & 0xff);
-  out->append(buf, 4);
-}
-
-void PutU64(uint64_t v, std::string* out) {
-  PutU32(static_cast<uint32_t>(v & 0xffffffffu), out);
-  PutU32(static_cast<uint32_t>(v >> 32), out);
-}
-
 Status Truncated() {
   return Status::RuntimeError("truncated serialized value");
 }
@@ -43,7 +29,23 @@ Status Truncated() {
 /// Status instead of overflowing the stack.
 constexpr int kMaxDeserializeDepth = 64;
 
-StatusOr<uint32_t> GetU32(const std::string& data, size_t* offset) {
+}  // namespace
+
+void PutWireU32(uint32_t v, std::string* out) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutWireU64(uint64_t v, std::string* out) {
+  PutWireU32(static_cast<uint32_t>(v & 0xffffffffu), out);
+  PutWireU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+StatusOr<uint32_t> GetWireU32(const std::string& data, size_t* offset) {
   if (*offset + 4 > data.size()) return Truncated();
   uint32_t v = 0;
   for (int i = 3; i >= 0; --i) {
@@ -53,10 +55,22 @@ StatusOr<uint32_t> GetU32(const std::string& data, size_t* offset) {
   return v;
 }
 
-StatusOr<uint64_t> GetU64(const std::string& data, size_t* offset) {
-  DIABLO_ASSIGN_OR_RETURN(uint32_t lo, GetU32(data, offset));
-  DIABLO_ASSIGN_OR_RETURN(uint32_t hi, GetU32(data, offset));
+StatusOr<uint64_t> GetWireU64(const std::string& data, size_t* offset) {
+  DIABLO_ASSIGN_OR_RETURN(uint32_t lo, GetWireU32(data, offset));
+  DIABLO_ASSIGN_OR_RETURN(uint32_t hi, GetWireU32(data, offset));
   return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+namespace {
+
+// Local aliases keep the value codec below unchanged.
+void PutU32(uint32_t v, std::string* out) { PutWireU32(v, out); }
+void PutU64(uint64_t v, std::string* out) { PutWireU64(v, out); }
+StatusOr<uint32_t> GetU32(const std::string& data, size_t* offset) {
+  return GetWireU32(data, offset);
+}
+StatusOr<uint64_t> GetU64(const std::string& data, size_t* offset) {
+  return GetWireU64(data, offset);
 }
 
 }  // namespace
@@ -204,6 +218,42 @@ StatusOr<Value> Deserialize(const std::string& data) {
     return Status::RuntimeError("trailing bytes after serialized value");
   }
   return v;
+}
+
+void SerializeHashedRow(const HashedRow& hr, std::string* out) {
+  PutWireU64(static_cast<uint64_t>(hr.hash), out);
+  SerializeValue(hr.row, out);
+}
+
+StatusOr<HashedRow> DeserializeHashedRow(const std::string& data,
+                                         size_t* offset) {
+  DIABLO_ASSIGN_OR_RETURN(uint64_t hash, GetWireU64(data, offset));
+  DIABLO_ASSIGN_OR_RETURN(Value row, DeserializeValue(data, offset));
+  return HashedRow{static_cast<size_t>(hash), std::move(row)};
+}
+
+void SerializeHashedVec(const HashedVec& rows, std::string* out) {
+  PutWireU32(static_cast<uint32_t>(rows.size()), out);
+  for (const HashedRow& hr : rows) SerializeHashedRow(hr, out);
+}
+
+StatusOr<HashedVec> DeserializeHashedVec(const std::string& data,
+                                         size_t* offset) {
+  DIABLO_ASSIGN_OR_RETURN(uint32_t n, GetWireU32(data, offset));
+  // Every row is at least 9 bytes (u64 hash + one tag); a length prefix
+  // promising more rows than the buffer could hold is corrupt, and must
+  // fail before any reserve() trusts it.
+  if (static_cast<size_t>(n) > (data.size() - *offset) / 9) {
+    return Status::RuntimeError(
+        "oversized length prefix in hashed-row batch");
+  }
+  HashedVec rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DIABLO_ASSIGN_OR_RETURN(HashedRow hr, DeserializeHashedRow(data, offset));
+    rows.push_back(std::move(hr));
+  }
+  return rows;
 }
 
 }  // namespace diablo::runtime

@@ -179,6 +179,88 @@ TEST(Serialize, RejectsHugeDeclaredLengths) {
   EXPECT_FALSE(Deserialize(wire).ok());
 }
 
+// --- HashedRow batch wire path (the dist shuffle's on-the-wire form) ---
+
+HashedVec SampleHashedVec(std::mt19937_64& rng, size_t n) {
+  HashedVec rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(HashedRow{static_cast<uint64_t>(rng()),
+                             RandomValue(rng, 2)});
+  }
+  return rows;
+}
+
+TEST(SerializeHashed, VecRoundTripsIncludingEmpty) {
+  std::mt19937_64 rng(31);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{17}}) {
+    HashedVec rows = SampleHashedVec(rng, n);
+    std::string wire;
+    SerializeHashedVec(rows, &wire);
+    size_t offset = 0;
+    auto back = DeserializeHashedVec(wire, &offset);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(offset, wire.size());
+    ASSERT_EQ(back->size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ((*back)[i].hash, rows[i].hash);
+      EXPECT_EQ((*back)[i].row, rows[i].row);
+    }
+  }
+}
+
+TEST(SerializeHashed, RejectsTruncationAtEveryPrefix) {
+  std::mt19937_64 rng(32);
+  HashedVec rows = SampleHashedVec(rng, 5);
+  std::string wire;
+  SerializeHashedVec(rows, &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::string prefix = wire.substr(0, cut);
+    size_t offset = 0;
+    auto back = DeserializeHashedVec(prefix, &offset);
+    // Either a clean rejection or a decode that consumed a well-formed
+    // prefix — never a row count the bytes cannot back.
+    if (back.ok()) EXPECT_LE(offset, prefix.size()) << "cut at " << cut;
+    if (cut < 4) EXPECT_FALSE(back.ok()) << "count prefix cut at " << cut;
+  }
+}
+
+TEST(SerializeHashed, RejectsOversizedCountPrefix) {
+  // A batch claiming 2^31 rows with four bytes of backing must fail
+  // fast instead of reserving gigabytes or spinning on a huge loop.
+  std::string wire;
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0xff));
+  wire.push_back(static_cast<char>(0x7f));
+  wire += "XXXX";
+  size_t offset = 0;
+  auto back = DeserializeHashedVec(wire, &offset);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(SerializeHashed, EveryByteMutationIsRejectedOrDecodes) {
+  // Same property as the Value codec: any single flipped byte of a
+  // batch must produce a Status error or a well-formed batch — no
+  // crash, no out-of-bounds read (CI runs this under asan/ubsan).
+  std::mt19937_64 rng(33);
+  HashedVec rows = SampleHashedVec(rng, 4);
+  std::string wire;
+  SerializeHashedVec(rows, &wire);
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    for (unsigned char flip : {0x01, 0x80, 0xff}) {
+      std::string mutated = wire;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ flip);
+      size_t offset = 0;
+      auto back = DeserializeHashedVec(mutated, &offset);
+      if (back.ok()) {
+        std::string rewire;
+        SerializeHashedVec(*back, &rewire);
+        EXPECT_EQ(rewire, mutated.substr(0, offset)) << "pos " << pos;
+      }
+    }
+  }
+}
+
 TEST(Serialize, EngineShuffleRoundTripsRows) {
   EngineConfig config;
   config.serialize_shuffles = true;

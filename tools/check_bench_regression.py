@@ -20,15 +20,37 @@ import json
 import sys
 
 
+class SchemaMismatch(Exception):
+    """The JSON is not a google-benchmark report we understand."""
+
+
 def load_times(path):
     """name -> real_time (ns per iteration) for every benchmark entry."""
     with open(path) as f:
         doc = json.load(f)
+    benchmarks = doc.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise SchemaMismatch(f"{path}: 'benchmarks' is not a list")
     times = {}
-    for bench in doc.get("benchmarks", []):
+    for i, bench in enumerate(benchmarks):
+        if not isinstance(bench, dict):
+            raise SchemaMismatch(f"{path}: benchmarks[{i}] is not an object")
         if bench.get("run_type", "iteration") != "iteration":
             continue
-        times[bench["name"]] = float(bench["real_time"])
+        # Missing/renamed keys mean the producer changed its report
+        # format; say so instead of dying with a KeyError traceback.
+        if "name" not in bench:
+            raise SchemaMismatch(f"{path}: benchmarks[{i}] has no 'name' key")
+        if "real_time" not in bench:
+            raise SchemaMismatch(
+                f"{path}: benchmark '{bench['name']}' has no 'real_time' key "
+                "(renamed or non-benchmark entry?)")
+        try:
+            times[bench["name"]] = float(bench["real_time"])
+        except (TypeError, ValueError):
+            raise SchemaMismatch(
+                f"{path}: benchmark '{bench['name']}' has non-numeric "
+                f"real_time {bench['real_time']!r}")
     return times
 
 
@@ -44,8 +66,12 @@ def main():
     args = parser.parse_args()
     prefixes = args.prefix or ["BM_ReduceByKeyHot"]
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    try:
+        baseline = load_times(args.baseline)
+        current = load_times(args.current)
+    except SchemaMismatch as e:
+        print(f"ERROR: benchmark JSON schema mismatch: {e}", file=sys.stderr)
+        return 2
 
     failures = []
     checked = 0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks that a printed chaos seed reproduces its kill schedule.
+
+diablo_run prints the effective chaos seed on stderr for every
+--dist-workers run:
+
+    diablo_run: dist workers=N chaos seed S (fault seed F)
+
+This script runs a program once with a rate-based chaos schedule (no
+explicit seed), parses the printed seed, re-runs with --chaos-seed S,
+and asserts that
+
+  1. the second run kills the same workers at the same (stage, worker,
+     after-results) coordinates (pids differ between runs and are
+     ignored), and
+  2. both runs produce byte-identical stdout.
+
+Usage:
+  check_chaos_seed_roundtrip.py <diablo_run> <program> [program args...]
+
+Exits 0 on success, 1 on a reproduction failure, 2 on usage/run errors.
+"""
+
+import re
+import subprocess
+import sys
+
+SEED_RE = re.compile(r"diablo_run: dist workers=\d+ chaos seed (\d+)")
+KILL_RE = re.compile(
+    r"diablo-dist: chaos kill worker (\d+) pid \d+ "
+    r"\(stage (\d+), after (\d+) results\)")
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(2)
+    return proc
+
+
+def kill_schedule(stderr):
+    """Kill coordinates in order, with the run-specific pid stripped."""
+    return [m.groups() for m in KILL_RE.finditer(stderr)]
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = argv[1:] + ["--dist-workers", "3", "--chaos-kill-rate", "0.02"]
+
+    first = run(base)
+    m = SEED_RE.search(first.stderr)
+    if m is None:
+        print("error: no 'chaos seed' line on stderr:", file=sys.stderr)
+        print(first.stderr, file=sys.stderr)
+        return 2
+    seed = m.group(1)
+    first_kills = kill_schedule(first.stderr)
+    print(f"first run: seed {seed}, {len(first_kills)} chaos kill(s)")
+
+    second = run(base + ["--chaos-seed", seed])
+    second_kills = kill_schedule(second.stderr)
+
+    ok = True
+    if second_kills != first_kills:
+        print("FAIL: kill schedule not reproduced", file=sys.stderr)
+        print(f"  first:  {first_kills}", file=sys.stderr)
+        print(f"  second: {second_kills}", file=sys.stderr)
+        ok = False
+    if second.stdout != first.stdout:
+        print("FAIL: stdout differs between runs", file=sys.stderr)
+        ok = False
+    if not ok:
+        return 1
+    print(f"OK: seed {seed} reproduced {len(first_kills)} kill(s) "
+          "and identical output")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

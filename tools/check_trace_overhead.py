@@ -23,12 +23,22 @@ import re
 import sys
 
 
+class SchemaMismatch(Exception):
+    """The JSON is not a google-benchmark report we understand."""
+
+
 def load_times(path, prefixes, metric):
     """(base name, trace flag) -> `metric`, preferring _median entries."""
     with open(path) as f:
         doc = json.load(f)
+    benchmarks = doc.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise SchemaMismatch(f"{path}: 'benchmarks' is not a list")
     times = {}
-    for bench in doc.get("benchmarks", []):
+    for i, bench in enumerate(benchmarks):
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise SchemaMismatch(
+                f"{path}: benchmarks[{i}] is not an object with a 'name' key")
         name = bench["name"]
         if not any(name.startswith(p) for p in prefixes):
             continue
@@ -42,9 +52,21 @@ def load_times(path, prefixes, metric):
         base = name[:m.start()] + name[m.end():]
         base = re.sub(r"_median$", "", base)
         key = (base, m.group(1) == "1")
+        # Missing/renamed metric keys mean the producer changed its
+        # report format; say so instead of a KeyError traceback.
+        if metric not in bench:
+            raise SchemaMismatch(
+                f"{path}: benchmark '{name}' has no '{metric}' key "
+                "(renamed or non-benchmark entry?)")
+        try:
+            value = float(bench[metric])
+        except (TypeError, ValueError):
+            raise SchemaMismatch(
+                f"{path}: benchmark '{name}' has non-numeric "
+                f"{metric} {bench[metric]!r}")
         # Aggregates (median) win over raw iterations when both exist.
         if run_type == "aggregate" or key not in times:
-            times[key] = float(bench[metric])
+            times[key] = value
     return times
 
 
@@ -63,7 +85,11 @@ def main():
     args = parser.parse_args()
     prefixes = args.prefix or ["BM_ReduceByKeyHotTraced"]
 
-    times = load_times(args.bench_json, prefixes, args.metric)
+    try:
+        times = load_times(args.bench_json, prefixes, args.metric)
+    except SchemaMismatch as e:
+        print(f"ERROR: benchmark JSON schema mismatch: {e}", file=sys.stderr)
+        return 2
     pairs = sorted({base for base, _ in times})
     failures = []
     checked = 0

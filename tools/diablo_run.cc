@@ -48,11 +48,33 @@
 //                            backend instead of the distributed engine
 //   --reference              run the sequential reference interpreter
 //                            instead of the distributed engine
+//   --dist-workers N         execute task waves on N forked worker
+//                            processes over loopback TCP (src/dist/);
+//                            output is byte-identical to in-process runs
+//   --dist-heartbeat-ms N    worker heartbeat period (default 250)
+//   --dist-missed-beats N    heartbeats missed before a worker is
+//                            declared dead (default 8)
+//   --dist-deadline-ms N     per-task deadline before the holding worker
+//                            is declared dead (default 30000)
+//   --dist-max-task-retries N  re-dispatches allowed per task after real
+//                            worker deaths (default 3)
+//   --dist-max-respawns N    dead workers re-forked per run (default 4)
+//   --dist-stall W:MS        test hook: worker W sleeps MS ms per task
+//   --dist-verbose           log dispatch/death/respawn events to stderr
+//   --chaos-kill S:W[:K]     SIGKILL worker W during stage S after it
+//                            returned K results (default 0; repeatable);
+//                            requires --dist-workers
+//   --chaos-kill-rate P      per-(stage,worker,result) SIGKILL
+//                            probability [0,1], drawn deterministically
+//                            from the chaos seed
+//   --chaos-seed N           seed of the deterministic chaos schedule
 //
 // Exit codes (documented in docs/LANGUAGE.md): 0 success, 1 CLI or I/O
 // error, 2 parse error, 3 restriction violation, 4 translation error,
 // 5 runtime error (including an exhausted fault-retry budget), 6 invalid
-// argument, 7 unsupported feature. On any error the tool prints a single
+// argument, 7 unsupported feature, 8 distributed-backend failure (retry
+// or respawn budget exhausted; see docs/diagnostics.md). On any error
+// the tool prints a single
 // one-line diagnostic to stderr and emits none of the requested outputs —
 // except restriction violations (exit 3), which print the analyzer's full
 // structured diagnostics (codes, carets, race witnesses; the same output
@@ -68,9 +90,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/loop_lint.h"
 #include "analysis/restrictions.h"
 #include "diablo/diablo.h"
+#include "dist/coordinator.h"
 #include "parser/parser.h"
 #include "runtime/trace.h"
 
@@ -99,6 +124,8 @@ int ExitCodeFor(StatusCode code) {
       return 6;
     case StatusCode::kUnsupported:
       return 7;
+    case StatusCode::kDistError:
+      return 8;
   }
   return 1;
 }
@@ -249,6 +276,9 @@ int main(int argc, char** argv) {
   bool show_target = false, plan_report = false, use_reference = false;
   bool use_local = false, explain_analyze = false;
   std::string trace_out, profile_out;
+  int dist_workers = 0;
+  bool chaos_seed_set = false;
+  diablo::dist::DistConfig dist_config;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -323,6 +353,37 @@ int main(int argc, char** argv) {
       run_options.tile_config.tile_rows = std::atoll(next().c_str());
     } else if (arg == "--tile-cols") {
       run_options.tile_config.tile_cols = std::atoll(next().c_str());
+    } else if (arg == "--dist-workers") {
+      dist_workers = static_cast<int>(ParseIntFlag(arg, next()));
+      if (dist_workers <= 0) Die("--dist-workers expects a positive count");
+    } else if (arg == "--dist-heartbeat-ms") {
+      dist_config.heartbeat_ms = static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--dist-missed-beats") {
+      dist_config.missed_beats = static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--dist-deadline-ms") {
+      dist_config.task_deadline_ms =
+          static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--dist-max-task-retries") {
+      dist_config.max_task_retries =
+          static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--dist-max-respawns") {
+      dist_config.max_respawns = static_cast<int>(ParseIntFlag(arg, next()));
+    } else if (arg == "--dist-stall") {
+      std::vector<int> wm = SplitColonInts(next(), 2, 2);
+      dist_config.stall_worker = wm[0];
+      dist_config.stall_ms = wm[1];
+    } else if (arg == "--dist-verbose") {
+      dist_config.verbose = true;
+    } else if (arg == "--chaos-kill") {
+      std::vector<int> sw = SplitColonInts(next(), 2, 3);
+      dist_config.chaos.kills.push_back(
+          {sw[0], sw[1], sw.size() > 2 ? sw[2] : 0});
+    } else if (arg == "--chaos-kill-rate") {
+      dist_config.chaos.kill_rate = ParseDoubleFlag(arg, next());
+    } else if (arg == "--chaos-seed") {
+      dist_config.chaos.seed =
+          static_cast<uint64_t>(ParseIntFlag(arg, next()));
+      chaos_seed_set = true;
     } else if (arg == "--no-opt") {
       compile_options.enable_optimizer = false;
     } else if (arg == "--local") {
@@ -419,6 +480,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::unique_ptr<diablo::dist::Coordinator> coordinator;
+  if (dist_workers > 0) {
+    dist_config.num_workers = dist_workers;
+    // The chaos schedule defaults to the fault seed so one --fault-seed
+    // flag drives both oracles; --chaos-seed overrides.
+    if (!chaos_seed_set) dist_config.chaos.seed = engine_config.faults.seed;
+    coordinator = std::make_unique<diablo::dist::Coordinator>(dist_config);
+    engine_config.remote = coordinator.get();
+    // Real SIGKILLs feed the lineage recovery path: the next stage
+    // rebuilds the dead worker's partitions via recompute_many.
+    engine_config.dist_lose_on_kill = true;
+    // Effective seeds, so any chaos run can be replayed exactly:
+    // re-running with these values reproduces the kill schedule.
+    std::fprintf(stderr,
+                 "diablo_run: dist workers=%d chaos seed %llu "
+                 "(fault seed %llu)\n",
+                 dist_workers,
+                 static_cast<unsigned long long>(dist_config.chaos.seed),
+                 static_cast<unsigned long long>(engine_config.faults.seed));
+  } else if (dist_config.chaos.enabled()) {
+    Die("--chaos-kill/--chaos-kill-rate require --dist-workers");
+  }
+
   diablo::runtime::Engine engine(engine_config);
   auto run = diablo::Run(*compiled, &engine, inputs, run_options);
   if (!run.ok()) DieStatus(run.status());
@@ -443,6 +527,15 @@ int main(int argc, char** argv) {
           static_cast<long long>(metrics.total_recomputed_partitions()),
           metrics.total_recovery_seconds(),
           metrics.SimulatedFaultFreeSeconds(engine_config.cluster));
+    }
+    if (coordinator != nullptr) {
+      std::printf(
+          "dist backend: tasks=%lld retries=%lld workers_lost=%lld "
+          "chaos_kills=%d respawns=%d\n",
+          static_cast<long long>(metrics.total_dist_tasks()),
+          static_cast<long long>(metrics.total_dist_retries()),
+          static_cast<long long>(metrics.total_dist_workers_lost()),
+          coordinator->chaos_kills(), coordinator->respawns_used());
     }
   }
 
