@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "runtime/column_batch.h"
 #include "runtime/engine.h"
 #include "runtime/operators.h"
 
@@ -168,6 +172,48 @@ BENCHMARK(BM_ReduceByKeyHotTraced)
     ->Args({200000, 20000, 1})
     ->ArgNames({"rows", "keys", "trace"});
 
+// The AB9 ablation pair CI gates with check_bench_regression.py
+// --pair: reduceByKey with the columnar engine (typed combine, typed
+// shuffle, typed reduce — no boxed pair row between the source and the
+// final sorted emit) against the boxed baseline on the same input.
+void BM_ColumnarReduceByKey(benchmark::State& state) {
+  diablo::runtime::EngineConfig config;
+  config.columnar = state.range(2) != 0;
+  Engine engine(config);
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.ReduceByKey(ds, BinOp::kAdd);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnarReduceByKey)
+    ->Args({200000, 25000, 0})
+    ->Args({200000, 25000, 1})
+    ->ArgNames({"rows", "keys", "columnar"});
+
+// Second AB9 pair: a fused chain where every operator carries a kernel,
+// so the columnar engine runs it as vector loops over a double column.
+void BM_ColumnarFusedChain(benchmark::State& state) {
+  diablo::runtime::EngineConfig config;
+  config.columnar = state.range(1) != 0;
+  Engine engine(config);
+  Dataset ds = KeyedData(engine, state.range(0), 100);
+  for (auto _ : state) {
+    auto a = engine.MapValues(ds, BinOp::kMul, Value::MakeDouble(2.0));
+    auto b = engine.MapValues(*a, BinOp::kAdd, Value::MakeDouble(1.0));
+    auto c = engine.FilterValues(*b, BinOp::kLt, Value::MakeDouble(1e7));
+    auto d = engine.MapValues(*c, BinOp::kSub, Value::MakeDouble(0.5));
+    auto out = engine.Force(*d);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnarFusedChain)
+    ->Args({200000, 0})
+    ->Args({200000, 1})
+    ->ArgNames({"rows", "columnar"});
+
 // Join probe throughput: the build side fits a hash table; the probe
 // side reuses the memoized shuffle hash instead of re-walking the key.
 void BM_JoinProbe(benchmark::State& state) {
@@ -196,6 +242,63 @@ void BM_ValueHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValueHash);
+
+// Satellite of the AB9 columnar work: vectorized Value::Hash over a
+// whole column vs hashing each boxed row. String columns read the hash
+// cached at dictionary-intern time, so per-row hashing cost collapses
+// to an array load; tag 0 = int64 column, 1 = dictionary strings,
+// 2 = boxed rows (the fallback shape — hashes like the per-row loop).
+void BM_HashColumn(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  diablo::runtime::Column col;
+  for (int64_t i = 0; i < n; ++i) {
+    switch (state.range(1)) {
+      case 0:
+        col.Append(Value::MakeInt(i * 2654435761LL));
+        break;
+      case 1:
+        col.Append(Value::MakeString("word" + std::to_string(i % 64)));
+        break;
+      default:
+        col.Append(Value::MakeTuple(
+            {Value::MakeInt(i % 64), Value::MakeDouble(i * 0.5)}));
+        break;
+    }
+  }
+  std::vector<size_t> hashes;
+  for (auto _ : state) {
+    HashColumn(col, &hashes);
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashColumn)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->ArgNames({"rows", "tag"});
+
+// The boxed baseline BM_HashColumn is compared against.
+void BM_HashRowsBoxed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ValueVec rows;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(state.range(1) == 0
+                       ? Value::MakeInt(i * 2654435761LL)
+                       : Value::MakeString("word" + std::to_string(i % 64)));
+  }
+  std::vector<size_t> hashes;
+  for (auto _ : state) {
+    hashes.clear();
+    for (const Value& v : rows) hashes.push_back(v.Hash());
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashRowsBoxed)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->ArgNames({"rows", "tag"});
 
 void BM_ValueCopy(benchmark::State& state) {
   ValueVec elems;

@@ -214,14 +214,12 @@ StatusOr<Value> EvalExpr(const CExprPtr& e, const EvalCtx& ctx) {
           BuildPlan(r.arg->as<CExpr::Nested>().comp, *ctx.state));
       DIABLO_ASSIGN_OR_RETURN(Dataset ds, ExecutePlan(sub, *ctx.state));
       BinOp op = r.op;
+      // The BinOp overload lets the engine fold with native arithmetic
+      // under EngineConfig::columnar (bit-identical to EvalBinOp).
       DIABLO_ASSIGN_OR_RETURN(
           std::optional<Value> acc,
           ctx.state->engine->Reduce(
-              ds,
-              [op](const Value& a, const Value& b) {
-                return runtime::EvalBinOp(op, a, b);
-              },
-              StrCat("reduce[", runtime::BinOpName(op), "]")));
+              ds, op, StrCat("reduce[", runtime::BinOpName(op), "]")));
       if (acc.has_value()) return *acc;
       return runtime::MonoidIdentity(op, Value::MakeInt(0));
     }
@@ -716,8 +714,8 @@ StatusOr<Dataset> ExecutePlan(const CompPlan& plan, const ExecState& state) {
             Dataset reduced,
             engine.ReduceByKey(
                 keyed, op.reduce_op,
-                StrCat("reduceByKey[", runtime::BinOpName(op.reduce_op),
-                       "]")));
+                StrCat("reduceByKey[", runtime::BinOpName(op.reduce_op), "]"),
+                op.schema));
         const Pattern pattern = op.pattern;
         DIABLO_ASSIGN_OR_RETURN(
             ds, engine.Map(

@@ -67,6 +67,11 @@ struct StreamOp {
   /// kReduceByKey: the reduced expression and operator.
   comp::CExprPtr reduce_value;
   runtime::BinOp reduce_op = runtime::BinOp::kAdd;
+  /// kReduceByKey: static (key, value) column types inferred from the
+  /// comprehension by AnnotatePlanSchemas (plan/schema.h). kUnknown
+  /// fields make the engine detect types from the data; a definitely
+  /// non-numeric value type lets it skip the typed attempt entirely.
+  runtime::ColumnSchema schema;
 
   /// Variables in scope after this operator, in row order.
   std::vector<std::string> schema_after;

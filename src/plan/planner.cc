@@ -3,6 +3,7 @@
 
 #include "common/strings.h"
 #include "plan/plan.h"
+#include "plan/schema.h"
 
 namespace diablo::plan {
 
@@ -325,6 +326,7 @@ StatusOr<CompPlan> BuildPlan(const comp::CompPtr& comp,
 
   plan.driver_only = !has_source;
   for (StreamOp& op : plan.ops) op.loc = plan.loc;
+  AnnotatePlanSchemas(&plan);
   return plan;
 }
 

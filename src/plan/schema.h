@@ -1,0 +1,35 @@
+#ifndef DIABLO_PLAN_SCHEMA_H_
+#define DIABLO_PLAN_SCHEMA_H_
+
+#include <map>
+#include <string>
+
+#include "comp/comp.h"
+#include "plan/plan.h"
+#include "runtime/column_batch.h"
+
+namespace diablo::plan {
+
+/// Static column-type inference over comprehension expressions
+/// (runtime/column_batch.h ColumnTag). Conservative: kUnknown whenever
+/// the type depends on runtime values (array contents, bag elements,
+/// heterogeneous branches). The engine treats kUnknown as "try typed,
+/// detect from the data", so an imprecise answer costs nothing; only a
+/// *wrong* definite answer could, and the rules below never produce one.
+///
+/// Environment: variable name -> inferred tag for the pattern variables
+/// bound upstream in the pipeline. Missing names infer as kUnknown.
+using TypeEnv = std::map<std::string, runtime::ColumnTag>;
+
+/// The static scalar type of `e` under `env`, or kUnknown.
+runtime::ColumnTag InferExprType(const comp::CExprPtr& e, const TypeEnv& env);
+
+/// Fills StreamOp::schema for every kReduceByKey operator of `plan` by
+/// walking the pipeline once, tracking what each operator binds:
+/// range generators bind int64 counters, lets bind their rhs type,
+/// groupings rebind key/value variables. Called by BuildPlan; idempotent.
+void AnnotatePlanSchemas(CompPlan* plan);
+
+}  // namespace diablo::plan
+
+#endif  // DIABLO_PLAN_SCHEMA_H_

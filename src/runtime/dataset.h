@@ -3,11 +3,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/operators.h"
 #include "runtime/value.h"
 
 namespace diablo::runtime {
@@ -56,6 +58,20 @@ struct LineageNode {
   int depth = 0;
 };
 
+/// Vectorizable description of a narrow operator: the closure is known
+/// to be `row ⊕ operand` (map/filter) or `value ⊕ operand` over (k,v)
+/// pair rows (mapValues / value filter) for a built-in BinOp and a
+/// constant right operand. The closure stays the semantic truth — the
+/// kernel is an equivalent, engine-visible form that a columnar fused
+/// wave can run vectorized (runtime/column_batch.h).
+struct ColumnKernel {
+  BinOp op = BinOp::kAdd;
+  Value operand;
+  /// True: applies to the value of (k,v) pair rows (mapValues /
+  /// FilterValues). False: applies to the whole row.
+  bool on_value = false;
+};
+
 /// One deferred narrow operator in a fused chain. The callbacks mirror
 /// Engine::MapFn/PredFn/FlatMapFn; which one is set depends on `kind`.
 struct FusedOp {
@@ -70,6 +86,10 @@ struct FusedOp {
   std::function<StatusOr<bool>(const Value&)> pred;
   /// Set for kFlatMap.
   std::function<StatusOr<ValueVec>(const Value&)> flat;
+  /// Set when the operator was built from a BinOp + constant operand
+  /// (the kernel-carrying Engine overloads); lets a columnar Force run
+  /// the whole chain vectorized. Never required for correctness.
+  std::optional<ColumnKernel> kernel;
 };
 
 /// An unexecuted pipeline of narrow operators, applied element-by-element

@@ -121,6 +121,20 @@ std::string FusedStageLabel(const FusedChain& chain,
   return chain.empty() ? label : ChainLabel(chain) + "+" + label;
 }
 
+/// True when every operator of the chain carries a column kernel and
+/// all kernels agree on the row shape (whole rows vs pair values) — the
+/// precondition for running the chain over one column batch.
+bool ChainFullyKernelized(const FusedChain& chain) {
+  if (chain.empty()) return false;
+  if (!chain[0].kernel.has_value()) return false;
+  const bool on_value = chain[0].kernel->on_value;
+  for (const FusedOp& op : chain) {
+    if (!op.kernel.has_value()) return false;
+    if (op.kernel->on_value != on_value) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Engine::Engine(EngineConfig config)
@@ -705,9 +719,91 @@ StatusOr<Dataset> Engine::FlatMap(const Dataset& in, const FlatMapFn& fn,
   return Dataset(std::move(out), std::move(lineage));
 }
 
+StatusOr<Dataset> Engine::Map(const Dataset& in, BinOp op, const Value& operand,
+                              const std::string& label) {
+  Value captured = operand;
+  MapFn fn = [op, captured](const Value& row) {
+    return EvalBinOp(op, row, captured);
+  };
+  if (!config_.fuse_narrow) return Map(in, fn, label);
+  FusedOp fop;
+  fop.kind = FusedOp::Kind::kMap;
+  fop.label = label;
+  fop.map = std::move(fn);
+  fop.kernel = ColumnKernel{op, std::move(captured), /*on_value=*/false};
+  return in.WithOp(std::move(fop));
+}
+
+StatusOr<Dataset> Engine::MapValues(const Dataset& in, BinOp op,
+                                    const Value& operand,
+                                    const std::string& label) {
+  Value captured = operand;
+  // The fused kMapValues operator hands `map` the pair's value (see
+  // ApplyChain), so this closure sees the value directly.
+  MapFn fn = [op, captured](const Value& v) {
+    return EvalBinOp(op, v, captured);
+  };
+  if (!config_.fuse_narrow) return MapValues(in, fn, label);
+  FusedOp fop;
+  fop.kind = FusedOp::Kind::kMapValues;
+  fop.label = label;
+  fop.map = std::move(fn);
+  fop.kernel = ColumnKernel{op, std::move(captured), /*on_value=*/true};
+  return in.WithOp(std::move(fop));
+}
+
+StatusOr<Dataset> Engine::Filter(const Dataset& in, BinOp op,
+                                 const Value& operand,
+                                 const std::string& label) {
+  Value captured = operand;
+  PredFn pred = [op, captured](const Value& row) -> StatusOr<bool> {
+    DIABLO_ASSIGN_OR_RETURN(Value v, EvalBinOp(op, row, captured));
+    if (!v.is_bool()) {
+      return Status::RuntimeError(
+          StrCat("filter predicate evaluated to non-bool: ", v.ToString()));
+    }
+    return v.AsBool();
+  };
+  if (!config_.fuse_narrow) return Filter(in, pred, label);
+  FusedOp fop;
+  fop.kind = FusedOp::Kind::kFilter;
+  fop.label = label;
+  fop.pred = std::move(pred);
+  fop.kernel = ColumnKernel{op, std::move(captured), /*on_value=*/false};
+  return in.WithOp(std::move(fop));
+}
+
+StatusOr<Dataset> Engine::FilterValues(const Dataset& in, BinOp op,
+                                       const Value& operand,
+                                       const std::string& label) {
+  Value captured = operand;
+  PredFn pred = [op, captured](const Value& row) -> StatusOr<bool> {
+    if (!row.is_tuple() || row.tuple().size() != 2) {
+      return Status::RuntimeError(
+          StrCat("filterValues applied to non-pair row: ", row.ToString()));
+    }
+    DIABLO_ASSIGN_OR_RETURN(Value v, EvalBinOp(op, row.tuple()[1], captured));
+    if (!v.is_bool()) {
+      return Status::RuntimeError(
+          StrCat("filter predicate evaluated to non-bool: ", v.ToString()));
+    }
+    return v.AsBool();
+  };
+  if (!config_.fuse_narrow) return Filter(in, pred, label);
+  FusedOp fop;
+  fop.kind = FusedOp::Kind::kFilter;
+  fop.label = label;
+  fop.pred = std::move(pred);
+  fop.kernel = ColumnKernel{op, std::move(captured), /*on_value=*/true};
+  return in.WithOp(std::move(fop));
+}
+
 StatusOr<Dataset> Engine::Force(const Dataset& in) {
   if (in.materialized()) return in;
   const FusedChain& chain = in.chain();
+  if (config_.columnar && ChainFullyKernelized(chain)) {
+    return ForceColumnar(in);
+  }
   const std::string label = ChainLabel(chain);
   ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int stage = NextStageId();
@@ -746,6 +842,119 @@ StatusOr<Dataset> Engine::Force(const Dataset& in) {
   for (const ChainTally& t : tallies) t.MergeInto(&stats);
   stats.partition_rows = RowCounts(out);
   FinishStage(std::move(stats), rec);
+  auto lineage = MakeLineage(
+      "fused", label, {src.lineage()},
+      [src](int p, int64_t* work) -> StatusOr<ValueVec> {
+        const ValueVec& rows = src.partition(p);
+        *work += static_cast<int64_t>(rows.size());
+        ValueVec rebuilt;
+        rebuilt.reserve(rows.size());
+        for (const Value& row : rows) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(src.chain(), 0, row, nullptr,
+                         [&](const Value& v) -> Status {
+                           rebuilt.push_back(v);
+                           return Status::OK();
+                         }));
+        }
+        return rebuilt;
+      },
+      nullptr, static_cast<int>(chain.size()));
+  return Dataset(std::move(out), std::move(lineage));
+}
+
+StatusOr<Dataset> Engine::ForceColumnar(const Dataset& in) {
+  const FusedChain& chain = in.chain();
+  const std::string label = ChainLabel(chain);
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
+  const int stage = NextStageId();
+  stage_span.SetStageId(stage);
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  const int n = src.num_partitions();
+  const bool on_value = chain[0].kernel->on_value;
+  std::vector<ColumnBatch> batches(n);
+  std::vector<ChainTally> tallies(n);
+  WaveSlots slots;
+  slots.col_batches = &batches;
+  slots.tallies = &tallies;
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        // Restartable: a failed attempt rebuilds the batch from scratch.
+        const ValueVec& rows = src.partition(p);
+        tallies[p].Reset(chain.size() - 1);
+        batches[p] = ColumnBatch();
+        // A partition the kernels can't handle (unsupported type mix,
+        // non-pair rows under a value chain) replays the boxed per-row
+        // chain — byte-identical by construction — and still ships its
+        // output as a (boxed-column) batch.
+        auto replay = [&]() -> Status {
+          tallies[p].Reset(chain.size() - 1);
+          ColumnBatch fallback;
+          for (const Value& row : rows) {
+            DIABLO_RETURN_IF_ERROR(
+                ApplyChain(chain, 0, row, &tallies[p],
+                           [&](const Value& v) -> Status {
+                             fallback.values.Append(v);
+                             return Status::OK();
+                           }));
+          }
+          tallies[p].columnar_rows_fallback +=
+              static_cast<int64_t>(rows.size());
+          batches[p] = std::move(fallback);
+          return Status::OK();
+        };
+        ColumnBatch batch;
+        batch.pairs = on_value;
+        for (const Value& row : rows) {
+          if (on_value) {
+            if (!row.is_tuple() || row.tuple().size() != 2) return replay();
+            batch.keys.push_back(row.tuple()[0]);
+            batch.values.Append(row.tuple()[1]);
+          } else {
+            batch.values.Append(row);
+          }
+        }
+        std::vector<uint8_t> live(batch.size(), 1);
+        for (size_t i = 0; i < chain.size(); ++i) {
+          const ColumnKernel& k = *chain[i].kernel;
+          const bool handled =
+              chain[i].kind == FusedOp::Kind::kFilter
+                  ? ApplyFilterKernel(k.op, k.operand, batch.values, &live)
+                  : ApplyMapKernel(k.op, k.operand, live, &batch.values);
+          if (!handled) return replay();
+          if (i + 1 < chain.size()) {
+            // Interior boundary: record what the boxed tally would —
+            // the surviving row count and the first survivor's size.
+            int64_t alive = 0;
+            size_t first = live.size();
+            for (size_t r = 0; r < live.size(); ++r) {
+              if (live[r] == 0) continue;
+              if (first == live.size()) first = r;
+              ++alive;
+            }
+            tallies[p].rows[i] = alive;
+            tallies[p].sample_bytes[i] =
+                first == live.size() ? 0 : batch.RowAt(first).SerializedBytes();
+          }
+        }
+        batch.Compact(live);
+        tallies[p].columnar_batches += 1;
+        batches[p] = std::move(batch);
+        return Status::OK();
+      },
+      &rec, &slots);
+  if (!st.ok()) return st;
+  std::vector<ValueVec> out(n);
+  for (int p = 0; p < n; ++p) batches[p].EmitRows(&out[p]);
+  StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  stats.fused_ops = static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  stats.partition_rows = RowCounts(out);
+  FinishStage(std::move(stats), rec);
+  // Recovery replays the boxed chain: replay IS the semantic truth, and
+  // a lost partition is the rare path.
   auto lineage = MakeLineage(
       "fused", label, {src.lineage()},
       [src](int p, int64_t* work) -> StatusOr<ValueVec> {
@@ -896,12 +1105,44 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleWave(const Dataset& in,
       stage, RowCounts(in),
       [&](int p, const EmitFn& emit) -> Status {
         tallies[p].Reset(chain.size());
+        if (!config_.columnar) {
+          for (const Value& row : in.partition(p)) {
+            DIABLO_RETURN_IF_ERROR(ApplyChain(
+                chain, 0, row, &tallies[p], [&](const Value& v) -> Status {
+                  DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
+                  return emit(key->Hash(), v);
+                }));
+          }
+          return Status::OK();
+        }
+        // Vectorized scatter: buffer the produced rows with their keys
+        // in a column, hash the whole key column in one pass (cached
+        // dictionary hashes for strings, HashColumn bit-identical to
+        // per-row Value::Hash), then emit in the original order.
+        ValueVec rows;
+        Column keycol;
+        rows.reserve(in.partition(p).size());
         for (const Value& row : in.partition(p)) {
           DIABLO_RETURN_IF_ERROR(ApplyChain(
               chain, 0, row, &tallies[p], [&](const Value& v) -> Status {
                 DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(v));
-                return emit(key->Hash(), v);
+                keycol.Append(*key);
+                rows.push_back(v);
+                return Status::OK();
               }));
+        }
+        std::vector<size_t> hashes;
+        HashColumn(keycol, &hashes);
+        if (!rows.empty()) {
+          if (keycol.tag() == ColumnTag::kBoxed) {
+            tallies[p].columnar_rows_fallback +=
+                static_cast<int64_t>(rows.size());
+          } else {
+            tallies[p].columnar_batches += 1;
+          }
+        }
+        for (size_t i = 0; i < rows.size(); ++i) {
+          DIABLO_RETURN_IF_ERROR(emit(hashes[i], rows[i]));
         }
         return Status::OK();
       },
@@ -927,6 +1168,117 @@ StatusOr<std::vector<HashedVec>> Engine::ShuffleHashed(
       },
       shuffle_bytes, stats != nullptr ? &stats->partition_bytes : nullptr,
       nullptr, rec);
+}
+
+StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
+    const std::vector<TypedRows>& in, int stage, int64_t* shuffle_bytes,
+    StageRecovery* rec, StageStats* stats) {
+  const int out_parts = config_.num_partitions;
+  const int n = static_cast<int>(in.size());
+  std::vector<int64_t> task_work(n, 0);
+  TypedKeyMode kmode = TypedKeyMode::kNone;
+  TypedPayloadMode pmode = TypedPayloadMode::kNone;
+  for (int p = 0; p < n; ++p) {
+    task_work[p] = static_cast<int64_t>(in[p].size());
+    if (in[p].size() > 0 && kmode == TypedKeyMode::kNone) {
+      kmode = in[p].key_mode;
+      pmode = in[p].payload_mode;
+    }
+  }
+  // buckets[src][dst], plus the same byte accounting ShuffleCore keeps:
+  // every scattered entry is charged what its boxed pair row would have
+  // weighed on the wire.
+  std::vector<std::vector<TypedRows>> buckets(n,
+                                              std::vector<TypedRows>(out_parts));
+  std::vector<int64_t> moved_bytes(n, 0);
+  std::vector<std::vector<int64_t>> bucket_bytes(
+      n, std::vector<int64_t>(out_parts, 0));
+  WaveSlots slots;
+  slots.nums = &moved_bytes;
+  slots.num_vecs = &bucket_bytes;
+  Status st = RunTaskWave(
+      "shuffle", stage, task_work,
+      [&](int p, int) -> Status {
+        const TypedRows& src = in[p];
+        const int64_t entry_bytes = src.EntryBytes();
+        buckets[p].assign(out_parts, TypedRows());
+        const size_t hint =
+            src.size() / static_cast<size_t>(out_parts) + 1;
+        for (TypedRows& bucket : buckets[p]) {
+          bucket.key_mode = src.key_mode;
+          bucket.payload_mode = src.payload_mode;
+          bucket.hashes.reserve(hint);
+          bucket.key_bits.reserve(hint);
+          if (src.payload_mode == TypedPayloadMode::kInt64) {
+            bucket.pay_ints.reserve(hint);
+          } else {
+            bucket.pay_doubles.reserve(hint);
+          }
+        }
+        moved_bytes[p] = 0;
+        bucket_bytes[p].assign(out_parts, 0);
+        const bool ints = src.payload_mode == TypedPayloadMode::kInt64;
+        for (size_t i = 0; i < src.size(); ++i) {
+          const int dst = HashDestination(src.hashes[i], out_parts);
+          TypedRows& bucket = buckets[p][dst];
+          bucket.hashes.push_back(src.hashes[i]);
+          bucket.key_bits.push_back(src.key_bits[i]);
+          if (ints) {
+            bucket.pay_ints.push_back(src.pay_ints[i]);
+          } else {
+            bucket.pay_doubles.push_back(src.pay_doubles[i]);
+          }
+          moved_bytes[p] += entry_bytes;
+          bucket_bytes[p][dst] += entry_bytes;
+        }
+        return Status::OK();
+      },
+      rec, &slots);
+  if (!st.ok()) return st;
+  if (shuffle_bytes != nullptr) {
+    *shuffle_bytes = 0;
+    for (int64_t b : moved_bytes) *shuffle_bytes += b;
+  }
+  if (stats != nullptr) {
+    std::vector<int64_t>& dest_bytes = stats->partition_bytes;
+    if (dest_bytes.size() < static_cast<size_t>(out_parts)) {
+      dest_bytes.resize(static_cast<size_t>(out_parts), 0);
+    }
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < out_parts; ++dst) {
+        dest_bytes[dst] += bucket_bytes[src][dst];
+      }
+    }
+  }
+  // Concatenate source-order (sources ascending, each pre-sorted by
+  // key) — exactly the arrival order of the boxed shuffle, so every
+  // per-key fold order downstream is identical.
+  std::vector<TypedRows> out(out_parts);
+  for (int dst = 0; dst < out_parts; ++dst) {
+    TypedRows& d = out[dst];
+    d.key_mode = kmode;
+    d.payload_mode = pmode;
+    size_t total = 0;
+    for (int src = 0; src < n; ++src) total += buckets[src][dst].size();
+    d.hashes.reserve(total);
+    d.key_bits.reserve(total);
+    if (pmode == TypedPayloadMode::kInt64) {
+      d.pay_ints.reserve(total);
+    } else {
+      d.pay_doubles.reserve(total);
+    }
+    for (int src = 0; src < n; ++src) {
+      TypedRows& b = buckets[src][dst];
+      d.hashes.insert(d.hashes.end(), b.hashes.begin(), b.hashes.end());
+      d.key_bits.insert(d.key_bits.end(), b.key_bits.begin(),
+                        b.key_bits.end());
+      d.pay_ints.insert(d.pay_ints.end(), b.pay_ints.begin(),
+                        b.pay_ints.end());
+      d.pay_doubles.insert(d.pay_doubles.end(), b.pay_doubles.begin(),
+                           b.pay_doubles.end());
+    }
+  }
+  return out;
 }
 
 StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
@@ -1038,8 +1390,10 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   return Dataset(std::move(out), std::move(lineage));
 }
 
-StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
-                                      const std::string& label) {
+StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
+                                          const BinOp* native_op,
+                                          const ColumnSchema& schema,
+                                          const std::string& label) {
   ScopedSpan stage_span(trace(), SpanKind::kStage, label);
   const int combine_stage = NextStageId();
   const int shuffle_stage = NextStageId();
@@ -1050,6 +1404,16 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, combine_stage, 0, &rec));
   const FusedChain& chain = src.chain();
   const bool hash_agg = config_.hash_aggregation;
+  // Typed aggregation (EngineConfig::columnar): a built-in op whose
+  // key/value kinds columnarize folds with native arithmetic in the
+  // same arrival order — bit-identical results, no per-row Value
+  // allocation. The plan-time schema only ever skips the attempt (a
+  // definitely non-numeric value); kUnknown means detect from the data,
+  // and a deviating row mid-stream spills to the boxed accumulator.
+  const bool try_typed =
+      config_.columnar && native_op != nullptr &&
+      TypedReduceAccumulator::SupportsOp(*native_op) &&
+      schema.value != ColumnTag::kString && schema.value != ColumnTag::kBool;
   // Map-side combine (like Spark): fold each input partition first so the
   // shuffle only moves one pair per (partition, key). Any pending fused
   // chain runs element-by-element straight into the combine. Both paths
@@ -1058,10 +1422,20 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   // whichever aggregation path runs.
   std::vector<ChainTally> tallies(src.num_partitions());
   std::vector<HashedVec> shuffled;
+  std::vector<TypedRows> typed_shuffled;
+  bool use_typed_shuffle = false;
   int64_t bytes = 0;
   Status st;
+  // When no boxed rows are needed between combine and reduce — no wire
+  // format, no fault injection (row-level corruption coordinates name
+  // boxed rows), no remote backend — the combine output can stay typed
+  // across the shuffle: no intermediate pair row is ever allocated.
+  const bool typed_shuffle_ok =
+      try_typed && !config_.serialize_shuffles && !config_.faults.enabled() &&
+      config_.remote == nullptr;
   if (hash_agg) {
     std::vector<HashedVec> combined(src.num_partitions());
+    std::vector<TypedRows> typed_combined(src.num_partitions());
     WaveSlots combine_slots;
     combine_slots.hashed = &combined;
     combine_slots.tallies = &tallies;
@@ -1071,7 +1445,19 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
           combined[p].clear();
           tallies[p].Reset(chain.size());
           KeyedAccumulator<Value> acc(src.partition(p).size());
+          std::optional<TypedReduceAccumulator> typed;
+          if (try_typed) typed.emplace(*native_op, src.partition(p).size());
+          int64_t boxed_rows = 0;
           auto combine = [&](const Value& row) -> Status {
+            if (typed.has_value()) {
+              if (typed->Add(row)) return Status::OK();
+              // Deviating row: replay the typed state into the boxed
+              // accumulator (insertion order, hashes and payloads
+              // preserved) and continue boxed from this row.
+              typed->SpillTo(&acc);
+              typed.reset();
+            }
+            if (try_typed) ++boxed_rows;
             DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
             const size_t h = key->Hash();
             auto ref = acc.FindOrCreate(h, *key);
@@ -1083,17 +1469,40 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
             }
             return Status::OK();
           };
-          for (const Value& row : src.partition(p)) {
-            DIABLO_RETURN_IF_ERROR(
-                ApplyChain(chain, 0, row, &tallies[p], combine));
+          if (typed.has_value() && chain.empty()) {
+            // No pending fused chain: fold the partition into the typed
+            // accumulator directly, skipping the per-row chain dispatch.
+            // A deviating row drops to the boxed `combine` from there.
+            const ValueVec& part = src.partition(p);
+            size_t i = 0;
+            for (; i < part.size(); ++i) {
+              if (!typed->Add(part[i])) break;
+            }
+            for (; i < part.size(); ++i) {
+              DIABLO_RETURN_IF_ERROR(combine(part[i]));
+            }
+          } else {
+            for (const Value& row : src.partition(p)) {
+              DIABLO_RETURN_IF_ERROR(
+                  ApplyChain(chain, 0, row, &tallies[p], combine));
+            }
           }
-          acc.SortByKey();
-          combined[p].reserve(acc.size());
-          for (auto& e : acc.entries()) {
-            combined[p].push_back(HashedRow{
-                e.hash,
-                Value::MakePair(std::move(e.key), std::move(e.payload))});
+          if (typed.has_value()) {
+            typed_combined[p] = TypedRows();
+            if (!typed_shuffle_ok || !typed->EmitSortedTyped(&typed_combined[p])) {
+              typed->EmitSortedHashed(&combined[p]);
+            }
+            if (typed->rows() > 0) tallies[p].columnar_batches += 1;
+          } else {
+            acc.SortByKey();
+            combined[p].reserve(acc.size());
+            for (auto& e : acc.entries()) {
+              combined[p].push_back(HashedRow{
+                  e.hash,
+                  Value::MakePair(std::move(e.key), std::move(e.payload))});
+            }
           }
+          tallies[p].columnar_rows_fallback += boxed_rows;
           return Status::OK();
         },
         &rec, &combine_slots);
@@ -1101,12 +1510,52 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
     stats.fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(&stats);
     for (int64_t c : RowCounts(src)) stats.hash_agg_rows += c;
-    for (int64_t c : RowCounts(combined)) stats.hash_agg_keys += c;
+    // The typed shuffle needs every non-empty combine output typed with
+    // one key/payload shape; a spilled or string-keyed partition drops
+    // the whole operator back to boxed rows (the typed ones re-box).
+    if (typed_shuffle_ok) {
+      use_typed_shuffle = true;
+      TypedKeyMode kmode = TypedKeyMode::kNone;
+      TypedPayloadMode pmode = TypedPayloadMode::kNone;
+      for (int p = 0; p < src.num_partitions(); ++p) {
+        if (!combined[p].empty()) {
+          use_typed_shuffle = false;
+          break;
+        }
+        const TypedRows& t = typed_combined[p];
+        if (t.size() == 0) continue;
+        if (kmode == TypedKeyMode::kNone) {
+          kmode = t.key_mode;
+          pmode = t.payload_mode;
+        } else if (t.key_mode != kmode || t.payload_mode != pmode) {
+          use_typed_shuffle = false;
+          break;
+        }
+      }
+      if (!use_typed_shuffle) {
+        for (int p = 0; p < src.num_partitions(); ++p) {
+          typed_combined[p].EmitHashed(&combined[p]);
+          typed_combined[p] = TypedRows();
+        }
+      }
+    }
+    int64_t combined_keys = 0;
+    for (int p = 0; p < src.num_partitions(); ++p) {
+      combined_keys += static_cast<int64_t>(combined[p].size()) +
+                       static_cast<int64_t>(typed_combined[p].size());
+    }
+    stats.hash_agg_keys += combined_keys;
     // The combined pairs carry their memoized key hashes straight into
     // the scatter: no key is hashed twice anywhere in this operator.
-    DIABLO_ASSIGN_OR_RETURN(shuffled,
-                            ShuffleHashed(combined, shuffle_stage, &bytes,
-                                          &rec, &stats));
+    if (use_typed_shuffle) {
+      DIABLO_ASSIGN_OR_RETURN(typed_shuffled,
+                              ShuffleTyped(typed_combined, shuffle_stage,
+                                           &bytes, &rec, &stats));
+    } else {
+      DIABLO_ASSIGN_OR_RETURN(shuffled,
+                              ShuffleHashed(combined, shuffle_stage, &bytes,
+                                            &rec, &stats));
+    }
   } else {
     std::vector<ValueVec> combined(src.num_partitions());
     WaveSlots combine_slots;
@@ -1148,16 +1597,64 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
         shuffled, ShuffleWave(combined_ds, shuffle_stage, &bytes, &rec,
                               &stats));
   }
-  std::vector<ValueVec> out(shuffled.size());
+  std::vector<int64_t> shuffled_counts;
+  if (use_typed_shuffle) {
+    shuffled_counts.reserve(typed_shuffled.size());
+    for (const TypedRows& t : typed_shuffled) {
+      shuffled_counts.push_back(static_cast<int64_t>(t.size()));
+    }
+  } else {
+    shuffled_counts = RowCounts(shuffled);
+  }
+  std::vector<ValueVec> out(shuffled_counts.size());
+  std::vector<ChainTally> reduce_tallies(shuffled_counts.size());
   WaveSlots reduce_slots;
   reduce_slots.rows = &out;
+  reduce_slots.tallies = &reduce_tallies;
   st = RunTaskWave(
-      label, reduce_stage, RowCounts(shuffled),
+      label, reduce_stage, shuffled_counts,
       [&](int p, int) -> Status {
         out[p].clear();
+        reduce_tallies[p].Reset(0);
+        if (use_typed_shuffle) {
+          // Typed end-to-end: the shuffled arrays fold straight into a
+          // typed accumulator — hash, raw key bits and payload, no
+          // boxed row until the final sorted emit.
+          const TypedRows& t = typed_shuffled[p];
+          TypedReduceAccumulator typed(*native_op, t.size());
+          typed.BeginTyped(t.key_mode, t.payload_mode);
+          const bool ints = t.payload_mode == TypedPayloadMode::kInt64;
+          for (size_t i = 0; i < t.size(); ++i) {
+            typed.AddHashedBits(t.hashes[i], t.key_bits[i],
+                                ints ? t.pay_ints[i] : 0,
+                                ints ? 0.0 : t.pay_doubles[i]);
+          }
+          typed.EmitSortedRows(&out[p]);
+          if (typed.rows() > 0) reduce_tallies[p].columnar_batches += 1;
+          return Status::OK();
+        }
         if (hash_agg) {
           KeyedAccumulator<Value> acc(shuffled[p].size());
-          for (const HashedRow& hr : shuffled[p]) {
+          std::optional<TypedReduceAccumulator> typed;
+          if (try_typed) typed.emplace(*native_op, shuffled[p].size());
+          int64_t boxed_rows = 0;
+          size_t i = 0;
+          if (typed.has_value()) {
+            // The hash crossed the shuffle with the row: trust it.
+            for (; i < shuffled[p].size(); ++i) {
+              const HashedRow& hr = shuffled[p][i];
+              if (!typed->AddHashed(hr.hash, hr.row)) break;
+            }
+            if (i == shuffled[p].size()) {
+              typed->EmitSortedRows(&out[p]);
+              if (typed->rows() > 0) reduce_tallies[p].columnar_batches += 1;
+              return Status::OK();
+            }
+            typed->SpillTo(&acc);
+          }
+          for (; i < shuffled[p].size(); ++i) {
+            const HashedRow& hr = shuffled[p][i];
+            if (try_typed) ++boxed_rows;
             const ValueVec& kv = hr.row.tuple();
             auto ref = acc.FindOrCreate(hr.hash, kv[0]);
             if (ref.inserted) {
@@ -1166,6 +1663,7 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
               DIABLO_ASSIGN_OR_RETURN(ref.payload, fn(ref.payload, kv[1]));
             }
           }
+          reduce_tallies[p].columnar_rows_fallback += boxed_rows;
           acc.SortByKey();
           out[p].reserve(acc.size());
           for (auto& e : acc.entries()) {
@@ -1192,14 +1690,15 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
       },
       &rec, &reduce_slots);
   if (!st.ok()) return st;
+  for (const ChainTally& t : reduce_tallies) t.MergeInto(&stats);
   stats.label = FusedStageLabel(chain, label);
   stats.wide = true;
   stats.map_work = RowCounts(src);
-  stats.reduce_work = RowCounts(shuffled);
+  stats.reduce_work = shuffled_counts;
   stats.shuffle_bytes = bytes;
   stats.partition_rows = RowCounts(out);
   if (hash_agg) {
-    for (int64_t c : RowCounts(shuffled)) stats.hash_agg_rows += c;
+    for (int64_t c : shuffled_counts) stats.hash_agg_rows += c;
     for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
   }
   FinishStage(std::move(stats), rec);
@@ -1271,12 +1770,18 @@ StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
   return Dataset(std::move(out), std::move(lineage));
 }
 
-StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
+StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, const ReduceFn& fn,
                                       const std::string& label) {
-  return ReduceByKey(
+  return ReduceByKeyImpl(in, fn, nullptr, ColumnSchema(), label);
+}
+
+StatusOr<Dataset> Engine::ReduceByKey(const Dataset& in, BinOp op,
+                                      const std::string& label,
+                                      const ColumnSchema& schema) {
+  return ReduceByKeyImpl(
       in,
       [op](const Value& a, const Value& b) { return EvalBinOp(op, a, b); },
-      label);
+      &op, schema, label);
 }
 
 StatusOr<Dataset> Engine::Join(const Dataset& left, const Dataset& right,
@@ -1799,6 +2304,82 @@ StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in,
                 }
                 return Status::OK();
               }));
+        }
+        return Status::OK();
+      },
+      &rec, &reduce_slots);
+  if (!st.ok()) return st;
+  StageStats stats{label, /*wide=*/false, RowCounts(src), {}, 0};
+  stats.fused_ops = static_cast<int64_t>(chain.size());
+  for (const ChainTally& t : tallies) t.MergeInto(&stats);
+  FinishStage(std::move(stats), rec);
+  std::optional<Value> acc;
+  for (auto& part : partials) {
+    if (!part.has_value()) continue;
+    if (!acc.has_value()) {
+      acc = std::move(part);
+    } else {
+      DIABLO_ASSIGN_OR_RETURN(*acc, fn(*acc, *part));
+    }
+  }
+  return acc;
+}
+
+StatusOr<std::optional<Value>> Engine::Reduce(const Dataset& in, BinOp op,
+                                              const std::string& label) {
+  ReduceFn fn = [op](const Value& a, const Value& b) {
+    return EvalBinOp(op, a, b);
+  };
+  if (!config_.columnar || !TypedFold::SupportsOp(op)) {
+    return Reduce(in, fn, label);
+  }
+  ScopedSpan stage_span(trace(), SpanKind::kStage, label);
+  const int stage = NextStageId();
+  stage_span.SetStageId(stage);
+  StageRecovery rec;
+  DIABLO_ASSIGN_OR_RETURN(Dataset src, RecoverInput(in, stage, 0, &rec));
+  const FusedChain& chain = src.chain();
+  // Same shape as the closure Reduce, but each partition's partial folds
+  // with native int64/double arithmetic (TypedFold) in arrival order —
+  // bit-identical to EvalBinOp, including the int->double promotion when
+  // a double appears mid-fold. A row of any other kind converts the
+  // typed partial to a boxed accumulator and continues with EvalBinOp.
+  std::vector<std::optional<Value>> partials(src.num_partitions());
+  std::vector<ChainTally> tallies(src.num_partitions());
+  WaveSlots reduce_slots;
+  reduce_slots.partials = &partials;
+  reduce_slots.tallies = &tallies;
+  Status st = RunTaskWave(
+      label, stage, RowCounts(src),
+      [&](int p, int) -> Status {
+        partials[p].reset();
+        tallies[p].Reset(chain.size());
+        TypedFold fold(op);
+        bool typed_active = true;
+        int64_t boxed_rows = 0;
+        for (const Value& row : src.partition(p)) {
+          DIABLO_RETURN_IF_ERROR(ApplyChain(
+              chain, 0, row, &tallies[p],
+              [&](const Value& v) -> Status {
+                if (typed_active) {
+                  if (fold.Add(v)) return Status::OK();
+                  if (!fold.empty()) partials[p] = fold.Result();
+                  typed_active = false;
+                }
+                ++boxed_rows;
+                if (!partials[p].has_value()) {
+                  partials[p] = v;
+                } else {
+                  DIABLO_ASSIGN_OR_RETURN(*partials[p], fn(*partials[p], v));
+                }
+                return Status::OK();
+              }));
+        }
+        if (typed_active) {
+          if (fold.rows() > 0) tallies[p].columnar_batches += 1;
+          if (!fold.empty()) partials[p] = fold.Result();
+        } else {
+          tallies[p].columnar_rows_fallback += boxed_rows;
         }
         return Status::OK();
       },

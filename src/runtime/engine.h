@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/column_batch.h"
 #include "runtime/dataset.h"
 #include "runtime/fault.h"
 #include "runtime/keyed_accumulator.h"
@@ -66,6 +67,26 @@ struct EngineConfig {
   /// Either way, a failing stage reports the error of the
   /// lowest-indexed failing partition, for every host_threads setting.
   bool persistent_pool = true;
+  /// When true (the default), the hot operators run typed columnar fast
+  /// paths (runtime/column_batch.h): reduceByKey combines through a
+  /// typed accumulator with native int64/double arithmetic and cached
+  /// key hashes, shuffle scatters hash whole key columns at once
+  /// (string keys hash once per distinct dictionary entry), Reduce over
+  /// a built-in operator folds natively, and fully-kernelized fused
+  /// chains execute as column batches. Rows that don't columnarize
+  /// (heterogeneous kinds, non-scalar keys, closure-only operators)
+  /// fall back to the boxed per-row path mid-stream — results are
+  /// byte-identical either way (tests/columnar_test.cc), and
+  /// StageStats::columnar_batches / columnar_rows_fallback make the
+  /// split observable. False restores the pure boxed engine, kept as
+  /// the AB9 ablation baseline. Building with
+  /// -DDIABLO_NO_COLUMNAR_DEFAULT flips the default off (the CI
+  /// boxed-matrix legs).
+#ifdef DIABLO_NO_COLUMNAR_DEFAULT
+  bool columnar = false;
+#else
+  bool columnar = true;
+#endif
   /// Deterministic fault injection and recovery policy (runtime/fault.h).
   /// Off by default: with no fault class enabled the engine skips all
   /// fault bookkeeping and retains no lineage closures.
@@ -229,6 +250,25 @@ class Engine {
   StatusOr<Dataset> Filter(const Dataset& in, const PredFn& pred,
                            const std::string& label = "filter");
 
+  /// Kernel-carrying narrow operators: `row ⊕ operand` (or the pair
+  /// value / a comparison predicate) expressed as a built-in BinOp
+  /// against a constant. Semantically identical to the closure forms —
+  /// EvalBinOp defines the result — but the op is visible to the engine,
+  /// so a fully-kernelized fused chain executes vectorized over column
+  /// batches under EngineConfig::columnar.
+  StatusOr<Dataset> Map(const Dataset& in, BinOp op, const Value& operand,
+                        const std::string& label = "map");
+  StatusOr<Dataset> MapValues(const Dataset& in, BinOp op,
+                              const Value& operand,
+                              const std::string& label = "mapValues");
+  StatusOr<Dataset> Filter(const Dataset& in, BinOp op, const Value& operand,
+                           const std::string& label = "filter");
+  /// Filter on the value of (k,v) pair rows: keeps rows with
+  /// `v ⊕ operand` true. Errors on non-pair rows, like MapValues.
+  StatusOr<Dataset> FilterValues(const Dataset& in, BinOp op,
+                                 const Value& operand,
+                                 const std::string& label = "filter");
+
   /// Narrow: maps every row to a bag of rows and concatenates. Lazy
   /// under fuse_narrow.
   StatusOr<Dataset> FlatMap(const Dataset& in, const FlatMapFn& fn,
@@ -248,9 +288,15 @@ class Engine {
   /// combine before shuffling, like Spark's reduceByKey.
   StatusOr<Dataset> ReduceByKey(const Dataset& in, const ReduceFn& fn,
                                 const std::string& label = "reduceByKey");
-  /// ReduceByKey with a built-in commutative operator.
+  /// ReduceByKey with a built-in commutative operator. Under
+  /// EngineConfig::columnar the combine and reduce sides run through the
+  /// typed accumulator when the op and the observed key/value kinds
+  /// allow it; `schema` is the plan-time hint (kUnknown fields mean
+  /// "detect from the data") that lets the engine skip the typed attempt
+  /// when the planner already knows the value type can't columnarize.
   StatusOr<Dataset> ReduceByKey(const Dataset& in, BinOp op,
-                                const std::string& label = "reduceByKey");
+                                const std::string& label = "reduceByKey",
+                                const ColumnSchema& schema = ColumnSchema());
 
   /// Wide: inner equi-join of (k,a) with (k,b); result rows (k,(a,b)).
   StatusOr<Dataset> Join(const Dataset& left, const Dataset& right,
@@ -282,6 +328,11 @@ class Engine {
 
   /// Action: combines all rows with `fn`; nullopt for an empty dataset.
   StatusOr<std::optional<Value>> Reduce(const Dataset& in, const ReduceFn& fn,
+                                        const std::string& label = "reduce");
+  /// Reduce with a built-in operator: per-partition partials fold with
+  /// native int64/double arithmetic (same arrival order, bit-identical
+  /// results) under EngineConfig::columnar.
+  StatusOr<std::optional<Value>> Reduce(const Dataset& in, BinOp op,
                                         const std::string& label = "reduce");
 
   /// Action: gathers all rows to the driver, in partition order (forcing
@@ -372,6 +423,36 @@ class Engine {
   StatusOr<std::vector<HashedVec>> ShuffleHashed(
       const std::vector<HashedVec>& in, int stage, int64_t* shuffle_bytes,
       StageRecovery* rec, StageStats* stats);
+
+  /// ShuffleHashed without the boxing: scatters typed combine output
+  /// (runtime/column_batch.h TypedRows — cached hashes, raw key bits,
+  /// numeric payloads) straight into per-destination typed arrays. Only
+  /// engaged when every combine partition stayed typed with one
+  /// key/payload shape and no wire format, fault injection or remote
+  /// backend needs boxed rows; byte accounting charges exactly what the
+  /// boxed pair rows would have weighed, so stats match ShuffleHashed.
+  StatusOr<std::vector<TypedRows>> ShuffleTyped(
+      const std::vector<TypedRows>& in, int stage, int64_t* shuffle_bytes,
+      StageRecovery* rec, StageStats* stats);
+
+  /// Columnar Force (EngineConfig::columnar): runs a fully-kernelized
+  /// fused chain as column batches — one unbox per source row, each
+  /// kernel a vector loop over the typed payload, one re-box per
+  /// surviving row. A partition whose rows don't columnarize replays the
+  /// boxed per-row chain (byte-identical by construction) and is counted
+  /// in StageStats::columnar_rows_fallback. Under the distributed
+  /// backend the batches themselves cross the wire (wave_io col_batches
+  /// slot); the driver re-boxes after the wave.
+  StatusOr<Dataset> ForceColumnar(const Dataset& in);
+
+  /// Shared implementation of both ReduceByKey overloads. `native_op`
+  /// is non-null when the reduction is a built-in operator the columnar
+  /// typed accumulator may take over; `fn` is always the semantic truth
+  /// (the fallback, recovery, and ordered paths use it).
+  StatusOr<Dataset> ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
+                                    const BinOp* native_op,
+                                    const ColumnSchema& schema,
+                                    const std::string& label);
 
   /// Merges `rec` into `stats` and records the stage.
   void FinishStage(StageStats stats, const StageRecovery& rec);

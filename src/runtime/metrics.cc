@@ -101,6 +101,18 @@ int64_t Metrics::total_pool_tasks() const {
   return n;
 }
 
+int64_t Metrics::total_columnar_batches() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.columnar_batches;
+  return n;
+}
+
+int64_t Metrics::total_columnar_rows_fallback() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.columnar_rows_fallback;
+  return n;
+}
+
 int64_t Metrics::total_dist_tasks() const {
   int64_t n = 0;
   for (const auto& s : stages_) n += s.dist_tasks;
@@ -168,6 +180,10 @@ std::string Metrics::Report() const {
          << " hash_agg_keys=" << s.hash_agg_keys;
     }
     if (s.pool_tasks > 0) os << " pool_tasks=" << s.pool_tasks;
+    if (s.columnar_batches > 0 || s.columnar_rows_fallback > 0) {
+      os << " columnar_batches=" << s.columnar_batches
+         << " columnar_rows_fallback=" << s.columnar_rows_fallback;
+    }
     if (s.dist_tasks > 0) {
       os << " dist_tasks=" << s.dist_tasks;
       if (s.dist_retries > 0) os << " dist_retries=" << s.dist_retries;

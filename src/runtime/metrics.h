@@ -55,6 +55,16 @@ struct StageStats {
   /// (0 when EngineConfig::persistent_pool is off, host_threads <= 1,
   /// or the waves were too small to parallelize).
   int64_t pool_tasks = 0;
+  /// Columnar-execution accounting (runtime/column_batch.h, under
+  /// EngineConfig::columnar). `columnar_batches` counts partition
+  /// batches this stage executed through a typed columnar fast path
+  /// (typed reduceByKey combine/reduce, vectorized scatter key hashing,
+  /// kernelized fused chains); `columnar_rows_fallback` counts rows that
+  /// bounced back to the boxed per-row path mid-stage (heterogeneous
+  /// kinds, non-scalar keys, uncovered operators). Both 0 when columnar
+  /// execution is off.
+  int64_t columnar_batches = 0;
+  int64_t columnar_rows_fallback = 0;
   /// Multi-process distributed backend accounting (src/dist/). Tasks
   /// dispatched to worker processes, task re-dispatches after a worker
   /// died mid-task, and worker processes lost (heartbeat timeout,
@@ -134,6 +144,10 @@ class Metrics {
   int64_t total_hash_agg_keys() const;
   /// Tasks executed on the persistent worker pool across all stages.
   int64_t total_pool_tasks() const;
+  /// Partition batches run through typed columnar fast paths.
+  int64_t total_columnar_batches() const;
+  /// Rows that fell back from columnar to boxed execution mid-stage.
+  int64_t total_columnar_rows_fallback() const;
   /// Tasks dispatched to distributed worker processes across all stages.
   int64_t total_dist_tasks() const;
   /// Task re-dispatches after real worker deaths across all stages.

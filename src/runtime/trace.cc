@@ -385,7 +385,7 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
     }
     if (s.kind == SpanKind::kRun) run_wall_us += s.dur_us;
   }
-  os << "{\"schema_version\":1,\"program\":\"" << EscapeJson(program)
+  os << "{\"schema_version\":2,\"program\":\"" << EscapeJson(program)
      << "\",\"tracing\":" << (spans.empty() ? "false" : "true")
      << ",\"run_wall_us\":" << FmtDouble(run_wall_us) << ",\"totals\":{"
      << "\"stages\":" << metrics.num_stages()
@@ -401,6 +401,9 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
      << ",\"hash_agg_rows\":" << metrics.total_hash_agg_rows()
      << ",\"hash_agg_keys\":" << metrics.total_hash_agg_keys()
      << ",\"pool_tasks\":" << metrics.total_pool_tasks()
+     << ",\"columnar_batches\":" << metrics.total_columnar_batches()
+     << ",\"columnar_rows_fallback\":"
+     << metrics.total_columnar_rows_fallback()
      << ",\"simulated_seconds\":" << FmtDouble(metrics.SimulatedSeconds(model))
      << ",\"simulated_fault_free_seconds\":"
      << FmtDouble(metrics.SimulatedFaultFreeSeconds(model)) << "},\"stages\":[";
@@ -424,7 +427,10 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
        << ",\"bytes_not_materialized\":" << s.bytes_not_materialized
        << ",\"hash_agg_rows\":" << s.hash_agg_rows
        << ",\"hash_agg_keys\":" << s.hash_agg_keys
-       << ",\"pool_tasks\":" << s.pool_tasks << ",\"partitions\":{\"rows\":";
+       << ",\"pool_tasks\":" << s.pool_tasks
+       << ",\"columnar_batches\":" << s.columnar_batches
+       << ",\"columnar_rows_fallback\":" << s.columnar_rows_fallback
+       << ",\"partitions\":{\"rows\":";
     WriteIntArray(s.partition_rows, os);
     os << ",\"bytes\":";
     WriteIntArray(s.partition_bytes, os);
@@ -510,6 +516,10 @@ void WriteExplainAnalyze(const Metrics& metrics, const ClusterModel& model,
            << " hash_agg_keys=" << stats->hash_agg_keys;
       }
       if (stats->pool_tasks > 0) os << " pool_tasks=" << stats->pool_tasks;
+      if (stats->columnar_batches > 0 || stats->columnar_rows_fallback > 0) {
+        os << " columnar_batches=" << stats->columnar_batches
+           << " columnar_rows_fallback=" << stats->columnar_rows_fallback;
+      }
       os << "\n";
     }
     const TaskTimeStats t = AggregateTaskTimes(spans, span.id);

@@ -132,6 +132,16 @@ StatusOr<std::string> EncodeTaskSlots(const WaveSlots& slots, int task) {
     const ChainTally& tally = (*slots.tallies)[task];
     PutNumVec(tally.rows, &out);
     PutNumVec(tally.sample_bytes, &out);
+    PutWireU64(static_cast<uint64_t>(tally.columnar_batches), &out);
+    PutWireU64(static_cast<uint64_t>(tally.columnar_rows_fallback), &out);
+  } else {
+    out.push_back(kAbsent);
+  }
+  if (slots.col_batches != nullptr) {
+    DIABLO_RETURN_IF_ERROR(
+        CheckTask(task, slots.col_batches->size(), "col_batches"));
+    out.push_back(kPresent);
+    SerializeColumnBatch((*slots.col_batches)[task], &out);
   } else {
     out.push_back(kAbsent);
   }
@@ -224,7 +234,21 @@ Status DecodeTaskSlots(const WaveSlots& slots, int task,
     ChainTally tally;
     DIABLO_ASSIGN_OR_RETURN(tally.rows, GetNumVec(bytes, &offset));
     DIABLO_ASSIGN_OR_RETURN(tally.sample_bytes, GetNumVec(bytes, &offset));
+    DIABLO_ASSIGN_OR_RETURN(uint64_t cb, GetWireU64(bytes, &offset));
+    DIABLO_ASSIGN_OR_RETURN(uint64_t cf, GetWireU64(bytes, &offset));
+    tally.columnar_batches = static_cast<int64_t>(cb);
+    tally.columnar_rows_fallback = static_cast<int64_t>(cf);
     (*slots.tallies)[task] = std::move(tally);
+  }
+  DIABLO_ASSIGN_OR_RETURN(
+      bool has_batch,
+      GetFlag(bytes, &offset, slots.col_batches != nullptr, "col_batches"));
+  if (has_batch) {
+    DIABLO_RETURN_IF_ERROR(
+        CheckTask(task, slots.col_batches->size(), "col_batches"));
+    DIABLO_ASSIGN_OR_RETURN(ColumnBatch batch,
+                            DeserializeColumnBatch(bytes, &offset));
+    (*slots.col_batches)[task] = std::move(batch);
   }
   if (offset != bytes.size()) {
     return Status::RuntimeError("trailing bytes after task-slot payload");

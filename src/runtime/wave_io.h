@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/column_batch.h"
 #include "runtime/keyed_accumulator.h"
 #include "runtime/metrics.h"
 #include "runtime/value.h"
@@ -21,11 +22,19 @@ namespace diablo::runtime {
 struct ChainTally {
   std::vector<int64_t> rows;
   std::vector<int64_t> sample_bytes;
+  /// Columnar accounting for the task (StageStats::columnar_batches /
+  /// columnar_rows_fallback). Carried on the tally because it is
+  /// per-task state that must cross the dist wire with the other
+  /// per-task outputs.
+  int64_t columnar_batches = 0;
+  int64_t columnar_rows_fallback = 0;
 
   /// Restartable: called at the top of every task attempt.
   void Reset(size_t boundaries) {
     rows.assign(boundaries, 0);
     sample_bytes.assign(boundaries, 0);
+    columnar_batches = 0;
+    columnar_rows_fallback = 0;
   }
   void Record(size_t boundary, const Value& v) {
     if (boundary >= rows.size()) return;
@@ -36,6 +45,8 @@ struct ChainTally {
       stats->rows_not_materialized += rows[i];
       stats->bytes_not_materialized += rows[i] * sample_bytes[i];
     }
+    stats->columnar_batches += columnar_batches;
+    stats->columnar_rows_fallback += columnar_rows_fallback;
   }
 };
 
@@ -62,6 +73,10 @@ struct WaveSlots {
   std::vector<std::vector<int64_t>>* num_vecs = nullptr;
   /// Fused-chain materialization tallies per task.
   std::vector<ChainTally>* tallies = nullptr;
+  /// Columnar batch output per task (columnar fused waves under the
+  /// distributed backend ship the batch itself — typed payloads and
+  /// string dictionaries — instead of boxed rows).
+  std::vector<ColumnBatch>* col_batches = nullptr;
 };
 
 /// Encodes every present slot of task `task` as length-prefixed wire

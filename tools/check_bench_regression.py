@@ -3,14 +3,22 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold PCT]
-                              [--prefix NAME]
+                              [--prefix NAME] [--pair FAST,SLOW,MIN_SPEEDUP]
 
 Fails (exit 1) when any benchmark matched by --prefix (default:
 BM_ReduceByKeyHot, the hash-aggregation hot path) is more than
 --threshold percent (default: 20) slower than the committed baseline,
-by real_time per iteration. Benchmarks present on only one side are
-reported but never fail the check — CI machines differ, thresholds
+by real_time per iteration. A gated benchmark present in the baseline
+but missing from the current run is a schema failure (exit 2): dropping
+a hot-path benchmark must not pass the gate. New benchmarks with no
+baseline are reported but never fail — CI machines differ, thresholds
 guard the tracked hot path only.
+
+--pair FAST,SLOW,MIN_SPEEDUP (repeatable) compares two *named*
+benchmarks within the CURRENT run — an ablation pair built with
+different flags (e.g. columnar vs boxed) — and fails (exit 1) unless
+real_time(SLOW) / real_time(FAST) >= MIN_SPEEDUP. Either name missing
+from the current run is a schema failure (exit 2).
 
 Stdlib only; runs on any python3.
 """
@@ -63,8 +71,26 @@ def main():
     parser.add_argument("--prefix", action="append", default=None,
                         help="benchmark name prefix to gate on; repeatable "
                              "(default: BM_ReduceByKeyHot)")
+    parser.add_argument("--pair", action="append", default=[],
+                        metavar="FAST,SLOW,MIN_SPEEDUP",
+                        help="require real_time(SLOW)/real_time(FAST) >= "
+                             "MIN_SPEEDUP in the current run; repeatable")
     args = parser.parse_args()
     prefixes = args.prefix or ["BM_ReduceByKeyHot"]
+
+    pairs = []
+    for spec in args.pair:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            print(f"ERROR: --pair expects FAST,SLOW,MIN_SPEEDUP, got "
+                  f"{spec!r}", file=sys.stderr)
+            return 2
+        try:
+            pairs.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            print(f"ERROR: --pair {spec!r}: MIN_SPEEDUP is not a number",
+                  file=sys.stderr)
+            return 2
 
     try:
         baseline = load_times(args.baseline)
@@ -74,12 +100,16 @@ def main():
         return 2
 
     failures = []
+    missing = []
     checked = 0
     for name, base_ns in sorted(baseline.items()):
         if not any(name.startswith(p) for p in prefixes):
             continue
         if name not in current:
-            print(f"NOTE  {name}: in baseline but not in current run")
+            # A gated benchmark that vanished is a broken gate, not a
+            # pass: the hot path it guarded is now unmeasured.
+            print(f"MISSING {name}: in baseline but not in current run")
+            missing.append(name)
             continue
         checked += 1
         cur_ns = current[name]
@@ -94,7 +124,29 @@ def main():
         if any(name.startswith(p) for p in prefixes) and name not in baseline:
             print(f"NOTE  {name}: new benchmark, no baseline")
 
-    if checked == 0:
+    pair_failures = []
+    for fast, slow, min_speedup in pairs:
+        absent = [n for n in (fast, slow) if n not in current]
+        if absent:
+            print(f"ERROR: --pair benchmark(s) missing from current run: "
+                  f"{', '.join(absent)}", file=sys.stderr)
+            return 2
+        if current[fast] <= 0:
+            print(f"ERROR: --pair: {fast} has non-positive real_time",
+                  file=sys.stderr)
+            return 2
+        speedup = current[slow] / current[fast]
+        verdict = "OK" if speedup >= min_speedup else "FAIL"
+        if verdict == "FAIL":
+            pair_failures.append(f"{fast} vs {slow}")
+        print(f"{verdict:5} {fast} vs {slow}: {speedup:.2f}x "
+              f"(need >= {min_speedup:.2f}x)")
+
+    if missing:
+        print(f"ERROR: {len(missing)} gated benchmark(s) missing from the "
+              f"current run: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if checked == 0 and not pairs:
         print(f"ERROR: no benchmarks matched prefixes {prefixes}",
               file=sys.stderr)
         return 1
@@ -103,8 +155,13 @@ def main():
               f"{args.threshold:.0f}%: {', '.join(failures)}",
               file=sys.stderr)
         return 1
+    if pair_failures:
+        print(f"FAILED: {len(pair_failures)} ablation pair(s) below their "
+              f"minimum speedup: {'; '.join(pair_failures)}",
+              file=sys.stderr)
+        return 1
     print(f"All {checked} gated benchmark(s) within {args.threshold:.0f}% "
-          "of baseline.")
+          f"of baseline; {len(pairs)} ablation pair(s) OK.")
     return 0
 
 

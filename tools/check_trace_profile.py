@@ -6,7 +6,7 @@ Usage:
                            [--require-locations]
 
 Checks the schema contract of runtime/trace.cc:WriteProfileJson
-(schema_version 1): required top-level keys and totals counters, every
+(schema_version 2): required top-level keys and totals counters, every
 stage entry carrying label / location / counters / per-partition
 histograms, and — when tracing was on — task stats whose percentiles
 are ordered (p50 <= p90 <= max), whose skew ratio is max/mean, and
@@ -24,7 +24,8 @@ TOTALS_KEYS = [
     "stages", "wide_stages", "work", "shuffle_bytes", "attempts",
     "recomputed_partitions", "recovery_seconds", "fused_ops",
     "rows_not_materialized", "bytes_not_materialized", "hash_agg_rows",
-    "hash_agg_keys", "pool_tasks", "simulated_seconds",
+    "hash_agg_keys", "pool_tasks", "columnar_batches",
+    "columnar_rows_fallback", "simulated_seconds",
     "simulated_fault_free_seconds",
 ]
 STAGE_KEYS = [
@@ -32,7 +33,8 @@ STAGE_KEYS = [
     "shuffle_bytes", "attempts", "recomputed_partitions",
     "recovery_seconds", "fused_ops", "rows_not_materialized",
     "bytes_not_materialized", "hash_agg_rows", "hash_agg_keys",
-    "pool_tasks", "partitions", "tasks",
+    "pool_tasks", "columnar_batches", "columnar_rows_fallback",
+    "partitions", "tasks",
 ]
 TASK_KEYS = [
     "count", "total_us", "mean_us", "p50_us", "p90_us", "max_us",
@@ -91,8 +93,8 @@ def check_stage(stage, i, require_locations):
 
 
 def check_profile(doc, require_tracing, require_locations):
-    require(doc.get("schema_version") == 1,
-            f"schema_version is {doc.get('schema_version')!r}, want 1")
+    require(doc.get("schema_version") == 2,
+            f"schema_version is {doc.get('schema_version')!r}, want 2")
     for key in ("program", "tracing", "run_wall_us", "totals", "stages"):
         require(key in doc, f"missing top-level key '{key}'")
     if require_tracing:

@@ -25,6 +25,7 @@
 //   --no-hash-agg            ordered-map shuffle aggregation
 //                            (hash_aggregation=0, AB7)
 //   --no-pool                spawn threads per wave (persistent_pool=0)
+//   --no-columnar            boxed per-row execution (columnar=0, AB9)
 //   --partitions N           engine partitions (default 8)
 //   --workers N              simulated cluster workers (default 4)
 //   --threads N              host threads executing partition tasks
@@ -316,6 +317,8 @@ int main(int argc, char** argv) {
       engine_config.hash_aggregation = false;
     } else if (arg == "--no-pool") {
       engine_config.persistent_pool = false;
+    } else if (arg == "--no-columnar") {
+      engine_config.columnar = false;
     } else if (arg == "--partitions") {
       engine_config.num_partitions = std::atoi(next().c_str());
     } else if (arg == "--workers") {
