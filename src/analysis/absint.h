@@ -1,0 +1,121 @@
+#ifndef DIABLO_ANALYSIS_ABSINT_H_
+#define DIABLO_ANALYSIS_ABSINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ast/ast.h"
+
+namespace diablo::analysis {
+
+// ---------------------------------------------------------------------------
+// Abstract interpretation over the loop AST (DESIGN.md §16).
+//
+// One lattice serves three classic domains at once: an integer interval
+// [lo, hi] with ±∞ sentinels subsumes the constant domain (point
+// intervals) and the sign domain (half-lines), so constant propagation
+// and sign reasoning fall out of the same join/widen machinery the plan
+// linter already uses for its emptiness lattice (P104). The walk is
+// flow-sensitive with two-pass widening through loop bodies, and tracks
+// *provable reachability* separately so error diagnostics (D2xx) only
+// fire on statements that are guaranteed to execute — the reference
+// interpreter's lifted semantics make anything downstream of an array
+// read skippable, and a D2xx must never fire on a program the
+// interpreter executes successfully.
+// ---------------------------------------------------------------------------
+
+/// An integer interval with -∞/+∞ encoded as the int64 extremes. The
+/// empty interval (lo > hi) never occurs here: bottom is simply "not an
+/// int" at the AbstractValue layer.
+struct Interval {
+  static constexpr int64_t kNegInf = INT64_MIN;
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  int64_t lo = kNegInf;
+  int64_t hi = kPosInf;
+
+  static Interval Top() { return Interval{}; }
+  static Interval Const(int64_t v) { return Interval{v, v}; }
+  static Interval Of(int64_t lo, int64_t hi) { return Interval{lo, hi}; }
+
+  bool IsConst() const { return lo == hi; }
+  bool IsTop() const { return lo == kNegInf && hi == kPosInf; }
+  /// Sign-domain projections (derived; the interval is the one lattice).
+  bool IsNonNegative() const { return lo >= 0; }
+  bool IsNegative() const { return hi < 0; }
+  bool IsZero() const { return lo == 0 && hi == 0; }
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+
+  bool operator==(const Interval& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+
+  /// "[0,9]", "[0,+inf)", "(-inf,+inf)", "{3}" for constants.
+  std::string ToString() const;
+};
+
+/// Least upper bound. (Suffixed like the arithmetic helpers: the bare
+/// name would collide with the string Join in common/strings.h.)
+Interval JoinI(const Interval& a, const Interval& b);
+/// Standard widening: bounds that grew since `prev` jump to ±∞.
+Interval WidenI(const Interval& prev, const Interval& next);
+/// Saturating interval arithmetic (a bound hitting an extreme stays ∞).
+Interval AddI(const Interval& a, const Interval& b);
+Interval SubI(const Interval& a, const Interval& b);
+Interval MulI(const Interval& a, const Interval& b);
+Interval NegI(const Interval& a);
+Interval MinI(const Interval& a, const Interval& b);
+Interval MaxI(const Interval& a, const Interval& b);
+
+/// The abstract value of a scalar expression: a shape tag plus, for
+/// integers, the interval. kUnknown is bottom-as-top: nothing is claimed.
+struct AbstractValue {
+  enum class Tag { kUnknown, kInt, kDouble, kBool, kString };
+  Tag tag = Tag::kUnknown;
+  Interval range;  // meaningful only when tag == kInt
+
+  static AbstractValue Unknown() { return AbstractValue{}; }
+  static AbstractValue Int(Interval r) {
+    return AbstractValue{Tag::kInt, r};
+  }
+  static AbstractValue OfTag(Tag t) { return AbstractValue{t, {}}; }
+
+  bool operator==(const AbstractValue& o) const {
+    return tag == o.tag && range == o.range;
+  }
+};
+
+struct AbsintOptions {
+  /// Upper bound on concrete witness values searched per free variable
+  /// when materializing a D2xx witness environment (defensive only; the
+  /// witness is normally pinned by the interval itself).
+  int max_witness_candidates = 8;
+};
+
+struct AbsintResult {
+  /// D201 (statically out-of-bounds array write) and D202 (provably-zero
+  /// integer divisor) errors, each with a concrete witness environment.
+  std::vector<Diagnostic> diagnostics;
+  /// Flow-insensitive summary: for every integer scalar (declared
+  /// variables and loop indexes), the join of every value it ever holds,
+  /// after widening. Sound for downstream consumers that cannot match
+  /// program points — plan_lint uses it to bound range-generator
+  /// cardinalities (P201/P202).
+  std::map<std::string, Interval> int_scalars;
+};
+
+/// Runs the interval/constant/sign analysis over `program` (canonicalized
+/// with CanonicalizeIncrements, like LintLoops). Conservative by
+/// construction: a diagnostic is only emitted when the faulting statement
+/// is provably reachable, evaluation provably reaches the faulting
+/// operation (no possibly-absent array read earlier in evaluation order),
+/// and the fault holds for *every* concrete execution.
+AbsintResult AnalyzeProgram(const ast::Program& program,
+                            const AbsintOptions& options = {});
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_ABSINT_H_

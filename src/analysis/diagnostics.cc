@@ -40,6 +40,19 @@ std::string IterationString(
 }  // namespace
 
 std::string Witness::ToString() const {
+  if (kind == "oob-write") {
+    return StrCat("write at ", IterationString(write_iteration),
+                  " touches ", ElementString());
+  }
+  if (kind == "zero-divisor") {
+    return StrCat("divisor ", array, " = 0 at ",
+                  IterationString(write_iteration));
+  }
+  if (kind == "nonassoc") {
+    return StrCat("counterexample ", IterationString(write_iteration),
+                  ": (a ", array, " b) ", array, " c != a ", array,
+                  " (b ", array, " c)");
+  }
   return StrCat(conflict_is_write ? "writes at " : "write at ",
                 IterationString(write_iteration),
                 conflict_is_write ? " and " : " and read at ",
@@ -186,7 +199,13 @@ std::string RenderJson(const Diagnostic& d, const std::string& filename) {
     const Witness& w = *d.witness;
     std::vector<std::string> elem;
     for (int64_t v : w.element) elem.push_back(std::to_string(v));
-    out += StrCat(",\"witness\":{\"array\":\"", JsonEscape(w.array),
+    // The "kind" key appears only for D2xx witnesses, keeping the
+    // classic race-witness object byte-stable for existing consumers.
+    out += StrCat(",\"witness\":{",
+                  w.kind.empty()
+                      ? std::string()
+                      : StrCat("\"kind\":\"", JsonEscape(w.kind), "\","),
+                  "\"array\":\"", JsonEscape(w.array),
                   "\",\"element\":[", Join(elem, ","),
                   "],\"element_string\":\"", JsonEscape(w.ElementString()),
                   "\",\"conflict\":\"", w.conflict_is_write ? "write" : "read",

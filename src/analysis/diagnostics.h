@@ -18,8 +18,12 @@ namespace diablo::analysis {
 //
 //   D0xx  loop-level errors (the program is rejected for distribution)
 //   D1xx  loop-level advisories (accepted, but worth a look)
+//   D2xx  proven semantic errors from abstract interpretation (rejected;
+//         each carries a concrete witness the reference interpreter
+//         confirms)
 //   P0xx  plan-level shuffle statistics (notes)
 //   P1xx  plan-level advisories (missed optimizations / expensive shapes)
+//   P2xx  plan-level cost advisories backed by interval evidence
 //
 // The full catalog with examples lives in docs/diagnostics.md.
 // ---------------------------------------------------------------------------
@@ -37,6 +41,10 @@ inline constexpr char kForInWhile[] = "D007";
 inline constexpr char kShadowedIndex[] = "D101";
 inline constexpr char kNonCommutativeUpdate[] = "D102";
 inline constexpr char kNonAffineRead[] = "D103";
+// Proven semantic errors (abstract interpretation / merge algebra).
+inline constexpr char kOutOfBoundsWrite[] = "D201";
+inline constexpr char kZeroDivisor[] = "D202";
+inline constexpr char kNonAssociativeMerge[] = "D203";
 // Plan-level statistics.
 inline constexpr char kStmtShuffles[] = "P001";
 inline constexpr char kProgramShuffles[] = "P002";
@@ -46,6 +54,9 @@ inline constexpr char kFilterAboveJoin[] = "P102";
 inline constexpr char kMissedFusion[] = "P103";
 inline constexpr char kEmptyMerge[] = "P104";
 inline constexpr char kCartesianProduct[] = "P105";
+// Plan-level cost advisories (interval evidence).
+inline constexpr char kKeyCardinality[] = "P201";
+inline constexpr char kBroadcastJoinHint[] = "P202";
 }  // namespace diag
 
 enum class Severity { kNote, kWarning, kError };
@@ -58,6 +69,14 @@ const char* SeverityName(Severity s);
 /// resolve to the same array element (Definition 3.1 is violated *for a
 /// reason*, and this is the reason).
 struct Witness {
+  /// Witness flavor. Empty for the classic race witness (schema-stable
+  /// with pre-D2xx tools); "oob-write" (D201: write_iteration is the
+  /// faulting environment, element the out-of-bounds subscript),
+  /// "zero-divisor" (D202: array holds the divisor expression text,
+  /// write_iteration the environment under which it evaluates to 0),
+  /// "nonassoc" (D203: array holds the operator name, write_iteration
+  /// binds a,b,c with the counterexample triple).
+  std::string kind;
   /// Root variable both accesses touch.
   std::string array;
   /// Iteration vector of the writing (or incrementing) access: loop index

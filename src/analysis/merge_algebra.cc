@@ -1,0 +1,204 @@
+#include "analysis/merge_algebra.h"
+
+#include <utility>
+
+#include "analysis/lvalues.h"
+#include "analysis/restrictions.h"
+#include "common/strings.h"
+#include "runtime/value.h"
+
+namespace diablo::analysis {
+
+using ast::Expr;
+using ast::Stmt;
+using runtime::BinOp;
+using runtime::Value;
+
+namespace {
+
+std::optional<Value> TryEval(BinOp op, const Value& a, const Value& b) {
+  auto r = runtime::EvalBinOp(op, a, b);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
+}
+
+bool Same(const Value& a, const Value& b) { return a.Compare(b) == 0; }
+
+/// One operand grid for the bounded search. Integers cover enough of the
+/// truncated-division lattice to refute -, /, % (e.g. (4%3)%2 != 4%(3%2));
+/// booleans cover the logical/comparison operators whose integer
+/// applications all type-error.
+std::vector<Value> SearchGrid(bool bools) {
+  std::vector<Value> grid;
+  if (bools) {
+    grid.push_back(Value::MakeBool(false));
+    grid.push_back(Value::MakeBool(true));
+    return grid;
+  }
+  for (int64_t v = -4; v <= 4; ++v) grid.push_back(Value::MakeInt(v));
+  return grid;
+}
+
+int64_t AsWitnessInt(const Value& v) {
+  // Counterexamples are reported as integers; booleans map to 0/1.
+  if (v.is_bool()) return v.AsBool() ? 1 : 0;
+  return v.AsInt();
+}
+
+}  // namespace
+
+OpAlgebra CheckOperatorAlgebra(BinOp op) {
+  OpAlgebra out;
+  out.op = op;
+  // Proof by pattern match: the commutative-monoid table the update
+  // canonicalizer already trusts, plus argmin. Argmin's left bias on
+  // equal scores would look like a commutativity counterexample to the
+  // bounded search, but the language defines ties as left-biased and
+  // the engine folds deterministically in boxed arrival order, so the
+  // monoid holds over the quotient that matters (distinct scores).
+  if (runtime::IsCommutativeMonoid(op) || op == BinOp::kArgmin) {
+    out.associative = AlgebraVerdict::kProven;
+    out.commutative = AlgebraVerdict::kProven;
+    return out;
+  }
+  for (bool bools : {false, true}) {
+    std::vector<Value> grid = SearchGrid(bools);
+    // Associativity: (a op b) op c vs a op (b op c); triples where either
+    // side errors (type mismatch, division by zero) are skipped — the
+    // law is only claimed over defined applications.
+    if (out.associative != AlgebraVerdict::kRefuted) {
+      for (const Value& a : grid) {
+        for (const Value& b : grid) {
+          for (const Value& c : grid) {
+            auto ab = TryEval(op, a, b);
+            if (!ab.has_value()) continue;
+            auto l = TryEval(op, *ab, c);
+            auto bc = TryEval(op, b, c);
+            if (!l.has_value() || !bc.has_value()) continue;
+            auto r = TryEval(op, a, *bc);
+            if (!r.has_value()) continue;
+            if (!Same(*l, *r)) {
+              out.associative = AlgebraVerdict::kRefuted;
+              out.assoc_counterexample = {AsWitnessInt(a), AsWitnessInt(b),
+                                          AsWitnessInt(c)};
+              break;
+            }
+          }
+          if (out.associative == AlgebraVerdict::kRefuted) break;
+        }
+        if (out.associative == AlgebraVerdict::kRefuted) break;
+      }
+    }
+    if (out.commutative != AlgebraVerdict::kRefuted) {
+      for (const Value& a : grid) {
+        for (const Value& b : grid) {
+          auto l = TryEval(op, a, b);
+          auto r = TryEval(op, b, a);
+          if (!l.has_value() || !r.has_value()) continue;
+          if (!Same(*l, *r)) {
+            out.commutative = AlgebraVerdict::kRefuted;
+            out.comm_counterexample = {AsWitnessInt(a), AsWitnessInt(b)};
+            break;
+          }
+        }
+        if (out.commutative == AlgebraVerdict::kRefuted) break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WalkForMerges(const Stmt& s, bool inside_for,
+                   std::vector<Diagnostic>* out) {
+  if (s.is<Stmt::Assign>() && inside_for) {
+    const auto& node = s.as<Stmt::Assign>();
+    if (!node.value->is<Expr::Bin>()) return;
+    const auto& bin = node.value->as<Expr::Bin>();
+    auto matches = [&](const ast::ExprPtr& side) {
+      return side->is<Expr::LVal>() &&
+             LValueEquals(side->as<Expr::LVal>().lvalue, node.dest);
+    };
+    if (!matches(bin.lhs) && !matches(bin.rhs)) return;
+    // A self-update surviving CanonicalizeIncrements has a non-monoid
+    // operator; decide whether that is provable rather than guessed.
+    OpAlgebra alg = CheckOperatorAlgebra(bin.op);
+    const char* name = runtime::BinOpName(bin.op);
+    if (alg.associative == AlgebraVerdict::kRefuted) {
+      const auto& [a, b, c] = *alg.assoc_counterexample;
+      Witness w;
+      w.kind = "nonassoc";
+      w.array = name;
+      w.write_iteration = {{"a", a}, {"b", b}, {"c", c}};
+      out->push_back(Diagnostic{
+          diag::kNonAssociativeMerge, Severity::kError, s.loc,
+          StrCat("self-update of ", node.dest->ToString(),
+                 " merges with '", name,
+                 "', which is not associative: the parallel reduction "
+                 "this loop translates to would be order-dependent"),
+          "rewrite the accumulation with an associative, commutative "
+          "operator (+, *, min, max, &&, ||) or hoist the update out "
+          "of the parallel loop",
+          Witness(w)});
+      return;
+    }
+    if (alg.commutative == AlgebraVerdict::kRefuted) {
+      const auto& [a, b] = *alg.comm_counterexample;
+      Witness w;
+      w.kind = "nonassoc";
+      w.array = name;
+      w.write_iteration = {{"a", a}, {"b", b}};
+      out->push_back(Diagnostic{
+          diag::kNonAssociativeMerge, Severity::kError, s.loc,
+          StrCat("self-update of ", node.dest->ToString(),
+                 " merges with '", name,
+                 "', which is not commutative: partitions combine in an "
+                 "unspecified order"),
+          "rewrite the accumulation with an associative, commutative "
+          "operator (+, *, min, max, &&, ||) or hoist the update out "
+          "of the parallel loop",
+          Witness(w)});
+    }
+    return;
+  }
+  if (s.is<Stmt::ForRange>() || s.is<Stmt::ForEach>()) {
+    const Stmt& body = s.is<Stmt::ForRange>() ? *s.as<Stmt::ForRange>().body
+                                              : *s.as<Stmt::ForEach>().body;
+    // For-loops containing a while run sequentially on the driver
+    // (restrictions.cc), so their merges never feed a reduceByKey.
+    bool parallel = !ContainsWhile(s);
+    WalkForMerges(body, inside_for || parallel, out);
+    return;
+  }
+  if (s.is<Stmt::While>()) {
+    WalkForMerges(*s.as<Stmt::While>().body, inside_for, out);
+    return;
+  }
+  if (s.is<Stmt::If>()) {
+    const auto& node = s.as<Stmt::If>();
+    WalkForMerges(*node.then_branch, inside_for, out);
+    if (node.else_branch != nullptr) {
+      WalkForMerges(*node.else_branch, inside_for, out);
+    }
+    return;
+  }
+  if (s.is<Stmt::Block>()) {
+    for (const auto& child : s.as<Stmt::Block>().stmts) {
+      WalkForMerges(*child, inside_for, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintMergeOperators(const ast::Program& program) {
+  std::vector<Diagnostic> out;
+  for (const auto& s : program.stmts) {
+    WalkForMerges(*s, /*inside_for=*/false, &out);
+  }
+  SortAndDedupe(&out);
+  return out;
+}
+
+}  // namespace diablo::analysis

@@ -1,0 +1,75 @@
+#ifndef DIABLO_ANALYSIS_MERGE_ALGEBRA_H_
+#define DIABLO_ANALYSIS_MERGE_ALGEBRA_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ast/ast.h"
+#include "runtime/operators.h"
+
+namespace diablo::analysis {
+
+// ---------------------------------------------------------------------------
+// Algebraic checking of merge/combine operators (DESIGN.md §16).
+//
+// The paper's translation of an incremental update `d ⊕= e` into a
+// reduceByKey is only correct when ⊕ is associative and commutative.
+// This module decides both properties for the operators the language can
+// put in merge position: a proven-monoid table for the operators whose
+// algebra is known by construction (pattern matching on +/*/min/max and
+// the boolean/argmin monoids), and a bounded symbolic counterexample
+// search over small operand grids for the rest. A refutation always
+// carries the concrete counterexample triple/pair, which tests replay
+// through runtime::EvalBinOp (the same evaluator the reference
+// interpreter uses) — the merge-algebra analogue of loop_lint's
+// interpreter-confirmed race witnesses.
+// ---------------------------------------------------------------------------
+
+/// The outcome of deciding one algebraic law for one operator.
+enum class AlgebraVerdict {
+  /// Known monoid by construction (proof by pattern match).
+  kProven,
+  /// A concrete counterexample exists (attached).
+  kRefuted,
+  /// The bounded search found no counterexample but cannot prove the law
+  /// (never the case for the operators the parser can produce; kept for
+  /// forward compatibility).
+  kUnknown,
+};
+
+struct OpAlgebra {
+  runtime::BinOp op;
+  AlgebraVerdict associative = AlgebraVerdict::kUnknown;
+  AlgebraVerdict commutative = AlgebraVerdict::kUnknown;
+  /// When associative == kRefuted: integers a,b,c with
+  /// (a op b) op c != a op (b op c).
+  std::optional<std::array<int64_t, 3>> assoc_counterexample;
+  /// When commutative == kRefuted: integers a,b with a op b != b op a.
+  std::optional<std::array<int64_t, 2>> comm_counterexample;
+
+  bool IsProvenMonoid() const {
+    return associative == AlgebraVerdict::kProven &&
+           commutative == AlgebraVerdict::kProven;
+  }
+};
+
+/// Decides associativity and commutativity of `op` as described above.
+/// Deterministic; the bounded search scans operands in a fixed order so
+/// the reported counterexample is stable.
+OpAlgebra CheckOperatorAlgebra(runtime::BinOp op);
+
+/// Walks a canonicalized program for self-updates `d := d ⊖ e` (or
+/// `d := e ⊖ d`) in parallel for-bodies whose operator ⊖ is a *refuted*
+/// monoid, and emits D203 errors with the counterexample witness. These
+/// are the merges the translation would feed to reduceByKey; a
+/// non-associative ⊖ makes the parallel fold order-dependent, so the
+/// program is rejected rather than silently miscompiled. Operators the
+/// search cannot refute stay at the D102 warning loop_lint already
+/// raises.
+std::vector<Diagnostic> LintMergeOperators(const ast::Program& program);
+
+}  // namespace diablo::analysis
+
+#endif  // DIABLO_ANALYSIS_MERGE_ALGEBRA_H_

@@ -29,10 +29,33 @@ struct WideStage {
   std::string label;
   /// Row width (slots) at the shuffle, for the ~bytes/row estimate.
   int row_slots = 0;
+  /// Estimated serialized bytes per shuffled row. Typed stages
+  /// (reduceByKey with an inferred ColumnSchema) use the real column
+  /// widths; everything else prices row_slots at --bytes-per-slot.
+  int64_t row_bytes = 0;
 };
+
+/// Row-count upper bounds; kUnboundedRows = no static bound.
+constexpr int64_t kUnboundedRows = Interval::kPosInf;
+
+int64_t MulRows(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  if (a > kUnboundedRows / b) return kUnboundedRows;
+  return a * b;
+}
+
+int64_t AddRows(int64_t a, int64_t b) {
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  if (a > kUnboundedRows - b) return kUnboundedRows;
+  return a + b;
+}
 
 struct ExprFacts {
   std::vector<WideStage> stages;
+  /// Upper bound on the rows of an array-valued expression (merge,
+  /// comprehension, array variable); kUnboundedRows when unknown.
+  int64_t max_rows = kUnboundedRows;
 };
 
 /// Three-value emptiness for the P104 (merge into empty array) advisory.
@@ -187,6 +210,89 @@ class PlanLinter {
     return it == empties_.end() ? Emptiness::kUnknown : it->second;
   }
 
+  // ---- interval-backed cost evidence (P201/P202) ----
+
+  /// Serialized bytes of one column of tag `t`: the width the engine
+  /// charges per typed entry, or --bytes-per-slot for boxed/unknown.
+  int64_t ColumnWidth(runtime::ColumnTag t) const {
+    switch (t) {
+      case runtime::ColumnTag::kBool:
+        return 1;
+      case runtime::ColumnTag::kInt64:
+      case runtime::ColumnTag::kDouble:
+        return 8;
+      default:
+        return options_.bytes_per_slot;
+    }
+  }
+
+  /// Bytes of one (key, value) pair row under `schema`: a 4-byte kind
+  /// header plus both column widths — exactly Value::SerializedBytes of
+  /// the boxed pair row, which is also what TypedRows::EntryBytes
+  /// charges for typed shuffles.
+  int64_t PairRowBytes(const runtime::ColumnSchema& schema) const {
+    return 4 + ColumnWidth(schema.key) + ColumnWidth(schema.value);
+  }
+
+  /// Interval of an integer-valued comprehension expression under the
+  /// absint scalar facts. Top when no facts were supplied or the
+  /// expression reads anything the abstract interpreter cannot bound.
+  Interval EvalCExprInterval(const CExprPtr& e) const {
+    if (e == nullptr) return Interval::Top();
+    if (e->is<CExpr::IntConst>()) {
+      return Interval::Const(e->as<CExpr::IntConst>().value);
+    }
+    if (e->is<CExpr::Var>()) {
+      if (options_.int_scalars == nullptr) return Interval::Top();
+      auto it = options_.int_scalars->find(e->as<CExpr::Var>().name);
+      return it == options_.int_scalars->end() ? Interval::Top()
+                                               : it->second;
+    }
+    if (e->is<CExpr::Un>()) {
+      const auto& un = e->as<CExpr::Un>();
+      if (un.op == runtime::UnOp::kNeg) {
+        return NegI(EvalCExprInterval(un.operand));
+      }
+      return Interval::Top();
+    }
+    if (e->is<CExpr::Bin>()) {
+      const auto& bin = e->as<CExpr::Bin>();
+      Interval l = EvalCExprInterval(bin.lhs);
+      Interval r = EvalCExprInterval(bin.rhs);
+      switch (bin.op) {
+        case runtime::BinOp::kAdd:
+          return AddI(l, r);
+        case runtime::BinOp::kSub:
+          return SubI(l, r);
+        case runtime::BinOp::kMul:
+          return MulI(l, r);
+        case runtime::BinOp::kMin:
+          return MinI(l, r);
+        case runtime::BinOp::kMax:
+          return MaxI(l, r);
+        default:
+          return Interval::Top();
+      }
+    }
+    return Interval::Top();
+  }
+
+  /// Upper bound on the rows a range generator [lo, hi] produces.
+  int64_t RangeRowBound(const CExprPtr& lo, const CExprPtr& hi) const {
+    Interval l = EvalCExprInterval(lo);
+    Interval h = EvalCExprInterval(hi);
+    if (l.lo == Interval::kNegInf || h.hi == Interval::kPosInf) {
+      return kUnboundedRows;
+    }
+    int64_t n = h.hi - l.lo + 1;
+    return n < 0 ? 0 : n;
+  }
+
+  int64_t ArrayRowBound(const std::string& var) const {
+    auto it = array_rows_.find(var);
+    return it == array_rows_.end() ? kUnboundedRows : it->second;
+  }
+
   void WalkStmts(const std::vector<TargetStmtPtr>& stmts) {
     for (const auto& s : stmts) {
       if (s->is<TargetStmt::Declare>()) {
@@ -194,8 +300,10 @@ class PlanLinter {
         empties_[d.var] = (d.is_array && d.init == nullptr)
                               ? Emptiness::kEmpty
                               : Emptiness::kNonEmpty;
+        if (d.is_array && d.init == nullptr) array_rows_[d.var] = 0;
         if (d.init != nullptr) {
           ExprFacts facts = AnalyzeExpr(d.init, s->loc);
+          if (d.is_array) array_rows_[d.var] = facts.max_rows;
           Report(StrCat("initializer of '", d.var, "'"), facts, s->loc);
         }
         continue;
@@ -205,6 +313,7 @@ class PlanLinter {
         ExprFacts facts = AnalyzeExpr(a.value, s->loc);
         Report(StrCat("assignment to '", a.var, "'"), facts, s->loc);
         if (a.is_array) {
+          array_rows_[a.var] = facts.max_rows;
           // Producer bookkeeping for P103: narrow when the update's
           // comprehensions shuffled nothing (the only wide stage is the
           // merge itself, or none at all).
@@ -228,6 +337,9 @@ class PlanLinter {
         CollectAssignedVars(w.body, &assigned);
         for (const std::string& v : assigned) {
           empties_[v] = Emptiness::kUnknown;
+          // Row bounds widen the same way: a body assignment may grow
+          // the array on every iteration.
+          array_rows_[v] = kUnboundedRows;
         }
         WalkStmts(w.body);
         continue;
@@ -243,9 +355,10 @@ class PlanLinter {
     if (facts.stages.empty()) return;
     std::vector<std::string> parts;
     for (const WideStage& w : facts.stages) {
-      parts.push_back(StrCat(w.label, " (~",
-                             w.row_slots * options_.bytes_per_slot,
-                             " B/row)"));
+      int64_t bytes = w.row_bytes > 0
+                          ? w.row_bytes
+                          : w.row_slots * options_.bytes_per_slot;
+      parts.push_back(StrCat(w.label, " (~", bytes, " B/row)"));
     }
     Emit(diag::kStmtShuffles, Severity::kNote, loc,
          StrCat(what, " runs ", facts.stages.size(), " wide stage(s): ",
@@ -269,8 +382,11 @@ class PlanLinter {
     if (e == nullptr) return;
     if (e->is<CExpr::Merge>()) {
       const auto& m = e->as<CExpr::Merge>();
-      AnalyzeExprInto(m.left, loc, facts);
-      AnalyzeExprInto(m.right, loc, facts);
+      ExprFacts left = AnalyzeExpr(m.left, loc);
+      ExprFacts right = AnalyzeExpr(m.right, loc);
+      Append(facts, left);
+      Append(facts, right);
+      facts->max_rows = AddRows(left.max_rows, right.max_rows);
       std::string left_var;
       if (m.left != nullptr && m.left->is<CExpr::Var>()) {
         left_var = m.left->as<CExpr::Var>().name;
@@ -289,6 +405,10 @@ class PlanLinter {
     }
     if (e->is<CExpr::Nested>()) {
       AnalyzeComp(e->as<CExpr::Nested>().comp, loc, facts);
+      return;
+    }
+    if (e->is<CExpr::Var>()) {
+      facts->max_rows = ArrayRowBound(e->as<CExpr::Var>().name);
       return;
     }
     if (e->is<CExpr::Reduce>()) {
@@ -359,6 +479,10 @@ class PlanLinter {
       return;
     }
     const CompPlan& plan = planned.value();
+    // Upper bound on the rows flowing through the pipeline at the
+    // current operator, from range-generator intervals and producer
+    // array bounds. kUnboundedRows whenever anything is unknown.
+    int64_t rows = 1;
     for (size_t i = 0; i < plan.ops.size(); ++i) {
       const StreamOp& op = plan.ops[i];
       int slots = static_cast<int>(op.schema_after.size());
@@ -366,13 +490,31 @@ class PlanLinter {
         case StreamOp::Kind::kSourceArray:
           scan_consumers_[op.array] += 1;
           consumer_loc_[op.array] = loc;
+          rows = MulRows(rows, ArrayRowBound(op.array));
           break;
         case StreamOp::Kind::kJoinArray:
           other_consumers_[op.array] += 1;
           if (!plan.driver_only) {
             facts->stages.push_back(
                 WideStage{StrCat("join[", op.array, "]"), slots});
+            // P202: the built side is provably small — the runtime
+            // planner would broadcast it instead of shuffling both
+            // sides, and the static evidence says so ahead of any run.
+            int64_t side = ArrayRowBound(op.array);
+            if (side != kUnboundedRows &&
+                side <= options_.broadcast_hint_max_rows) {
+              Emit(diag::kBroadcastJoinHint, Severity::kWarning, loc,
+                   StrCat("join over '", op.array,
+                          "' shuffles both sides, but '", op.array,
+                          "' is bounded by ", side,
+                          " row(s) (interval evidence): a broadcast join "
+                          "would keep the large side narrow"),
+                   "run with an engine broadcast threshold of at least "
+                   "the built side's bytes so the planner replicates "
+                   "the small array instead of shuffling the stream");
+            }
           }
+          rows = MulRows(rows, ArrayRowBound(op.array));
           break;
         case StreamOp::Kind::kBroadcastJoinArray:
           other_consumers_[op.array] += 1;
@@ -380,9 +522,11 @@ class PlanLinter {
             facts->stages.push_back(
                 WideStage{StrCat("broadcastJoin[", op.array, "]"), slots});
           }
+          rows = MulRows(rows, ArrayRowBound(op.array));
           break;
         case StreamOp::Kind::kCartesianArray:
           other_consumers_[op.array] += 1;
+          rows = MulRows(rows, ArrayRowBound(op.array));
           if (!plan.driver_only) {
             facts->stages.push_back(
                 WideStage{StrCat("cartesian[", op.array, "]"), slots});
@@ -419,7 +563,21 @@ class PlanLinter {
         }
         case StreamOp::Kind::kReduceByKey:
           if (!plan.driver_only) {
-            facts->stages.push_back(WideStage{"reduceByKey", slots});
+            // Typed byte estimate: the inferred ColumnSchema prices the
+            // shuffled (key, value) rows at their real widths.
+            int64_t row_bytes = PairRowBytes(op.schema);
+            facts->stages.push_back(
+                WideStage{"reduceByKey", slots, row_bytes});
+            // P201: the key cardinality (and so the combined rows that
+            // cross this shuffle) is interval-bounded upstream.
+            if (rows != kUnboundedRows) {
+              Emit(diag::kKeyCardinality, Severity::kNote, loc,
+                   StrCat("reduceByKey key cardinality is bounded by ",
+                          rows, " (range-generator interval evidence); "
+                          "at most ~", MulRows(rows, row_bytes),
+                          " B cross this shuffle"),
+                   "");
+            }
           }
           break;
         case StreamOp::Kind::kFilter: {
@@ -466,7 +624,19 @@ class PlanLinter {
           break;
         }
         case StreamOp::Kind::kSourceRange:
+          rows = MulRows(rows, RangeRowBound(op.expr, op.expr2));
+          break;
         case StreamOp::Kind::kIterateBag:
+          // A flatMap over an explicit range(lo,hi) domain (the planner's
+          // form for inner range loops) is as bounded as a source range;
+          // any other bag expression is unknown.
+          if (op.expr != nullptr && op.expr->is<comp::CExpr::Range>()) {
+            const auto& r = op.expr->as<comp::CExpr::Range>();
+            rows = MulRows(rows, RangeRowBound(r.lo, r.hi));
+          } else {
+            rows = kUnboundedRows;
+          }
+          break;
         case StreamOp::Kind::kLet:
           break;
       }
@@ -479,6 +649,7 @@ class PlanLinter {
       AnalyzeExprInto(op.reduce_value, loc, facts);
     }
     AnalyzeExprInto(plan.head, loc, facts);
+    facts->max_rows = rows;
   }
 
   struct Producer {
@@ -494,6 +665,8 @@ class PlanLinter {
   std::vector<Diagnostic> diags_;
   int total_wide_ = 0;
   std::map<std::string, Emptiness> empties_;
+  /// Static row-count upper bounds for arrays (kUnboundedRows = unknown).
+  std::map<std::string, int64_t> array_rows_;
   std::map<std::string, Producer> producers_;
   std::map<std::string, int> scan_consumers_;
   std::map<std::string, int> other_consumers_;

@@ -1,10 +1,13 @@
 #ifndef DIABLO_ANALYSIS_PLAN_LINT_H_
 #define DIABLO_ANALYSIS_PLAN_LINT_H_
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/diagnostics.h"
 #include "comp/comp.h"
 
@@ -13,8 +16,19 @@ namespace diablo::analysis {
 /// Options of the plan-level shuffle analyzer.
 struct PlanLintOptions {
   /// Estimated serialized bytes per environment-row slot, used for the
-  /// ~bytes/row figures in P001 notes.
+  /// ~bytes/row figures in P001 notes when no column schema is inferred.
+  /// Stages with a typed ColumnSchema (reduceByKey) are estimated from
+  /// the actual type widths instead, matching what the engine charges
+  /// per shuffled entry; this value only prices boxed/unknown columns.
   int bytes_per_slot = 16;
+  /// Interval facts for integer scalars from the abstract interpreter
+  /// (AnalyzeProgram().int_scalars), keyed by source variable name.
+  /// Optional; when present, range-generator cardinalities become
+  /// interval-bounded and P201/P202 advisories fire.
+  const std::map<std::string, Interval>* int_scalars = nullptr;
+  /// P202 threshold: a join side whose row-count upper bound is at most
+  /// this many rows is flagged as broadcastable.
+  int64_t broadcast_hint_max_rows = 4096;
 };
 
 struct PlanLintResult {

@@ -1,7 +1,9 @@
 #include "analysis/restrictions.h"
 
+#include "analysis/absint.h"
 #include "analysis/loop_lint.h"
 #include "analysis/lvalues.h"
+#include "analysis/merge_algebra.h"
 #include "common/strings.h"
 
 namespace diablo::analysis {
@@ -115,7 +117,18 @@ RestrictionReport CheckProgram(const ast::Program& program) {
   // The report keeps only the error-severity subset as plain messages,
   // already sorted by source location and deduplicated.
   RestrictionReport report;
-  for (const Diagnostic& d : LintLoops(program)) {
+  std::vector<Diagnostic> diags = LintLoops(program);
+  // Proven semantic errors (D2xx): statically out-of-bounds writes and
+  // zero divisors from the abstract interpreter, non-associative merges
+  // from the algebra checker. Each carries a concrete witness.
+  for (Diagnostic& d : AnalyzeProgram(program).diagnostics) {
+    diags.push_back(std::move(d));
+  }
+  for (Diagnostic& d : LintMergeOperators(program)) {
+    diags.push_back(std::move(d));
+  }
+  SortAndDedupe(&diags);
+  for (const Diagnostic& d : diags) {
     if (d.severity != Severity::kError) continue;
     report.ok = false;
     report.violations.push_back({d.message, d.loc});

@@ -270,11 +270,38 @@ StatusOr<ReferenceInterpreter::ResolvedDest> ReferenceInterpreter::ResolveDest(
 
 // ----------------------------- statements ---------------------------------
 
+namespace {
+
+/// Dense (declared vector/matrix) arrays reject writes at negative
+/// integer subscripts — the out-of-bounds fault the abstract interpreter
+/// proves statically as D201. Reads of such elements stay absent.
+Status CheckDenseWrite(bool dense, const LValue& dest, const Value& key) {
+  if (!dense) return Status::OK();
+  auto check_one = [&](const Value& k) {
+    if (k.is_int() && k.AsInt() < 0) {
+      return Status::RuntimeError(
+          StrCat("out-of-bounds write to dense array '", dest.RootName(),
+                 "': subscript ", k.AsInt(), " is negative"));
+    }
+    return Status::OK();
+  };
+  if (key.is_tuple()) {
+    for (const Value& k : key.tuple()) {
+      DIABLO_RETURN_IF_ERROR(check_one(k));
+    }
+    return Status::OK();
+  }
+  return check_one(key);
+}
+
+}  // namespace
+
 Status ReferenceInterpreter::ExecAssign(const LValue& dest, const Value& v) {
   DIABLO_ASSIGN_OR_RETURN(ResolvedDest rd, ResolveDest(dest));
   if (!rd.index_present) return Status::OK();  // lifted: no destination
   if (rd.indexed) {
     if (rd.field_path.empty()) {
+      DIABLO_RETURN_IF_ERROR(CheckDenseWrite(rd.var->dense, dest, rd.key));
       rd.var->array.elems.insert_or_assign(rd.key, v);
       return Status::OK();
     }
@@ -317,6 +344,7 @@ Status ReferenceInterpreter::ExecIncr(const LValue& dest, BinOp op,
   if (rd.indexed) {
     auto it = rd.var->array.elems.find(rd.key);
     if (rd.field_path.empty()) {
+      DIABLO_RETURN_IF_ERROR(CheckDenseWrite(rd.var->dense, dest, rd.key));
       if (it == rd.var->array.elems.end()) {
         // Missing element: start from the monoid identity.
         DIABLO_ASSIGN_OR_RETURN(
@@ -374,6 +402,8 @@ Status ReferenceInterpreter::ExecStmt(const Stmt& s) {
     Variable& var = VarSlot(node.name);
     if (node.type != nullptr && node.type->IsCollection()) {
       var.is_array = true;
+      var.dense =
+          node.type->name == "vector" || node.type->name == "matrix";
       var.array.elems.clear();
       // A collection initializer (vector()/map()/...) means "empty".
       return Status::OK();

@@ -59,6 +59,10 @@ class ReferenceInterpreter {
   /// Either a scalar or an array; arrays are mutable in place.
   struct Variable {
     bool is_array = false;
+    /// Declared vector/matrix: dense index semantics. Writing a negative
+    /// integer subscript is out of bounds (maps/bags keep arbitrary
+    /// keys). Reads of absent elements stay lifted no-ops either way.
+    bool dense = false;
     ScalarVar scalar;
     ArrayVar array;
   };

@@ -96,11 +96,20 @@ void AnnotatePlanSchemas(CompPlan* plan) {
         // range(lo, hi) binds an int64 counter.
         if (!op.pattern.is_tuple) env[op.pattern.var] = ColumnTag::kInt64;
         break;
+      case StreamOp::Kind::kIterateBag:
+        // A flatMap over an explicit range(lo,hi) domain binds an int64
+        // counter, exactly like kSourceRange (the planner's form for
+        // inner range loops).
+        if (op.expr != nullptr && op.expr->is<CExpr::Range>() &&
+            !op.pattern.is_tuple) {
+          env[op.pattern.var] = ColumnTag::kInt64;
+          break;
+        }
+        [[fallthrough]];
       case StreamOp::Kind::kSourceArray:
       case StreamOp::Kind::kJoinArray:
       case StreamOp::Kind::kBroadcastJoinArray:
       case StreamOp::Kind::kCartesianArray:
-      case StreamOp::Kind::kIterateBag:
         // Element types come from runtime data: bind the pattern's
         // variables as unknown (overwriting any shadowed binding).
         for (const std::string& v : op.pattern.Vars()) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/diagnostics.h"
 #include "analysis/loop_lint.h"
 #include "analysis/plan_lint.h"
@@ -499,6 +500,108 @@ TEST(PlanLint, MissedFusionAdvisory) {
   const Diagnostic* d = FindCode(lint.diagnostics, diag::kMissedFusion);
   ASSERT_NE(d, nullptr);
   EXPECT_NE(d->message.find("'T'"), std::string::npos);
+}
+
+// --------------------- interval-backed cost advisories ---------------------
+
+TEST(PlanLint, TypedShuffleBytesMatchEngineRun) {
+  // The reduceByKey rows here are int-keyed int pairs, so the typed byte
+  // model prices each at 4 (pair tag) + 8 (key) + 8 (value) = 20 B —
+  // not the flat bytes_per_slot guess — and the two range generators
+  // bound the key cardinality at 100. Every key is distinct, so the
+  // map-side combine collapses nothing and the engine must report
+  // exactly the predicted bytes across its reduceByKey shuffle.
+  const std::string src =
+      "var C: map[int,int] = map();\n"
+      "for i = 0, 9 do\n"
+      "  for j = 0, 9 do\n"
+      "    C[i * 10 + j] += 1;\n";
+  PlanLintResult lint = PlanLintSource(src);
+  const Diagnostic* card = FindCode(lint.diagnostics, diag::kKeyCardinality);
+  ASSERT_NE(card, nullptr);
+  EXPECT_EQ(card->severity, Severity::kNote);
+  EXPECT_NE(card->message.find("bounded by 100"), std::string::npos)
+      << card->message;
+  EXPECT_NE(card->message.find("~2000 B"), std::string::npos)
+      << card->message;
+
+  runtime::Engine engine;
+  auto run = CompileAndRun(src, &engine, {});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  int64_t engine_bytes = 0;
+  for (const auto& stage : engine.metrics().stages()) {
+    if (stage.label.find("reduceByKey") != std::string::npos) {
+      engine_bytes += stage.shuffle_bytes;
+    }
+  }
+  EXPECT_EQ(engine_bytes, 2000);
+}
+
+TEST(PlanLint, BroadcastJoinHintOnProvablySmallSide) {
+  // W is provably at most 8 rows (constant range bounds), so the join
+  // in the S loop gets the P202 broadcast hint; the merge targets do
+  // not (they are coGroups, not joins).
+  PlanLintResult lint = PlanLintSource(
+      "var W: vector[double] = vector();\n"
+      "for i = 0, 7 do\n"
+      "  W[i] := 0.5 * i;\n"
+      "var S: vector[double] = vector();\n"
+      "for i = 0, 7 do\n"
+      "  S[i] += V[i] * W[i];\n");
+  const Diagnostic* hint = FindCode(lint.diagnostics,
+                                    diag::kBroadcastJoinHint);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_EQ(hint->severity, Severity::kWarning);
+  EXPECT_NE(hint->message.find("'W'"), std::string::npos);
+  EXPECT_NE(hint->message.find("8 row"), std::string::npos);
+}
+
+TEST(PlanLint, NoBroadcastHintWithoutRowBound) {
+  // V is a host input with no static bound: both join sides are
+  // unbounded, so no hint.
+  PlanLintResult lint = PlanLintSource(
+      "var S: vector[double] = vector();\n"
+      "for i = 0, 7 do\n"
+      "  S[i] += V[i] * W[i];\n");
+  EXPECT_FALSE(HasCode(lint.diagnostics, diag::kBroadcastJoinHint));
+}
+
+TEST(PlanLint, AbsintScalarsFeedRowBounds) {
+  // The loop bound is the scalar n, constant only through the abstract
+  // interpreter's facts: without them W is unbounded (no P202), with
+  // them the planner-level lint proves |W| <= 8.
+  const std::string src =
+      "var n: int = 8;\n"
+      "var W: vector[double] = vector();\n"
+      "for i = 0, n - 1 do\n"
+      "  W[i] := 0.5 * i;\n"
+      "var S: vector[double] = vector();\n"
+      "for i = 0, n - 1 do\n"
+      "  S[i] += V[i] * W[i];\n";
+  auto parsed = parser::ParseProgram(src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  AbsintResult absint = AnalyzeProgram(CanonicalizeIncrements(*parsed));
+  ASSERT_TRUE(absint.int_scalars.count("n"));
+  EXPECT_EQ(absint.int_scalars.at("n"), Interval::Const(8));
+
+  auto compiled = Compile(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::set<std::string> array_vars;
+  for (const auto& [name, info] : compiled->vars) {
+    if (info.is_array) array_vars.insert(name);
+  }
+  PlanLintResult without =
+      LintTargetProgram(compiled->target, array_vars);
+  EXPECT_FALSE(HasCode(without.diagnostics, diag::kBroadcastJoinHint));
+
+  PlanLintOptions options;
+  options.int_scalars = &absint.int_scalars;
+  PlanLintResult with =
+      LintTargetProgram(compiled->target, array_vars, options);
+  const Diagnostic* hint = FindCode(with.diagnostics,
+                                    diag::kBroadcastJoinHint);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_NE(hint->message.find("8 row"), std::string::npos);
 }
 
 }  // namespace

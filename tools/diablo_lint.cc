@@ -6,10 +6,17 @@
 // when one exists in a small index domain, plus advisory lints
 // (D101-D103) for accepted-but-suspicious shapes.
 //
+// Level 1.5 (abstract interpretation) runs the interval/constant/sign
+// analysis and the merge-operator algebra checker, reporting proven
+// semantic errors (D201 out-of-bounds write, D202 zero divisor, D203
+// non-associative merge) with concrete witnesses.
+//
 // Level 2 (plans) compiles the program and plans every comprehension
 // with the real planner, reporting the wide (shuffle) stages each
-// statement runs with estimated shuffled bytes per row (P001/P002) and
-// advisory lints for expensive or improvable plan shapes (P101-P105).
+// statement runs with estimated shuffled bytes per row (P001/P002,
+// typed ColumnSchema widths when inferred) and advisory lints for
+// expensive or improvable plan shapes (P101-P105), plus interval-backed
+// cost advisories (P201 key cardinality, P202 broadcast-join hint).
 //
 // Usage:
 //   diablo_lint PROGRAM.diablo [options]
@@ -32,7 +39,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/loop_lint.h"
+#include "analysis/merge_algebra.h"
 #include "analysis/plan_lint.h"
 #include "analysis/restrictions.h"
 #include "diablo/diablo.h"
@@ -151,6 +160,16 @@ int main(int argc, char** argv) {
 
   std::vector<analysis::Diagnostic> diags =
       analysis::LintLoops(canon, loop_options);
+
+  // Level 1.5: abstract interpretation (D201/D202) and merge-operator
+  // algebra (D203). The interval facts also feed the plan level below.
+  analysis::AbsintResult absint = analysis::AnalyzeProgram(canon);
+  diags.insert(diags.end(), absint.diagnostics.begin(),
+               absint.diagnostics.end());
+  for (analysis::Diagnostic& d : analysis::LintMergeOperators(canon)) {
+    diags.push_back(std::move(d));
+  }
+  plan_options.int_scalars = &absint.int_scalars;
 
   // Level 2 only applies to programs the translator accepts; loop-level
   // errors already are the explanation of why it will not.

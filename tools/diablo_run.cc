@@ -93,7 +93,9 @@
 
 #include <memory>
 
+#include "analysis/absint.h"
 #include "analysis/loop_lint.h"
+#include "analysis/merge_algebra.h"
 #include "analysis/restrictions.h"
 #include "diablo/diablo.h"
 #include "dist/coordinator.h"
@@ -458,8 +460,21 @@ int main(int argc, char** argv) {
       if (parsed.ok()) {
         diablo::ast::Program canon =
             diablo::analysis::CanonicalizeIncrements(parsed.value());
+        std::vector<diablo::analysis::Diagnostic> diags =
+            diablo::analysis::LintLoops(canon);
+        // Proven semantic errors (D2xx) reject programs too; render
+        // their witnesses the same way as race witnesses.
+        for (diablo::analysis::Diagnostic& d :
+             diablo::analysis::AnalyzeProgram(canon).diagnostics) {
+          diags.push_back(std::move(d));
+        }
+        for (diablo::analysis::Diagnostic& d :
+             diablo::analysis::LintMergeOperators(canon)) {
+          diags.push_back(std::move(d));
+        }
+        diablo::analysis::SortAndDedupe(&diags);
         std::string rendered = diablo::analysis::RenderTextAll(
-            diablo::analysis::LintLoops(canon), source, program_path);
+            diags, source, program_path);
         if (!rendered.empty()) {
           std::fprintf(stderr, "%s", rendered.c_str());
           std::exit(3);
