@@ -6,12 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <random>
 #include <string>
 #include <vector>
 
 #include "runtime/column_batch.h"
 #include "runtime/engine.h"
 #include "runtime/operators.h"
+#include "workloads/workloads.h"
 
 namespace {
 
@@ -213,6 +215,45 @@ BENCHMARK(BM_ColumnarFusedChain)
     ->Args({200000, 0})
     ->Args({200000, 1})
     ->ArgNames({"rows", "columnar"});
+
+// The AB10 ablation pair: reduceByKey over a Zipf(2)-keyed count whose
+// input is hash-partitioned by key — the heavy hitter's rows pile into
+// one oversized source partition, exactly the shape an upstream shuffle
+// produces under key skew. mitigate=1 lets the engine salt the hot
+// combine into chunk tasks (EngineConfig::skew); mitigate=0 serializes
+// it. Times are the deterministic cluster cost model's seconds
+// (UseManualTime), so the CI --pair gate is machine-independent; the
+// property suite (tests/skew_test.cc) holds the two outputs
+// byte-identical.
+void BM_ReduceByKeySkewed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  diablo::runtime::EngineConfig config;
+  config.skew.mitigate = state.range(1) != 0;
+  std::mt19937_64 rng(7);
+  diablo::bench::ZipfSampler zipf(n / 8, 2.0);
+  std::vector<ValueVec> parts(static_cast<size_t>(config.num_partitions));
+  for (int64_t i = 0; i < n; ++i) {
+    Value key = Value::MakeInt(zipf(rng));
+    ValueVec& part = parts[key.Hash() % parts.size()];
+    part.push_back(Value::MakePair(std::move(key), Value::MakeInt(1)));
+  }
+  diablo::runtime::ColumnSchema schema;
+  schema.key = diablo::runtime::ColumnTag::kInt64;
+  schema.value = diablo::runtime::ColumnTag::kInt64;
+  for (auto _ : state) {
+    Engine engine(config);
+    auto out = engine.ReduceByKey(Dataset(parts), BinOp::kAdd, "reduceByKey",
+                                  schema);
+    benchmark::DoNotOptimize(out);
+    state.SetIterationTime(engine.metrics().SimulatedSeconds(config.cluster));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceByKeySkewed)
+    ->Args({200000, 0})
+    ->Args({200000, 1})
+    ->ArgNames({"rows", "mitigate"})
+    ->UseManualTime();
 
 // Join probe throughput: the build side fits a hash table; the probe
 // side reuses the memoized shuffle hash instead of re-walking the key.

@@ -1,5 +1,7 @@
 #include "workloads/workloads.h"
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/strings.h"
@@ -71,6 +73,33 @@ Value GroupByPairs(int64_t n, std::mt19937_64& rng) {
         IV(i),
         Value::MakeTuple({IV(static_cast<int64_t>(rng() % static_cast<uint64_t>(keys))),
                           DV(UniformDouble(rng, 0, 10))})));
+  }
+  return Value::MakeBag(std::move(rows));
+}
+
+ZipfSampler::ZipfSampler(int64_t ranks, double s) {
+  cdf_.reserve(static_cast<size_t>(ranks));
+  double total = 0;
+  for (int64_t r = 0; r < ranks; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int64_t ZipfSampler::operator()(std::mt19937_64& rng) const {
+  double u = UniformDouble(rng, 0, 1);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+Value ZipfPairs(int64_t n, int64_t keys, double s, std::mt19937_64& rng) {
+  ZipfSampler zipf(keys, s);
+  ValueVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::MakePair(IV(zipf(rng)), IV(1)));
   }
   return Value::MakeBag(std::move(rows));
 }

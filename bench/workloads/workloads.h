@@ -30,6 +30,24 @@ Value RegressionPoints(int64_t n, std::mt19937_64& rng);
 /// (key, value) pairs with ~10 duplicates per key on average.
 Value GroupByPairs(int64_t n, std::mt19937_64& rng);
 
+/// Zipf(s) rank sampler over {0, ..., ranks-1}: P(r) proportional to
+/// 1/(r+1)^s, drawn by inverse CDF over precomputed cumulative weights.
+/// s near 1 is the classic web-corpus skew; s = 2 is the heavy-hitter
+/// regime where the top rank alone owns most draws.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t ranks, double s);
+  int64_t operator()(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Skewed aggregation input (AB10): (key, 1) pairs whose keys are
+/// Zipf(s) ranks over `keys` ranks — a count aggregation whose heavy
+/// hitters concentrate rows on a few keys.
+Value ZipfPairs(int64_t n, int64_t keys, double s, std::mt19937_64& rng);
+
 /// Dense random matrix as a sparse bag {((i,j),v)}, v in [0, 10).
 Value RandomMatrix(int64_t rows, int64_t cols, std::mt19937_64& rng);
 

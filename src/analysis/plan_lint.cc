@@ -210,6 +210,15 @@ class PlanLinter {
     return it == empties_.end() ? Emptiness::kUnknown : it->second;
   }
 
+  /// The prior-run stage measured for a wide stage of the statement at
+  /// `loc`, or null (no --profile-in, or a stale profile).
+  const runtime::ProfileStage* Measured(const std::string& label_fragment,
+                                        SourceLocation loc) const {
+    if (options_.profile == nullptr) return nullptr;
+    return options_.profile->FindStage(options_.profile_file, loc.line,
+                                       loc.column, label_fragment);
+  }
+
   // ---- interval-backed cost evidence (P201/P202) ----
 
   /// Serialized bytes of one column of tag `t`: the width the engine
@@ -358,7 +367,14 @@ class PlanLinter {
       int64_t bytes = w.row_bytes > 0
                           ? w.row_bytes
                           : w.row_slots * options_.bytes_per_slot;
-      parts.push_back(StrCat(w.label, " (~", bytes, " B/row)"));
+      std::string part = StrCat(w.label, " (~", bytes, " B/row)");
+      // Measured evidence from --profile-in, rendered next to the static
+      // estimate so the two are directly comparable.
+      if (const runtime::ProfileStage* m = Measured(w.label, loc)) {
+        part = StrCat(part, " [measured ", m->shuffle_bytes,
+                      " B shuffled]");
+      }
+      parts.push_back(part);
     }
     Emit(diag::kStmtShuffles, Severity::kNote, loc,
          StrCat(what, " runs ", facts.stages.size(), " wide stage(s): ",
@@ -503,12 +519,19 @@ class PlanLinter {
             int64_t side = ArrayRowBound(op.array);
             if (side != kUnboundedRows &&
                 side <= options_.broadcast_hint_max_rows) {
+              std::string msg = StrCat(
+                  "join over '", op.array, "' shuffles both sides, but '",
+                  op.array, "' is bounded by ", side,
+                  " row(s) (interval evidence): a broadcast join "
+                  "would keep the large side narrow");
+              if (const runtime::ProfileStage* m =
+                      Measured(StrCat("join[", op.array, "]"), loc)) {
+                msg = StrCat(msg, "; the prior run shuffled ",
+                             m->shuffle_bytes, " B through this join "
+                             "(--profile-in evidence)");
+              }
               Emit(diag::kBroadcastJoinHint, Severity::kWarning, loc,
-                   StrCat("join over '", op.array,
-                          "' shuffles both sides, but '", op.array,
-                          "' is bounded by ", side,
-                          " row(s) (interval evidence): a broadcast join "
-                          "would keep the large side narrow"),
+                   std::move(msg),
                    "run with an engine broadcast threshold of at least "
                    "the built side's bytes so the planner replicates "
                    "the small array instead of shuffling the stream");
@@ -569,13 +592,28 @@ class PlanLinter {
             facts->stages.push_back(
                 WideStage{"reduceByKey", slots, row_bytes});
             // P201: the key cardinality (and so the combined rows that
-            // cross this shuffle) is interval-bounded upstream.
+            // cross this shuffle) is interval-bounded upstream; a
+            // --profile-in stage adds what the prior run actually saw.
+            const runtime::ProfileStage* m = Measured("reduceByKey", loc);
             if (rows != kUnboundedRows) {
+              std::string msg = StrCat(
+                  "reduceByKey key cardinality is bounded by ", rows,
+                  " (range-generator interval evidence); at most ~",
+                  MulRows(rows, row_bytes), " B cross this shuffle");
+              if (m != nullptr) {
+                msg = StrCat(msg, "; measured ", m->hash_agg_keys,
+                             " key(s), ", m->shuffle_bytes,
+                             " B shuffled in the prior run");
+              }
               Emit(diag::kKeyCardinality, Severity::kNote, loc,
-                   StrCat("reduceByKey key cardinality is bounded by ",
-                          rows, " (range-generator interval evidence); "
-                          "at most ~", MulRows(rows, row_bytes),
-                          " B cross this shuffle"),
+                   std::move(msg), "");
+            } else if (m != nullptr) {
+              // No static bound, but the profile has the real numbers.
+              Emit(diag::kKeyCardinality, Severity::kNote, loc,
+                   StrCat("reduceByKey key cardinality measured at ",
+                          m->hash_agg_keys, " key(s) in the prior run (",
+                          m->shuffle_bytes,
+                          " B shuffled; --profile-in evidence)"),
                    "");
             }
           }

@@ -10,6 +10,7 @@
 #include "analysis/absint.h"
 #include "analysis/diagnostics.h"
 #include "comp/comp.h"
+#include "runtime/profile.h"
 
 namespace diablo::analysis {
 
@@ -29,6 +30,17 @@ struct PlanLintOptions {
   /// P202 threshold: a join side whose row-count upper bound is at most
   /// this many rows is flagged as broadcastable.
   int64_t broadcast_hint_max_rows = 4096;
+  /// Prior-run profile (diablo_lint --profile-in): when set, the P001
+  /// stage notes and the P201/P202 cost advisories additionally report
+  /// the *measured* shuffle bytes and key cardinality of the matching
+  /// prior-run stage next to the static estimates. Stages are matched by
+  /// provenance (profile_file:line:column) plus the operator label
+  /// fragment; a stale profile matches nothing and the diagnostics keep
+  /// their static-only wording.
+  const runtime::ProfileData* profile = nullptr;
+  /// Provenance file name the profile's stages carry — the program
+  /// basename the profiled `diablo_run --profile-out` invocation used.
+  std::string profile_file;
 };
 
 struct PlanLintResult {

@@ -36,6 +36,7 @@ StatusOr<ProgramRun> Run(const CompiledProgram& program,
   }
   auto executor = std::make_unique<exec::TargetExecutor>(engine);
   executor->SetProgramName(options.program_name);
+  executor->SetProfile(options.profile);
   if (!options.tiled_arrays.empty()) {
     executor->EnableTiledStorage(options.tiled_arrays, options.tile_config);
   }

@@ -14,6 +14,7 @@
 #include "exec/target_executor.h"
 #include "opt/optimize.h"
 #include "runtime/engine.h"
+#include "runtime/profile.h"
 #include "tiles/tiles.h"
 #include "translate/translate.h"
 
@@ -99,6 +100,12 @@ struct RunOptions {
   /// Source file name stamped into trace spans and stage provenance
   /// ("[pagerank.diablo:12:3]"); empty renders as "<program>".
   std::string program_name;
+  /// Prior-run profile (`diablo_run --profile-in`, runtime/profile.h);
+  /// must outlive the run. When set, plan-time cost decisions weigh the
+  /// measured stage facts of the prior run — broadcast-vs-hash join by
+  /// actual shuffled bytes — instead of static estimates alone. Null
+  /// keeps every decision static.
+  const runtime::ProfileData* profile = nullptr;
 };
 
 /// Executes a compiled program on the distributed engine.

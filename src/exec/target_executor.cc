@@ -45,6 +45,7 @@ const plan::ExecState& TargetExecutor::State() {
   state_.engine = engine_;
   state_.scalars = &scalars_;
   state_.arrays = &arrays_;
+  state_.profile = profile_;
   return state_;
 }
 

@@ -48,6 +48,13 @@ class TargetExecutor {
   /// and stage stats; empty renders as "<program>".
   void SetProgramName(std::string name) { program_name_ = std::move(name); }
 
+  /// Prior-run profile for cost feedback (--profile-in); the pointer
+  /// must outlive the executor. Null (the default) keeps every plan
+  /// decision on its static rule.
+  void SetProfile(const runtime::ProfileData* profile) {
+    profile_ = profile;
+  }
+
   /// Runs a target program. `inputs` bind the program's free variables.
   Status Run(const comp::TargetProgram& program, const Bindings& inputs);
 
@@ -98,6 +105,7 @@ class TargetExecutor {
 
   runtime::Engine* engine_;
   std::string program_name_;
+  const runtime::ProfileData* profile_ = nullptr;
   std::map<std::string, runtime::Value> scalars_;
   /// Sparse views read by the planner. For tiled arrays this is a cache
   /// of Unpack(tiled_[name]), invalidated through dirty_.

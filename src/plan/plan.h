@@ -10,6 +10,10 @@
 #include "runtime/dataset.h"
 #include "runtime/engine.h"
 
+namespace diablo::runtime {
+class ProfileData;  // runtime/profile.h (--profile-in feedback)
+}  // namespace diablo::runtime
+
 namespace diablo::plan {
 
 /// One operator of a comprehension plan. A plan is a linear pipeline over
@@ -106,6 +110,11 @@ struct ExecState {
   runtime::Engine* engine = nullptr;
   const std::map<std::string, runtime::Value>* scalars = nullptr;
   const std::map<std::string, runtime::Dataset>* arrays = nullptr;
+  /// Prior-run profile (--profile-in), or null. When set, plan-time cost
+  /// decisions (broadcast-vs-hash join) weigh the profile's measured
+  /// stage facts against static estimates; a stale profile simply fails
+  /// every provenance lookup and the static rules stand.
+  const runtime::ProfileData* profile = nullptr;
 };
 
 /// Compiles a flat (normalized) comprehension into a plan. `is_array`

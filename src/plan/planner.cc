@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "plan/plan.h"
 #include "plan/schema.h"
+#include "runtime/profile.h"
 
 namespace diablo::plan {
 
@@ -198,9 +199,39 @@ StatusOr<CompPlan> BuildPlan(const comp::CompPtr& comp,
                   state.engine != nullptr
                       ? state.engine->config().broadcast_join_threshold_bytes
                       : 0;
-              bool broadcast =
-                  threshold > 0 &&
-                  state.arrays->at(array).TotalBytes() <= threshold;
+              const int64_t build_bytes =
+                  state.arrays->at(array).TotalBytes();
+              bool broadcast = threshold > 0 && build_bytes <= threshold;
+              // Profile feedback (--profile-in, DESIGN.md §17): when a
+              // prior run measured THIS join (matched by the statement's
+              // file:line:column provenance plus the stage label), weigh
+              // shipping the build side to every worker against the
+              // bytes the hash join actually shuffled, instead of the
+              // static threshold alone. A prior broadcast is sticky: its
+              // profile measured ship bytes, not shuffle bytes, so
+              // re-comparing would flip the decision back and forth
+              // between runs. A stale profile matches nothing and the
+              // static rule above stands.
+              if (state.profile != nullptr && state.engine != nullptr) {
+                const runtime::EngineProvenance& prov =
+                    state.engine->provenance();
+                if (state.profile->FindStage(
+                        prov.file, prov.line, prov.column,
+                        StrCat("broadcastJoin[", array, "]")) != nullptr) {
+                  broadcast = true;
+                  state.engine->RecordCostDecision();
+                } else if (const runtime::ProfileStage* measured =
+                               state.profile->FindStage(
+                                   prov.file, prov.line, prov.column,
+                                   StrCat("join[", array, "]"));
+                           measured != nullptr) {
+                  const int workers =
+                      state.engine->config().cluster.num_workers;
+                  broadcast =
+                      build_bytes * workers < measured->shuffle_bytes;
+                  state.engine->RecordCostDecision();
+                }
+              }
               op.kind = broadcast ? StreamOp::Kind::kBroadcastJoinArray
                                   : StreamOp::Kind::kJoinArray;
               op.array = array;

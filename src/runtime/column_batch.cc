@@ -609,6 +609,12 @@ Value TypedReduceAccumulator::KeyValueAt(size_t i) const {
     case KeyMode::kDouble:
       return Value::MakeDouble(BitsToDouble(key_bits_[i]));
     default:
+      // String key: either this accumulator interned it (entry index ==
+      // code) or it arrived as a code into the caller's dictionary
+      // (BeginTyped reduce side).
+      if (ext_dict_ != nullptr) {
+        return (*ext_dict_)[static_cast<size_t>(key_bits_[i])];
+      }
       return dict_.value(static_cast<uint32_t>(i));
   }
 }
@@ -624,6 +630,16 @@ std::vector<uint32_t> TypedReduceAccumulator::SortedOrder() const {
   std::iota(order.begin(), order.end(), 0u);
   switch (key_mode_) {
     case KeyMode::kString:
+      if (ext_dict_ != nullptr) {
+        std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+          return (*ext_dict_)[static_cast<size_t>(key_bits_[a])]
+                     .AsString()
+                     .compare(
+                         (*ext_dict_)[static_cast<size_t>(key_bits_[b])]
+                             .AsString()) < 0;
+        });
+        break;
+      }
       std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
         return dict_.str(a).compare(dict_.str(b)) < 0;
       });
@@ -678,6 +694,9 @@ void TypedRows::EmitHashed(HashedVec* out) const {
       case TypedKeyMode::kInt64:
         key = Value::MakeInt(key_bits[i]);
         break;
+      case TypedKeyMode::kString:
+        key = dict_values[static_cast<size_t>(key_bits[i])];
+        break;
       default:
         key = Value::MakeDouble(BitsToDouble(key_bits[i]));
         break;
@@ -691,7 +710,9 @@ void TypedRows::EmitHashed(HashedVec* out) const {
 }
 
 bool TypedReduceAccumulator::EmitSortedTyped(TypedRows* out) const {
-  if (key_mode_ == KeyMode::kString) return false;
+  // Externally-dictionaried accumulators (BeginTyped reduce side) emit
+  // boxed rows; only self-interned state serializes back to TypedRows.
+  if (key_mode_ == KeyMode::kString && ext_dict_ != nullptr) return false;
   const std::vector<uint32_t> order = SortedOrder();
   out->key_mode = key_mode_;
   out->payload_mode = payload_mode_;
@@ -702,9 +723,24 @@ bool TypedReduceAccumulator::EmitSortedTyped(TypedRows* out) const {
   } else if (payload_mode_ == PayloadMode::kDouble) {
     out->pay_doubles.reserve(order.size());
   }
+  if (key_mode_ == KeyMode::kString) {
+    // The dictionary travels with the batch: entry index == code, so
+    // the rows' key_bits below are codes into this copy. Value payloads
+    // are shared, not deep-copied.
+    out->dict_values.reserve(size());
+    out->dict_hashes.reserve(size());
+    for (uint32_t c = 0; c < size(); ++c) {
+      out->dict_values.push_back(dict_.value(c));
+      out->dict_hashes.push_back(dict_.hash(c));
+    }
+  }
   for (uint32_t i : order) {
     out->hashes.push_back(hashes_[i]);
-    out->key_bits.push_back(key_bits_[i]);
+    if (key_mode_ == KeyMode::kString) {
+      out->key_bits.push_back(static_cast<int64_t>(i));
+    } else {
+      out->key_bits.push_back(key_bits_[i]);
+    }
     if (payload_mode_ == PayloadMode::kInt64) {
       out->pay_ints.push_back(pay_ints_[i]);
     } else {
@@ -715,8 +751,12 @@ bool TypedReduceAccumulator::EmitSortedTyped(TypedRows* out) const {
 }
 
 bool TypedReduceAccumulator::BeginTyped(TypedKeyMode kmode,
-                                        TypedPayloadMode pmode) {
-  if (kmode == KeyMode::kString) return false;
+                                        TypedPayloadMode pmode,
+                                        const std::vector<Value>* dict) {
+  if (kmode == KeyMode::kString) {
+    if (dict == nullptr) return false;
+    ext_dict_ = dict;
+  }
   if (key_mode_ == KeyMode::kNone && kmode != KeyMode::kNone) {
     key_mode_ = kmode;
     payload_mode_ = pmode;

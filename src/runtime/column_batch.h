@@ -180,10 +180,13 @@ enum class TypedPayloadMode : uint8_t { kNone, kInt64, kDouble };
 
 /// Map-side combine output kept typed across the shuffle: parallel
 /// arrays of cached key hashes, raw 64-bit key patterns (int64 value,
-/// double bits, bool 0/1) and numeric payloads (pay_ints or pay_doubles
-/// by payload_mode). Entries stand for sorted (key, payload) pair rows
-/// that are never boxed; string keys stay on the HashedRow path because
-/// dictionary codes don't concatenate across partitions.
+/// double bits, bool 0/1, string dictionary code) and numeric payloads
+/// (pay_ints or pay_doubles by payload_mode). Entries stand for sorted
+/// (key, payload) pair rows that are never boxed. For string keys
+/// (key_mode == kString) each key_bits entry is a code into this
+/// batch's own dict_values/dict_hashes tables; the shuffle re-interns
+/// codes into a per-destination dictionary when it concatenates
+/// batches, so string keys stay typed end-to-end.
 struct TypedRows {
   TypedKeyMode key_mode = TypedKeyMode::kNone;
   TypedPayloadMode payload_mode = TypedPayloadMode::kNone;
@@ -191,12 +194,28 @@ struct TypedRows {
   std::vector<int64_t> key_bits;
   std::vector<int64_t> pay_ints;
   std::vector<double> pay_doubles;
+  /// String-key dictionary: distinct key Values (payloads shared, not
+  /// copied) and their cached Value::Hash, indexed by code. Empty unless
+  /// key_mode == kString.
+  std::vector<Value> dict_values;
+  std::vector<size_t> dict_hashes;
 
   size_t size() const { return hashes.size(); }
   /// Wire bytes of the boxed pair row an entry stands for —
   /// Value::SerializedBytes of (key, payload): tuple header, key, 8.
   int64_t EntryBytes() const {
     return 4 + (key_mode == TypedKeyMode::kBool ? 1 : 8) + 8;
+  }
+  /// EntryBytes for entry `i`: string keys serialize as 4 + strlen, so
+  /// their wire size is per-entry, not per-batch.
+  int64_t EntryBytesAt(size_t i) const {
+    if (key_mode != TypedKeyMode::kString) return EntryBytes();
+    return 4 + 4 +
+           static_cast<int64_t>(
+               dict_values[static_cast<size_t>(key_bits[i])]
+                   .AsString()
+                   .size()) +
+           8;
   }
   /// Boxes the entries back into HashedRow pairs, appending to `out` in
   /// entry order — the fallback when a sibling partition could not stay
@@ -238,14 +257,20 @@ class TypedReduceAccumulator {
   /// reduce-side output.
   void EmitSortedRows(ValueVec* out) const;
   /// Emits entries sorted by key as typed arrays — the combine-side
-  /// output of the typed shuffle, no boxed row ever built. Returns
-  /// false (out untouched) for string keys.
+  /// output of the typed shuffle, no boxed row ever built. String keys
+  /// copy the dictionary into the batch's dict tables; each emitted
+  /// key_bits entry is its dictionary code.
   bool EmitSortedTyped(TypedRows* out) const;
 
   /// Opens the typed fast lane for AddHashedBits: pins the key and
-  /// payload modes up front. Returns false when `kmode` names a string
-  /// key or the modes conflict with rows already accumulated.
-  bool BeginTyped(TypedKeyMode kmode, TypedPayloadMode pmode);
+  /// payload modes up front. For kString the caller must pass the
+  /// shuffled batch's dictionary in `dict`; AddHashedBits key_bits are
+  /// then codes into it (the shuffle's per-destination re-intern makes
+  /// code equality coincide with key equality). Returns false when
+  /// kString arrives without a dictionary or the modes conflict with
+  /// rows already accumulated.
+  bool BeginTyped(TypedKeyMode kmode, TypedPayloadMode pmode,
+                  const std::vector<Value>* dict = nullptr);
   /// Folds one typed entry (the reduce side of the typed shuffle). The
   /// caller guarantees the entry matches the BeginTyped modes; the
   /// unused payload argument is ignored.
@@ -282,6 +307,11 @@ class TypedReduceAccumulator {
 
   // String keys: the dictionary is the key table; entry index == code.
   StringDictionary dict_;
+  // Reduce-side string keys (BeginTyped with a dictionary): keys live
+  // in the caller's table, key_bits_ holds its codes, and
+  // FindOrCreateNumeric dedupes on the code (exact: the shuffle's
+  // per-destination re-intern made codes unique per string).
+  const std::vector<Value>* ext_dict_ = nullptr;
 
   // Payloads, parallel to entries.
   std::vector<int64_t> pay_ints_;

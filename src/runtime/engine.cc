@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/strings.h"
@@ -55,6 +56,180 @@ double RetryBackoff(const FaultConfig& fc, int attempt) {
 
 int HashDestination(size_t hash, int out_parts) {
   return static_cast<int>(hash % static_cast<size_t>(out_parts));
+}
+
+/// Murmur3-style 64-bit finalizer used to pick salt stripes. The
+/// scatter already consumed the hash modulo num_partitions
+/// (HashDestination), so striping a destination's rows must remix the
+/// hash first or the stripes would be modulus-correlated with the
+/// destination choice and collapse onto few stripes.
+size_t RemixHash(size_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// The sub-task layout of one salted wave (SkewConfig). Original task p
+/// becomes fanout[p] virtual tasks; virtual task t works on sub-task
+/// index_of[t] of original task_of[t]. fanout == 1 everywhere when
+/// mitigation is off or nothing is hot — the layout then degenerates to
+/// the identity and every downstream loop behaves exactly as before.
+struct SaltPlan {
+  bool active = false;
+  int64_t extra = 0;        ///< sub-tasks beyond the original task count
+  std::vector<int> fanout;  ///< per original task, 1 = unsplit
+  std::vector<int> first;   ///< original task -> its first virtual index
+  std::vector<int> task_of;   ///< virtual -> original task
+  std::vector<int> index_of;  ///< virtual -> sub-task index within task
+};
+
+SaltPlan PlanSalt(const std::vector<int64_t>& rows, const SkewConfig& cfg) {
+  SaltPlan plan;
+  const int n = static_cast<int>(rows.size());
+  plan.fanout.assign(n, 1);
+  int64_t total = 0;
+  for (int64_t r : rows) total += r;
+  if (cfg.mitigate && n > 1 && total > 0) {
+    const double mean = static_cast<double>(total) / n;
+    for (int p = 0; p < n; ++p) {
+      if (rows[p] >= cfg.min_rows &&
+          static_cast<double>(rows[p]) > cfg.ratio * mean) {
+        // Enough sub-tasks that each still carries min_rows-scale work.
+        const int64_t want = rows[p] / std::max<int64_t>(cfg.min_rows, 1);
+        plan.fanout[p] = static_cast<int>(std::clamp<int64_t>(
+            want, 2, std::max(2, cfg.max_fanout)));
+      }
+    }
+  }
+  plan.first.reserve(n);
+  for (int p = 0; p < n; ++p) {
+    plan.first.push_back(static_cast<int>(plan.task_of.size()));
+    for (int s = 0; s < plan.fanout[p]; ++s) {
+      plan.task_of.push_back(p);
+      plan.index_of.push_back(s);
+    }
+    if (plan.fanout[p] > 1) {
+      plan.active = true;
+      plan.extra += plan.fanout[p] - 1;
+    }
+  }
+  return plan;
+}
+
+/// Row range [lo, hi) of chunk `index` of `fanout` over `n` rows:
+/// contiguous, covering, ascending — chunk order IS arrival order.
+std::pair<size_t, size_t> ChunkRange(size_t n, int index, int fanout) {
+  const size_t f = static_cast<size_t>(fanout);
+  const size_t i = static_cast<size_t>(index);
+  return {n * i / f, n * (i + 1) / f};
+}
+
+/// Un-salt merge of one STRIPED destination: k-way merge of the
+/// sub-tasks' sorted (key, value) rows. Striping is by key hash, so the
+/// key sets are disjoint — this is a plain sorted merge, byte-identical
+/// to the sort the unsplit task would have produced.
+ValueVec MergeSortedRows(std::vector<ValueVec> parts) {
+  size_t total = 0;
+  for (const ValueVec& p : parts) total += p.size();
+  ValueVec out;
+  out.reserve(total);
+  std::vector<size_t> cur(parts.size(), 0);
+  while (out.size() < total) {
+    int best = -1;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (cur[s] >= parts[s].size()) continue;
+      if (best < 0 || parts[s][cur[s]].tuple()[0] <
+                          parts[best][cur[best]].tuple()[0]) {
+        best = static_cast<int>(s);
+      }
+    }
+    out.push_back(std::move(parts[best][cur[best]]));
+    ++cur[best];
+  }
+  return out;
+}
+
+/// Un-salt merge of one CHUNKED groupByKey destination: k-way merge of
+/// the chunks' sorted (key, bag) rows; a key present in several chunks
+/// concatenates its partial bags in chunk order — which is arrival
+/// order, because chunks are contiguous ascending row ranges. Counts
+/// each extra appearance of a key (a fold the merge performed) into
+/// `salted_keys`.
+ValueVec MergeSortedBags(std::vector<ValueVec> parts, int64_t* salted_keys) {
+  size_t total = 0;
+  for (const ValueVec& p : parts) total += p.size();
+  ValueVec out;
+  out.reserve(total);
+  std::vector<size_t> cur(parts.size(), 0);
+  size_t done = 0;
+  while (done < total) {
+    int best = -1;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (cur[s] >= parts[s].size()) continue;
+      if (best < 0 || parts[s][cur[s]].tuple()[0] <
+                          parts[best][cur[best]].tuple()[0]) {
+        best = static_cast<int>(s);
+      }
+    }
+    const Value& key = parts[best][cur[best]].tuple()[0];
+    ValueVec bag;
+    int appearances = 0;
+    for (size_t s = static_cast<size_t>(best); s < parts.size(); ++s) {
+      if (cur[s] >= parts[s].size()) continue;
+      const Value& row = parts[s][cur[s]];
+      if (!(row.tuple()[0] == key)) continue;
+      const ValueVec& part_bag = row.tuple()[1].bag();
+      bag.insert(bag.end(), part_bag.begin(), part_bag.end());
+      ++cur[s];
+      ++done;
+      ++appearances;
+    }
+    if (appearances > 1) *salted_keys += appearances - 1;
+    out.push_back(Value::MakePair(key, Value::MakeBag(std::move(bag))));
+  }
+  return out;
+}
+
+/// Splits one destination's shuffled rows into `k` hash stripes,
+/// preserving arrival order within each stripe (stable single pass).
+/// Every row of a key shares the key's hash, hence its stripe: no key
+/// is ever split, so per-key fold order is untouched.
+std::vector<HashedVec> StripeHashed(HashedVec rows, int k) {
+  std::vector<HashedVec> stripes(k);
+  for (HashedVec& s : stripes) s.reserve(rows.size() / k + 1);
+  for (HashedRow& hr : rows) {
+    stripes[RemixHash(hr.hash) % static_cast<size_t>(k)].push_back(
+        std::move(hr));
+  }
+  return stripes;
+}
+
+/// StripeHashed for the typed shuffle representation. Each stripe keeps
+/// a copy of the (shared-payload) string dictionary so its codes stay
+/// resolvable independently.
+std::vector<TypedRows> StripeTyped(const TypedRows& rows, int k) {
+  std::vector<TypedRows> stripes(k);
+  const bool ints = rows.payload_mode == TypedPayloadMode::kInt64;
+  for (TypedRows& s : stripes) {
+    s.key_mode = rows.key_mode;
+    s.payload_mode = rows.payload_mode;
+    s.dict_values = rows.dict_values;
+    s.dict_hashes = rows.dict_hashes;
+    s.hashes.reserve(rows.size() / k + 1);
+    s.key_bits.reserve(rows.size() / k + 1);
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    TypedRows& s = stripes[RemixHash(rows.hashes[i]) % static_cast<size_t>(k)];
+    s.hashes.push_back(rows.hashes[i]);
+    s.key_bits.push_back(rows.key_bits[i]);
+    if (ints) {
+      s.pay_ints.push_back(rows.pay_ints[i]);
+    } else {
+      s.pay_doubles.push_back(rows.pay_doubles[i]);
+    }
+  }
+  return stripes;
 }
 
 // ChainTally moved to runtime/wave_io.h: the distributed backend
@@ -487,6 +662,8 @@ void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
   stats.dist_workers_lost = rec.dist_workers_lost;
   stats.pool_tasks = pool_tasks_pending_;
   pool_tasks_pending_ = 0;
+  stats.cost_decisions += cost_decisions_pending_;
+  cost_decisions_pending_ = 0;
   if (provenance_.line > 0) {
     stats.src_file = provenance_.file;
     stats.src_line = provenance_.line;
@@ -1200,7 +1377,6 @@ StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
       "shuffle", stage, task_work,
       [&](int p, int) -> Status {
         const TypedRows& src = in[p];
-        const int64_t entry_bytes = src.EntryBytes();
         buckets[p].assign(out_parts, TypedRows());
         const size_t hint =
             src.size() / static_cast<size_t>(out_parts) + 1;
@@ -1221,6 +1397,9 @@ StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
         for (size_t i = 0; i < src.size(); ++i) {
           const int dst = HashDestination(src.hashes[i], out_parts);
           TypedRows& bucket = buckets[p][dst];
+          // String keys keep their SOURCE dictionary code through the
+          // scatter; the driver-side concatenation below re-interns
+          // them into the destination's dictionary.
           bucket.hashes.push_back(src.hashes[i]);
           bucket.key_bits.push_back(src.key_bits[i]);
           if (ints) {
@@ -1228,6 +1407,7 @@ StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
           } else {
             bucket.pay_doubles.push_back(src.pay_doubles[i]);
           }
+          const int64_t entry_bytes = src.EntryBytesAt(i);
           moved_bytes[p] += entry_bytes;
           bucket_bytes[p][dst] += entry_bytes;
         }
@@ -1252,7 +1432,10 @@ StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
   }
   // Concatenate source-order (sources ascending, each pre-sorted by
   // key) — exactly the arrival order of the boxed shuffle, so every
-  // per-key fold order downstream is identical.
+  // per-key fold order downstream is identical. String keys re-intern
+  // into one dictionary per destination (first-occurrence order, Value
+  // payloads shared): code equality then coincides with key equality,
+  // which is what the reduce side's code-keyed accumulator relies on.
   std::vector<TypedRows> out(out_parts);
   for (int dst = 0; dst < out_parts; ++dst) {
     TypedRows& d = out[dst];
@@ -1267,11 +1450,28 @@ StatusOr<std::vector<TypedRows>> Engine::ShuffleTyped(
     } else {
       d.pay_doubles.reserve(total);
     }
+    std::unordered_map<std::string, uint32_t> remap;
     for (int src = 0; src < n; ++src) {
       TypedRows& b = buckets[src][dst];
       d.hashes.insert(d.hashes.end(), b.hashes.begin(), b.hashes.end());
-      d.key_bits.insert(d.key_bits.end(), b.key_bits.begin(),
-                        b.key_bits.end());
+      if (kmode == TypedKeyMode::kString) {
+        const std::vector<Value>& src_dict = in[src].dict_values;
+        const std::vector<size_t>& src_dict_hashes = in[src].dict_hashes;
+        for (int64_t code_bits : b.key_bits) {
+          const size_t code = static_cast<size_t>(code_bits);
+          auto [it, inserted] = remap.try_emplace(
+              src_dict[code].AsString(),
+              static_cast<uint32_t>(d.dict_values.size()));
+          if (inserted) {
+            d.dict_values.push_back(src_dict[code]);
+            d.dict_hashes.push_back(src_dict_hashes[code]);
+          }
+          d.key_bits.push_back(static_cast<int64_t>(it->second));
+        }
+      } else {
+        d.key_bits.insert(d.key_bits.end(), b.key_bits.begin(),
+                          b.key_bits.end());
+      }
       d.pay_ints.insert(d.pay_ints.end(), b.pay_ints.begin(),
                         b.pay_ints.end());
       d.pay_doubles.insert(d.pay_doubles.end(), b.pay_doubles.begin(),
@@ -1294,36 +1494,57 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   DIABLO_ASSIGN_OR_RETURN(std::vector<HashedVec> shuffled,
                           ShuffleWave(src, shuffle_stage, &bytes, &rec, &stats));
   const bool hash_agg = config_.hash_aggregation;
-  std::vector<ValueVec> out(shuffled.size());
+  // Skew mitigation (DESIGN.md §17): a destination far above the mean
+  // row count is split into contiguous row CHUNKS, each grouped by its
+  // own virtual task; the driver then k-way merges the chunks' sorted
+  // (key, bag) rows, concatenating a straddling key's partial bags in
+  // chunk order — which IS arrival order, so the merged bag is
+  // byte-identical to what the unsplit task would have built.
+  const std::vector<int64_t> shuffled_counts = RowCounts(shuffled);
+  const SaltPlan salt = PlanSalt(shuffled_counts, config_.skew);
+  const int num_virtual = static_cast<int>(salt.task_of.size());
+  std::vector<int64_t> sub_work(num_virtual);
+  for (int t = 0; t < num_virtual; ++t) {
+    const int p = salt.task_of[t];
+    const auto [lo, hi] = ChunkRange(shuffled[p].size(), salt.index_of[t],
+                                     salt.fanout[p]);
+    sub_work[t] = static_cast<int64_t>(hi - lo);
+  }
+  std::vector<ValueVec> sub_out(num_virtual);
   WaveSlots reduce_slots;
-  reduce_slots.rows = &out;
+  reduce_slots.rows = &sub_out;
   Status st = RunTaskWave(
-      label, reduce_stage, RowCounts(shuffled),
-      [&](int p, int) -> Status {
-        out[p].clear();
+      label, reduce_stage, sub_work,
+      [&](int t, int) -> Status {
+        sub_out[t].clear();
+        const int p = salt.task_of[t];
+        const HashedVec& part = shuffled[p];
+        const auto [lo, hi] =
+            ChunkRange(part.size(), salt.index_of[t], salt.fanout[p]);
         if (hash_agg) {
           // Values land per key in arrival order; the final sort
           // canonicalizes the key order, matching the ordered map.
-          KeyedAccumulator<ValueVec> groups(shuffled[p].size());
-          for (const HashedRow& hr : shuffled[p]) {
+          KeyedAccumulator<ValueVec> groups(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            const HashedRow& hr = part[i];
             const ValueVec& kv = hr.row.tuple();
             groups.FindOrCreate(hr.hash, kv[0]).payload.push_back(kv[1]);
           }
           groups.SortByKey();
-          out[p].reserve(groups.size());
+          sub_out[t].reserve(groups.size());
           for (auto& e : groups.entries()) {
-            out[p].push_back(Value::MakePair(
+            sub_out[t].push_back(Value::MakePair(
                 std::move(e.key), Value::MakeBag(std::move(e.payload))));
           }
         } else {
           OrderedGroups groups;
-          for (const HashedRow& hr : shuffled[p]) {
-            const ValueVec& kv = hr.row.tuple();
+          for (size_t i = lo; i < hi; ++i) {
+            const ValueVec& kv = part[i].row.tuple();
             groups[kv[0]].push_back(kv[1]);
           }
-          out[p].reserve(groups.size());
+          sub_out[t].reserve(groups.size());
           for (auto& [key, vals] : groups) {
-            out[p].push_back(
+            sub_out[t].push_back(
                 Value::MakePair(key, Value::MakeBag(std::move(vals))));
           }
         }
@@ -1331,17 +1552,43 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
       },
       &rec, &reduce_slots);
   if (!st.ok()) return st;
+  // Driver-side un-salt: splits merge, unsplit destinations move.
+  std::vector<ValueVec> out(shuffled.size());
+  int64_t salted_keys = 0;
+  std::vector<int64_t> unsalt_work;
+  for (size_t p = 0; p < out.size(); ++p) {
+    if (salt.fanout[p] == 1) {
+      out[p] = std::move(sub_out[salt.first[p]]);
+      continue;
+    }
+    std::vector<ValueVec> parts;
+    parts.reserve(salt.fanout[p]);
+    for (int s = 0; s < salt.fanout[p]; ++s) {
+      parts.push_back(std::move(sub_out[salt.first[p] + s]));
+    }
+    out[p] = MergeSortedBags(std::move(parts), &salted_keys);
+    unsalt_work.push_back(static_cast<int64_t>(out[p].size()));
+  }
   stats.label = FusedStageLabel(src.chain(), label);
   stats.wide = true;
   stats.map_work = RowCounts(src);
-  stats.reduce_work = RowCounts(shuffled);
+  stats.reduce_work = sub_work;
   stats.shuffle_bytes = bytes;
   stats.partition_rows = RowCounts(out);
+  stats.salted_keys = salted_keys;
+  stats.salt_fanout = salt.extra;
   if (hash_agg) {
-    for (int64_t c : RowCounts(shuffled)) stats.hash_agg_rows += c;
+    for (int64_t c : shuffled_counts) stats.hash_agg_rows += c;
     for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
   }
   FinishStage(std::move(stats), rec);
+  if (salt.active) {
+    StageStats unsalt;
+    unsalt.label = label + ".unsalt";
+    unsalt.wide = false;
+    unsalt.map_work = std::move(unsalt_work);
+    RecordPlannerStage(std::move(unsalt));
+  }
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
       "groupByKey", label, {src.lineage()}, nullptr,
@@ -1420,7 +1667,6 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
   // emit the combined pairs in key order, so the merge side's arrival
   // order — and with it every per-key float fold order — is identical
   // whichever aggregation path runs.
-  std::vector<ChainTally> tallies(src.num_partitions());
   std::vector<HashedVec> shuffled;
   std::vector<TypedRows> typed_shuffled;
   bool use_typed_shuffle = false;
@@ -1433,80 +1679,149 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
   const bool typed_shuffle_ok =
       try_typed && !config_.serialize_shuffles && !config_.faults.enabled() &&
       config_.remote == nullptr;
+  // Combine-side skew mitigation (DESIGN.md §17): an oversized SOURCE
+  // partition is combined as contiguous row chunks by independent
+  // virtual tasks, so one giant input partition no longer serializes
+  // the combine wave. The chunk partials of a key re-merge in the
+  // normal reduce stage, so the split is only taken when that re-merge
+  // is exact under ANY grouping: a typed int64 fold of an associative
+  // built-in op (+, *, min, max are bit-associative on int64). The
+  // typed_shuffle_ok conjunct also keeps splits away from fault
+  // injection, the wire format, and the remote backend.
+  const bool combine_splittable =
+      hash_agg && typed_shuffle_ok && schema.value == ColumnTag::kInt64 &&
+      native_op != nullptr &&
+      (*native_op == BinOp::kAdd || *native_op == BinOp::kMul ||
+       *native_op == BinOp::kMin || *native_op == BinOp::kMax);
+  SkewConfig combine_cfg = config_.skew;
+  combine_cfg.mitigate = combine_cfg.mitigate && combine_splittable;
+  const SaltPlan combine_salt = PlanSalt(RowCounts(src), combine_cfg);
+  const int num_combine = static_cast<int>(combine_salt.task_of.size());
+  std::vector<int64_t> combine_work(num_combine);
+  for (int t = 0; t < num_combine; ++t) {
+    const int p = combine_salt.task_of[t];
+    const auto [lo, hi] =
+        ChunkRange(src.partition(p).size(), combine_salt.index_of[t],
+                   combine_salt.fanout[p]);
+    combine_work[t] = static_cast<int64_t>(hi - lo);
+  }
+  std::vector<ChainTally> tallies(num_combine);
   if (hash_agg) {
-    std::vector<HashedVec> combined(src.num_partitions());
-    std::vector<TypedRows> typed_combined(src.num_partitions());
+    std::vector<HashedVec> combined(num_combine);
+    std::vector<TypedRows> typed_combined(num_combine);
+    // Folds rows [lo, hi) of source partition p into output slot `slot`
+    // exactly as the unsplit combine folds a whole partition: wave
+    // tasks call it with their chunk, and the dirty-chunk fallback
+    // below re-runs it over a full partition.
+    auto combine_range = [&](int slot, int p, size_t lo,
+                             size_t hi) -> Status {
+      combined[slot].clear();
+      tallies[slot].Reset(chain.size());
+      KeyedAccumulator<Value> acc(hi - lo);
+      std::optional<TypedReduceAccumulator> typed;
+      if (try_typed) typed.emplace(*native_op, hi - lo);
+      int64_t boxed_rows = 0;
+      auto combine = [&](const Value& row) -> Status {
+        if (typed.has_value()) {
+          if (typed->Add(row)) return Status::OK();
+          // Deviating row: replay the typed state into the boxed
+          // accumulator (insertion order, hashes and payloads
+          // preserved) and continue boxed from this row.
+          typed->SpillTo(&acc);
+          typed.reset();
+        }
+        if (try_typed) ++boxed_rows;
+        DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
+        const size_t h = key->Hash();
+        auto ref = acc.FindOrCreate(h, *key);
+        if (ref.inserted) {
+          ref.payload = row.tuple()[1];
+        } else {
+          DIABLO_ASSIGN_OR_RETURN(ref.payload,
+                                  fn(ref.payload, row.tuple()[1]));
+        }
+        return Status::OK();
+      };
+      const ValueVec& part = src.partition(p);
+      if (typed.has_value() && chain.empty()) {
+        // No pending fused chain: fold the rows into the typed
+        // accumulator directly, skipping the per-row chain dispatch.
+        // A deviating row drops to the boxed `combine` from there.
+        size_t i = lo;
+        for (; i < hi; ++i) {
+          if (!typed->Add(part[i])) break;
+        }
+        for (; i < hi; ++i) {
+          DIABLO_RETURN_IF_ERROR(combine(part[i]));
+        }
+      } else {
+        for (size_t i = lo; i < hi; ++i) {
+          DIABLO_RETURN_IF_ERROR(
+              ApplyChain(chain, 0, part[i], &tallies[slot], combine));
+        }
+      }
+      if (typed.has_value()) {
+        typed_combined[slot] = TypedRows();
+        if (!typed_shuffle_ok ||
+            !typed->EmitSortedTyped(&typed_combined[slot])) {
+          typed->EmitSortedHashed(&combined[slot]);
+        }
+        if (typed->rows() > 0) tallies[slot].columnar_batches += 1;
+      } else {
+        acc.SortByKey();
+        combined[slot].reserve(acc.size());
+        for (auto& e : acc.entries()) {
+          combined[slot].push_back(HashedRow{
+              e.hash,
+              Value::MakePair(std::move(e.key), std::move(e.payload))});
+        }
+      }
+      tallies[slot].columnar_rows_fallback += boxed_rows;
+      return Status::OK();
+    };
     WaveSlots combine_slots;
     combine_slots.hashed = &combined;
     combine_slots.tallies = &tallies;
     st = RunTaskWave(
-        label + ".combine", combine_stage, RowCounts(src),
-        [&](int p, int) -> Status {
-          combined[p].clear();
-          tallies[p].Reset(chain.size());
-          KeyedAccumulator<Value> acc(src.partition(p).size());
-          std::optional<TypedReduceAccumulator> typed;
-          if (try_typed) typed.emplace(*native_op, src.partition(p).size());
-          int64_t boxed_rows = 0;
-          auto combine = [&](const Value& row) -> Status {
-            if (typed.has_value()) {
-              if (typed->Add(row)) return Status::OK();
-              // Deviating row: replay the typed state into the boxed
-              // accumulator (insertion order, hashes and payloads
-              // preserved) and continue boxed from this row.
-              typed->SpillTo(&acc);
-              typed.reset();
-            }
-            if (try_typed) ++boxed_rows;
-            DIABLO_ASSIGN_OR_RETURN(const Value* key, RowKey(row));
-            const size_t h = key->Hash();
-            auto ref = acc.FindOrCreate(h, *key);
-            if (ref.inserted) {
-              ref.payload = row.tuple()[1];
-            } else {
-              DIABLO_ASSIGN_OR_RETURN(ref.payload,
-                                      fn(ref.payload, row.tuple()[1]));
-            }
-            return Status::OK();
-          };
-          if (typed.has_value() && chain.empty()) {
-            // No pending fused chain: fold the partition into the typed
-            // accumulator directly, skipping the per-row chain dispatch.
-            // A deviating row drops to the boxed `combine` from there.
-            const ValueVec& part = src.partition(p);
-            size_t i = 0;
-            for (; i < part.size(); ++i) {
-              if (!typed->Add(part[i])) break;
-            }
-            for (; i < part.size(); ++i) {
-              DIABLO_RETURN_IF_ERROR(combine(part[i]));
-            }
-          } else {
-            for (const Value& row : src.partition(p)) {
-              DIABLO_RETURN_IF_ERROR(
-                  ApplyChain(chain, 0, row, &tallies[p], combine));
-            }
-          }
-          if (typed.has_value()) {
-            typed_combined[p] = TypedRows();
-            if (!typed_shuffle_ok || !typed->EmitSortedTyped(&typed_combined[p])) {
-              typed->EmitSortedHashed(&combined[p]);
-            }
-            if (typed->rows() > 0) tallies[p].columnar_batches += 1;
-          } else {
-            acc.SortByKey();
-            combined[p].reserve(acc.size());
-            for (auto& e : acc.entries()) {
-              combined[p].push_back(HashedRow{
-                  e.hash,
-                  Value::MakePair(std::move(e.key), std::move(e.payload))});
-            }
-          }
-          tallies[p].columnar_rows_fallback += boxed_rows;
-          return Status::OK();
+        label + ".combine", combine_stage, combine_work,
+        [&](int t, int) -> Status {
+          const int p = combine_salt.task_of[t];
+          const auto [lo, hi] =
+              ChunkRange(src.partition(p).size(), combine_salt.index_of[t],
+                         combine_salt.fanout[p]);
+          return combine_range(t, p, lo, hi);
         },
         &rec, &combine_slots);
     if (!st.ok()) return st;
+    // A split is only exact while every chunk of the partition stayed
+    // on the typed int64 path. A chunk that bounced — boxed rows, or a
+    // payload that turned out non-int64 at runtime — re-runs its whole
+    // source partition unsplit on the driver (rare by construction: the
+    // plan-time schema already claimed int64), zeroing the sibling
+    // chunk slots so the empty chunks contribute nothing downstream.
+    if (combine_salt.active) {
+      for (int p = 0; p < src.num_partitions(); ++p) {
+        if (combine_salt.fanout[p] == 1) continue;
+        bool clean = true;
+        for (int s = 0; s < combine_salt.fanout[p] && clean; ++s) {
+          const int t = combine_salt.first[p] + s;
+          if (!combined[t].empty() ||
+              (typed_combined[t].size() > 0 &&
+               typed_combined[t].payload_mode != TypedPayloadMode::kInt64)) {
+            clean = false;
+          }
+        }
+        if (clean) continue;
+        for (int s = 1; s < combine_salt.fanout[p]; ++s) {
+          const int t = combine_salt.first[p] + s;
+          combined[t].clear();
+          typed_combined[t] = TypedRows();
+          tallies[t].Reset(chain.size());
+        }
+        DIABLO_RETURN_IF_ERROR(combine_range(combine_salt.first[p], p, 0,
+                                             src.partition(p).size()));
+      }
+    }
     stats.fused_ops += static_cast<int64_t>(chain.size());
     for (const ChainTally& t : tallies) t.MergeInto(&stats);
     for (int64_t c : RowCounts(src)) stats.hash_agg_rows += c;
@@ -1517,32 +1832,32 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
       use_typed_shuffle = true;
       TypedKeyMode kmode = TypedKeyMode::kNone;
       TypedPayloadMode pmode = TypedPayloadMode::kNone;
-      for (int p = 0; p < src.num_partitions(); ++p) {
-        if (!combined[p].empty()) {
+      for (int t = 0; t < num_combine; ++t) {
+        if (!combined[t].empty()) {
           use_typed_shuffle = false;
           break;
         }
-        const TypedRows& t = typed_combined[p];
-        if (t.size() == 0) continue;
+        const TypedRows& tc = typed_combined[t];
+        if (tc.size() == 0) continue;
         if (kmode == TypedKeyMode::kNone) {
-          kmode = t.key_mode;
-          pmode = t.payload_mode;
-        } else if (t.key_mode != kmode || t.payload_mode != pmode) {
+          kmode = tc.key_mode;
+          pmode = tc.payload_mode;
+        } else if (tc.key_mode != kmode || tc.payload_mode != pmode) {
           use_typed_shuffle = false;
           break;
         }
       }
       if (!use_typed_shuffle) {
-        for (int p = 0; p < src.num_partitions(); ++p) {
-          typed_combined[p].EmitHashed(&combined[p]);
-          typed_combined[p] = TypedRows();
+        for (int t = 0; t < num_combine; ++t) {
+          typed_combined[t].EmitHashed(&combined[t]);
+          typed_combined[t] = TypedRows();
         }
       }
     }
     int64_t combined_keys = 0;
-    for (int p = 0; p < src.num_partitions(); ++p) {
-      combined_keys += static_cast<int64_t>(combined[p].size()) +
-                       static_cast<int64_t>(typed_combined[p].size());
+    for (int t = 0; t < num_combine; ++t) {
+      combined_keys += static_cast<int64_t>(combined[t].size()) +
+                       static_cast<int64_t>(typed_combined[t].size());
     }
     stats.hash_agg_keys += combined_keys;
     // The combined pairs carry their memoized key hashes straight into
@@ -1606,54 +1921,102 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
   } else {
     shuffled_counts = RowCounts(shuffled);
   }
-  std::vector<ValueVec> out(shuffled_counts.size());
-  std::vector<ChainTally> reduce_tallies(shuffled_counts.size());
+  // Reduce-side skew mitigation (DESIGN.md §17): an oversized
+  // DESTINATION is split into hash STRIPES (RemixHash % k), each folded
+  // by its own virtual task. Every row of a key shares the key's hash
+  // and hence its stripe — no key is ever split — and the stable stripe
+  // pass preserves arrival order within each stripe, so per-key fold
+  // order is untouched for ANY reduce function. The driver's un-salt is
+  // a plain sorted merge of disjoint key sets.
+  const SaltPlan reduce_salt = PlanSalt(shuffled_counts, config_.skew);
+  const int num_reduce = static_cast<int>(reduce_salt.task_of.size());
+  std::vector<TypedRows> typed_parts;
+  std::vector<HashedVec> hashed_parts;
+  if (use_typed_shuffle) {
+    typed_parts.resize(num_reduce);
+  } else {
+    hashed_parts.resize(num_reduce);
+  }
+  for (size_t p = 0; p < shuffled_counts.size(); ++p) {
+    const int f = reduce_salt.fanout[p];
+    const int base = reduce_salt.first[p];
+    if (use_typed_shuffle) {
+      if (f == 1) {
+        typed_parts[base] = std::move(typed_shuffled[p]);
+      } else {
+        std::vector<TypedRows> stripes = StripeTyped(typed_shuffled[p], f);
+        for (int s = 0; s < f; ++s) {
+          typed_parts[base + s] = std::move(stripes[s]);
+        }
+        typed_shuffled[p] = TypedRows();
+      }
+    } else {
+      if (f == 1) {
+        hashed_parts[base] = std::move(shuffled[p]);
+      } else {
+        std::vector<HashedVec> stripes =
+            StripeHashed(std::move(shuffled[p]), f);
+        for (int s = 0; s < f; ++s) {
+          hashed_parts[base + s] = std::move(stripes[s]);
+        }
+      }
+    }
+  }
+  std::vector<int64_t> reduce_work(num_reduce);
+  for (int t = 0; t < num_reduce; ++t) {
+    reduce_work[t] = use_typed_shuffle
+                         ? static_cast<int64_t>(typed_parts[t].size())
+                         : static_cast<int64_t>(hashed_parts[t].size());
+  }
+  std::vector<ValueVec> sub_out(num_reduce);
+  std::vector<ChainTally> reduce_tallies(num_reduce);
   WaveSlots reduce_slots;
-  reduce_slots.rows = &out;
+  reduce_slots.rows = &sub_out;
   reduce_slots.tallies = &reduce_tallies;
   st = RunTaskWave(
-      label, reduce_stage, shuffled_counts,
-      [&](int p, int) -> Status {
-        out[p].clear();
-        reduce_tallies[p].Reset(0);
+      label, reduce_stage, reduce_work,
+      [&](int t, int) -> Status {
+        sub_out[t].clear();
+        reduce_tallies[t].Reset(0);
         if (use_typed_shuffle) {
           // Typed end-to-end: the shuffled arrays fold straight into a
           // typed accumulator — hash, raw key bits and payload, no
           // boxed row until the final sorted emit.
-          const TypedRows& t = typed_shuffled[p];
-          TypedReduceAccumulator typed(*native_op, t.size());
-          typed.BeginTyped(t.key_mode, t.payload_mode);
-          const bool ints = t.payload_mode == TypedPayloadMode::kInt64;
-          for (size_t i = 0; i < t.size(); ++i) {
-            typed.AddHashedBits(t.hashes[i], t.key_bits[i],
-                                ints ? t.pay_ints[i] : 0,
-                                ints ? 0.0 : t.pay_doubles[i]);
+          const TypedRows& tr = typed_parts[t];
+          TypedReduceAccumulator typed(*native_op, tr.size());
+          typed.BeginTyped(tr.key_mode, tr.payload_mode, &tr.dict_values);
+          const bool ints = tr.payload_mode == TypedPayloadMode::kInt64;
+          for (size_t i = 0; i < tr.size(); ++i) {
+            typed.AddHashedBits(tr.hashes[i], tr.key_bits[i],
+                                ints ? tr.pay_ints[i] : 0,
+                                ints ? 0.0 : tr.pay_doubles[i]);
           }
-          typed.EmitSortedRows(&out[p]);
-          if (typed.rows() > 0) reduce_tallies[p].columnar_batches += 1;
+          typed.EmitSortedRows(&sub_out[t]);
+          if (typed.rows() > 0) reduce_tallies[t].columnar_batches += 1;
           return Status::OK();
         }
+        const HashedVec& part = hashed_parts[t];
         if (hash_agg) {
-          KeyedAccumulator<Value> acc(shuffled[p].size());
+          KeyedAccumulator<Value> acc(part.size());
           std::optional<TypedReduceAccumulator> typed;
-          if (try_typed) typed.emplace(*native_op, shuffled[p].size());
+          if (try_typed) typed.emplace(*native_op, part.size());
           int64_t boxed_rows = 0;
           size_t i = 0;
           if (typed.has_value()) {
             // The hash crossed the shuffle with the row: trust it.
-            for (; i < shuffled[p].size(); ++i) {
-              const HashedRow& hr = shuffled[p][i];
+            for (; i < part.size(); ++i) {
+              const HashedRow& hr = part[i];
               if (!typed->AddHashed(hr.hash, hr.row)) break;
             }
-            if (i == shuffled[p].size()) {
-              typed->EmitSortedRows(&out[p]);
-              if (typed->rows() > 0) reduce_tallies[p].columnar_batches += 1;
+            if (i == part.size()) {
+              typed->EmitSortedRows(&sub_out[t]);
+              if (typed->rows() > 0) reduce_tallies[t].columnar_batches += 1;
               return Status::OK();
             }
             typed->SpillTo(&acc);
           }
-          for (; i < shuffled[p].size(); ++i) {
-            const HashedRow& hr = shuffled[p][i];
+          for (; i < part.size(); ++i) {
+            const HashedRow& hr = part[i];
             if (try_typed) ++boxed_rows;
             const ValueVec& kv = hr.row.tuple();
             auto ref = acc.FindOrCreate(hr.hash, kv[0]);
@@ -1663,16 +2026,16 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
               DIABLO_ASSIGN_OR_RETURN(ref.payload, fn(ref.payload, kv[1]));
             }
           }
-          reduce_tallies[p].columnar_rows_fallback += boxed_rows;
+          reduce_tallies[t].columnar_rows_fallback += boxed_rows;
           acc.SortByKey();
-          out[p].reserve(acc.size());
+          sub_out[t].reserve(acc.size());
           for (auto& e : acc.entries()) {
-            out[p].push_back(
+            sub_out[t].push_back(
                 Value::MakePair(std::move(e.key), std::move(e.payload)));
           }
         } else {
           OrderedGroups acc;
-          for (const HashedRow& hr : shuffled[p]) {
+          for (const HashedRow& hr : part) {
             const ValueVec& kv = hr.row.tuple();
             auto it = acc.find(kv[0]);
             if (it == acc.end()) {
@@ -1681,27 +2044,55 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
               DIABLO_ASSIGN_OR_RETURN(it->second[0], fn(it->second[0], kv[1]));
             }
           }
-          out[p].reserve(acc.size());
+          sub_out[t].reserve(acc.size());
           for (auto& [key, vals] : acc) {
-            out[p].push_back(Value::MakePair(key, std::move(vals[0])));
+            sub_out[t].push_back(Value::MakePair(key, std::move(vals[0])));
           }
         }
         return Status::OK();
       },
       &rec, &reduce_slots);
   if (!st.ok()) return st;
+  // Driver-side un-salt: striped destinations merge, the rest move.
+  std::vector<ValueVec> out(shuffled_counts.size());
+  std::vector<int64_t> unsalt_work;
+  for (size_t p = 0; p < out.size(); ++p) {
+    if (reduce_salt.fanout[p] == 1) {
+      out[p] = std::move(sub_out[reduce_salt.first[p]]);
+      continue;
+    }
+    std::vector<ValueVec> parts;
+    parts.reserve(reduce_salt.fanout[p]);
+    for (int s = 0; s < reduce_salt.fanout[p]; ++s) {
+      parts.push_back(std::move(sub_out[reduce_salt.first[p] + s]));
+    }
+    out[p] = MergeSortedRows(std::move(parts));
+    unsalt_work.push_back(static_cast<int64_t>(out[p].size()));
+  }
   for (const ChainTally& t : reduce_tallies) t.MergeInto(&stats);
   stats.label = FusedStageLabel(chain, label);
   stats.wide = true;
-  stats.map_work = RowCounts(src);
-  stats.reduce_work = shuffled_counts;
+  stats.map_work = std::move(combine_work);
+  stats.reduce_work = std::move(reduce_work);
   stats.shuffle_bytes = bytes;
   stats.partition_rows = RowCounts(out);
+  // Stripe and chunk splits never fold one key in two sub-tasks (the
+  // un-salt merges are over disjoint key sets; chunk partials re-merge
+  // in the reduce stage itself), so salted_keys stays 0 here — only
+  // groupByKey's bag-concat un-salt reports it.
+  stats.salt_fanout = combine_salt.extra + reduce_salt.extra;
   if (hash_agg) {
     for (int64_t c : shuffled_counts) stats.hash_agg_rows += c;
     for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
   }
   FinishStage(std::move(stats), rec);
+  if (reduce_salt.active) {
+    StageStats unsalt;
+    unsalt.label = label + ".unsalt";
+    unsalt.wide = false;
+    unsalt.map_work = std::move(unsalt_work);
+    RecordPlannerStage(std::move(unsalt));
+  }
   const int out_parts = config_.num_partitions;
   auto lineage = MakeLineage(
       "reduceByKey", label, {src.lineage()}, nullptr,

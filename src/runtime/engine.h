@@ -23,6 +23,35 @@ namespace diablo::runtime {
 class WorkerPool;
 class RemoteExecutor;
 
+/// Runtime skew mitigation (DESIGN.md §17). When one task of a combine
+/// or reduce wave would receive far more rows than its peers — a hot
+/// key, a key-clustered input layout, or many keys hashed together —
+/// the engine "salts" that task: it is split into sub-tasks that run in
+/// parallel, and a final un-salt merge reassembles the task's output
+/// byte-identically to the unmitigated run. Three mechanisms, chosen by
+/// operator so exactness never depends on luck:
+///  - groupByKey reduce tasks split into contiguous row CHUNKS (a key's
+///    bag is its values in arrival order, and concatenating per-chunk
+///    bags in chunk order IS arrival order — exact for every type);
+///  - reduceByKey reduce tasks split into hash STRIPES (remixed key
+///    hash modulo fanout): no key is ever split across sub-tasks, so
+///    any reduce function stays exact, and the merge is a disjoint
+///    sorted merge;
+///  - reduceByKey combine tasks over provably bit-associative folds
+///    (native {+, *, min, max} on int64 payloads) split into contiguous
+///    row chunks whose partials re-merge in the normal reduce stage.
+struct SkewConfig {
+  /// Master switch (diablo_run --no-skew; the AB10 ablation baseline).
+  bool mitigate = true;
+  /// A task is hot when its rows exceed `ratio` times the wave mean...
+  double ratio = 4.0;
+  /// ...and it carries at least this many rows. Small waves — every
+  /// tier-1 test — never salt, so their stage accounting is untouched.
+  int64_t min_rows = 64 * 1024;
+  /// Most sub-tasks one hot task may be split into.
+  int max_fanout = 8;
+};
+
 /// Configuration of the simulated cluster engine.
 struct EngineConfig {
   /// Number of partitions newly parallelized datasets are split into.
@@ -87,6 +116,10 @@ struct EngineConfig {
 #else
   bool columnar = true;
 #endif
+  /// Runtime skew mitigation thresholds (see SkewConfig above). On by
+  /// default; outputs are byte-identical with or without it
+  /// (tests/skew_test.cc), only wall-clock and task accounting change.
+  SkewConfig skew;
   /// Deterministic fault injection and recovery policy (runtime/fault.h).
   /// Off by default: with no fault class enabled the engine skips all
   /// fault bookkeeping and retains no lineage closures.
@@ -217,6 +250,12 @@ class Engine {
   /// other stage.
   void RecordPlannerStage(StageStats stats);
 
+  /// Counts one profile-informed plan decision (broadcast-vs-hash join,
+  /// partition count chosen from --profile-in evidence); drained into
+  /// the next finished stage's StageStats::cost_decisions, mirroring
+  /// how pool task tallies are attributed.
+  void RecordCostDecision() { ++cost_decisions_pending_; }
+
   /// Clears recorded metrics and restarts stage numbering, so a fresh
   /// run on this engine sees the same fault schedule as the previous one
   /// (stage ids are the injector's coordinates). Trace spans recorded so
@@ -225,6 +264,7 @@ class Engine {
     metrics_.Clear();
     next_stage_id_ = 0;
     pool_tasks_pending_ = 0;
+    cost_decisions_pending_ = 0;
     if (TraceRecorder* t = trace()) t->Clear();
   }
 
@@ -484,6 +524,9 @@ class Engine {
   /// (RunPerPartition returns only after the wave completes); mutable
   /// because RunPerPartition is const.
   mutable int64_t pool_tasks_pending_ = 0;
+  /// Profile-informed decisions since the last FinishStage (see
+  /// RecordCostDecision).
+  int64_t cost_decisions_pending_ = 0;
   /// Persistent worker pool (EngineConfig::persistent_pool), created
   /// lazily on the first multi-threaded wave and reused for the
   /// engine's whole lifetime. Mutable: creating it does not change

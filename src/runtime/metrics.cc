@@ -131,6 +131,24 @@ int64_t Metrics::total_dist_workers_lost() const {
   return n;
 }
 
+int64_t Metrics::total_salted_keys() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.salted_keys;
+  return n;
+}
+
+int64_t Metrics::total_salt_fanout() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.salt_fanout;
+  return n;
+}
+
+int64_t Metrics::total_cost_decisions() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n += s.cost_decisions;
+  return n;
+}
+
 double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {
@@ -191,6 +209,11 @@ std::string Metrics::Report() const {
         os << " dist_workers_lost=" << s.dist_workers_lost;
       }
     }
+    if (s.salted_keys > 0 || s.salt_fanout > 0) {
+      os << " salted_keys=" << s.salted_keys
+         << " salt_fanout=" << s.salt_fanout;
+    }
+    if (s.cost_decisions > 0) os << " cost_decisions=" << s.cost_decisions;
     os << "\n";
   }
   return os.str();

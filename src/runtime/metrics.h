@@ -73,6 +73,18 @@ struct StageStats {
   int64_t dist_tasks = 0;
   int64_t dist_retries = 0;
   int64_t dist_workers_lost = 0;
+  /// Adaptive-execution accounting (DESIGN.md §17, under
+  /// EngineConfig::skew). `salted_keys` counts distinct keys whose rows
+  /// were folded in more than one salted sub-task and re-merged by the
+  /// un-salt stage; `salt_fanout` counts the extra sub-tasks skew
+  /// mitigation created beyond the unmitigated task count;
+  /// `cost_decisions` counts plan/engine decisions (broadcast-vs-hash
+  /// join, partition count) that consulted a `--profile-in` prior-run
+  /// profile. All 0 when mitigation never triggered and no profile was
+  /// supplied.
+  int64_t salted_keys = 0;
+  int64_t salt_fanout = 0;
+  int64_t cost_decisions = 0;
   /// Source provenance: the loop statement in the .diablo program this
   /// stage was translated from. `src_line == 0` means unknown (e.g. a
   /// stage run outside any statement scope). Reports render it as
@@ -154,6 +166,12 @@ class Metrics {
   int64_t total_dist_retries() const;
   /// Worker processes lost (and recovered from) across all stages.
   int64_t total_dist_workers_lost() const;
+  /// Keys folded in more than one salted sub-task across all stages.
+  int64_t total_salted_keys() const;
+  /// Extra sub-tasks skew mitigation created across all stages.
+  int64_t total_salt_fanout() const;
+  /// Profile-informed plan decisions taken across all stages.
+  int64_t total_cost_decisions() const;
 
   /// Simulated wall-clock seconds on a cluster described by `model`,
   /// recovery overhead included.

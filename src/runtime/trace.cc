@@ -385,7 +385,7 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
     }
     if (s.kind == SpanKind::kRun) run_wall_us += s.dur_us;
   }
-  os << "{\"schema_version\":2,\"program\":\"" << EscapeJson(program)
+  os << "{\"schema_version\":3,\"program\":\"" << EscapeJson(program)
      << "\",\"tracing\":" << (spans.empty() ? "false" : "true")
      << ",\"run_wall_us\":" << FmtDouble(run_wall_us) << ",\"totals\":{"
      << "\"stages\":" << metrics.num_stages()
@@ -404,6 +404,9 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
      << ",\"columnar_batches\":" << metrics.total_columnar_batches()
      << ",\"columnar_rows_fallback\":"
      << metrics.total_columnar_rows_fallback()
+     << ",\"salted_keys\":" << metrics.total_salted_keys()
+     << ",\"salt_fanout\":" << metrics.total_salt_fanout()
+     << ",\"cost_decisions\":" << metrics.total_cost_decisions()
      << ",\"simulated_seconds\":" << FmtDouble(metrics.SimulatedSeconds(model))
      << ",\"simulated_fault_free_seconds\":"
      << FmtDouble(metrics.SimulatedFaultFreeSeconds(model)) << "},\"stages\":[";
@@ -430,6 +433,9 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
        << ",\"pool_tasks\":" << s.pool_tasks
        << ",\"columnar_batches\":" << s.columnar_batches
        << ",\"columnar_rows_fallback\":" << s.columnar_rows_fallback
+       << ",\"salted_keys\":" << s.salted_keys
+       << ",\"salt_fanout\":" << s.salt_fanout
+       << ",\"cost_decisions\":" << s.cost_decisions
        << ",\"partitions\":{\"rows\":";
     WriteIntArray(s.partition_rows, os);
     os << ",\"bytes\":";

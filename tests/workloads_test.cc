@@ -42,6 +42,29 @@ TEST(Workloads, StringsComeFromBoundedVocabulary) {
   EXPECT_GE(seen.size(), 2u);
 }
 
+TEST(Workloads, ZipfPairsAreHeavyHitterSkewed) {
+  std::mt19937_64 rng(9);
+  const int64_t n = 20000;
+  Value v = ZipfPairs(n, /*keys=*/1000, /*s=*/2.0, rng);
+  ASSERT_TRUE(v.is_bag());
+  ASSERT_EQ(v.bag().size(), static_cast<size_t>(n));
+  int64_t top = 0;
+  for (const Value& row : v.bag()) {
+    ASSERT_TRUE(row.tuple()[0].is_int());
+    int64_t rank = row.tuple()[0].AsInt();
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 1000);
+    EXPECT_EQ(row.tuple()[1].AsInt(), 1);
+    if (rank == 0) ++top;
+  }
+  // At s = 2 rank 0 holds ~ 1/zeta(2) ~ 61% of the mass: the heavy
+  // hitter the skew mitigation benches (AB10) are built around.
+  EXPECT_GT(top, n / 2);
+
+  std::mt19937_64 a(4), b(4);
+  EXPECT_EQ(ZipfPairs(500, 100, 1.1, a), ZipfPairs(500, 100, 1.1, b));
+}
+
 TEST(Workloads, PixelsHaveRgbFields) {
   std::mt19937_64 rng(5);
   Value v = RandomPixelVector(10, rng);

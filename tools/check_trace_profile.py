@@ -6,7 +6,7 @@ Usage:
                            [--require-locations]
 
 Checks the schema contract of runtime/trace.cc:WriteProfileJson
-(schema_version 2): required top-level keys and totals counters, every
+(schema_version 3): required top-level keys and totals counters, every
 stage entry carrying label / location / counters / per-partition
 histograms, and — when tracing was on — task stats whose percentiles
 are ordered (p50 <= p90 <= max), whose skew ratio is max/mean, and
@@ -25,7 +25,8 @@ TOTALS_KEYS = [
     "recomputed_partitions", "recovery_seconds", "fused_ops",
     "rows_not_materialized", "bytes_not_materialized", "hash_agg_rows",
     "hash_agg_keys", "pool_tasks", "columnar_batches",
-    "columnar_rows_fallback", "simulated_seconds",
+    "columnar_rows_fallback", "salted_keys", "salt_fanout",
+    "cost_decisions", "simulated_seconds",
     "simulated_fault_free_seconds",
 ]
 STAGE_KEYS = [
@@ -34,6 +35,7 @@ STAGE_KEYS = [
     "recovery_seconds", "fused_ops", "rows_not_materialized",
     "bytes_not_materialized", "hash_agg_rows", "hash_agg_keys",
     "pool_tasks", "columnar_batches", "columnar_rows_fallback",
+    "salted_keys", "salt_fanout", "cost_decisions",
     "partitions", "tasks",
 ]
 TASK_KEYS = [
@@ -76,7 +78,13 @@ def check_stage(stage, i, require_locations):
         return
     for key in TASK_KEYS:
         require(key in tasks, f"stage {i}: tasks missing key '{key}'")
-    require(tasks["count"] >= 1, f"stage {i}: tasks.count < 1")
+    # Driver-side stages (broadcast ship, cartesian product, un-salt
+    # merges) record a stage span with no partition tasks: a zero count
+    # is legal, but the percentile invariants below only apply to stages
+    # that actually ran tasks.
+    require(tasks["count"] >= 0, f"stage {i}: tasks.count < 0")
+    if tasks["count"] == 0:
+        return
     require(tasks["p50_us"] <= tasks["p90_us"] <= tasks["max_us"],
             f"stage {i}: percentiles out of order")
     require(tasks["mean_us"] <= tasks["max_us"] + 1e-9,
@@ -93,8 +101,8 @@ def check_stage(stage, i, require_locations):
 
 
 def check_profile(doc, require_tracing, require_locations):
-    require(doc.get("schema_version") == 2,
-            f"schema_version is {doc.get('schema_version')!r}, want 2")
+    require(doc.get("schema_version") == 3,
+            f"schema_version is {doc.get('schema_version')!r}, want 3")
     for key in ("program", "tracing", "run_wall_us", "totals", "stages"):
         require(key in doc, f"missing top-level key '{key}'")
     if require_tracing:

@@ -27,6 +27,13 @@
 //   --no-opt             plan-lint the unoptimized target code
 //   --max-domain N       witness search domain per loop index (default 6)
 //   --bytes-per-slot N   shuffled-bytes model for P001 (default 16)
+//   --profile-in=FILE    a prior `diablo_run --profile-out` JSON: P001
+//                        stage notes and the P201/P202 cost advisories
+//                        report the measured shuffle bytes and key
+//                        cardinality next to the static estimates
+//                        (matched by provenance; stale profiles simply
+//                        add no evidence). The JSON output schema is
+//                        unchanged — evidence lands in the message text.
 //
 // Exit codes: 0 no error-severity diagnostics (warnings and notes are
 // fine), 2 parse error, 3 error diagnostics reported, 4 translation
@@ -35,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +78,8 @@ int ExitCodeFor(StatusCode code) {
       return 6;
     case StatusCode::kUnsupported:
       return 7;
+    case StatusCode::kDistError:
+      return 1;  // the linter never reaches the distributed backend
   }
   return 1;
 }
@@ -99,6 +109,7 @@ std::string ReadFile(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string program_path;
+  std::string profile_in;
   bool json = false;
   bool plan_level = true;
   diablo::CompileOptions compile_options;
@@ -138,6 +149,8 @@ int main(int argc, char** argv) {
       if (plan_options.bytes_per_slot < 1) {
         Die("--bytes-per-slot must be at least 1");
       }
+    } else if (arg == "--profile-in" || arg.rfind("--profile-in=", 0) == 0) {
+      profile_in = arg.size() > 13 ? arg.substr(13) : next();
     } else if (arg.rfind("--", 0) == 0) {
       Die("unknown option " + arg);
     } else if (program_path.empty()) {
@@ -148,10 +161,28 @@ int main(int argc, char** argv) {
   }
   if (program_path.empty()) {
     Die("usage: diablo_lint PROGRAM.diablo [--format=text|json] "
-        "[--no-plan] [--no-opt] [--max-domain N] [--bytes-per-slot N]");
+        "[--no-plan] [--no-opt] [--max-domain N] [--bytes-per-slot N] "
+        "[--profile-in FILE]");
   }
 
   std::string source = ReadFile(program_path);
+
+  // Measured evidence (--profile-in): parsed once, matched against plan
+  // nodes by provenance. The stage file names in a profile are the
+  // program basename the profiled run used, so match on ours.
+  std::unique_ptr<diablo::runtime::ProfileData> profile;
+  if (!profile_in.empty()) {
+    auto parsed_profile =
+        diablo::runtime::ProfileData::Parse(ReadFile(profile_in));
+    if (!parsed_profile.ok()) DieStatus(parsed_profile.status());
+    profile = std::make_unique<diablo::runtime::ProfileData>(
+        std::move(parsed_profile.value()));
+    plan_options.profile = profile.get();
+    size_t slash = program_path.find_last_of('/');
+    plan_options.profile_file = slash == std::string::npos
+                                    ? program_path
+                                    : program_path.substr(slash + 1);
+  }
 
   auto parsed = diablo::parser::ParseProgram(source);
   if (!parsed.ok()) DieStatus(parsed.status());

@@ -20,6 +20,15 @@
 //                            (open in chrome://tracing or Perfetto)
 //   --profile-out=FILE       write the schema-stable profile JSON
 //                            (validated by tools/check_trace_profile.py)
+//   --profile-in=FILE        feed a prior run's --profile-out JSON back
+//                            into the planner: broadcast-vs-hash join and
+//                            the partition count (unless --partitions is
+//                            given) follow the measured stage facts
+//                            instead of static estimates. A stale profile
+//                            (renamed program, shifted lines) degrades
+//                            gracefully to the static rules.
+//   --no-skew                disable runtime skew mitigation (salting of
+//                            hot reduce tasks; SkewConfig::mitigate=0)
 //   --no-trace               disable span recording (EngineConfig::tracing)
 //   --no-fusion              eager narrow operators (fuse_narrow=0, AB6)
 //   --no-hash-agg            ordered-map shuffle aggregation
@@ -278,7 +287,8 @@ int main(int argc, char** argv) {
   diablo::RunOptions run_options;
   bool show_target = false, plan_report = false, use_reference = false;
   bool use_local = false, explain_analyze = false;
-  std::string trace_out, profile_out;
+  bool partitions_set = false;
+  std::string trace_out, profile_out, profile_in;
   int dist_workers = 0;
   bool chaos_seed_set = false;
   diablo::dist::DistConfig dist_config;
@@ -311,6 +321,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--profile-out" ||
                arg.rfind("--profile-out=", 0) == 0) {
       profile_out = arg.size() > 14 ? arg.substr(14) : next();
+    } else if (arg == "--profile-in" ||
+               arg.rfind("--profile-in=", 0) == 0) {
+      profile_in = arg.size() > 13 ? arg.substr(13) : next();
+    } else if (arg == "--no-skew") {
+      engine_config.skew.mitigate = false;
     } else if (arg == "--no-trace") {
       engine_config.tracing = false;
     } else if (arg == "--no-fusion") {
@@ -323,6 +338,7 @@ int main(int argc, char** argv) {
       engine_config.columnar = false;
     } else if (arg == "--partitions") {
       engine_config.num_partitions = std::atoi(next().c_str());
+      partitions_set = true;
     } else if (arg == "--workers") {
       engine_config.cluster.num_workers = std::atoi(next().c_str());
     } else if (arg == "--threads") {
@@ -521,7 +537,35 @@ int main(int argc, char** argv) {
     Die("--chaos-kill/--chaos-kill-rate require --dist-workers");
   }
 
+  // Profile feedback (--profile-in): the parsed profile must outlive the
+  // run (RunOptions::profile is a borrowed pointer). The partition count
+  // is a plan choice too: when --partitions was not given explicitly, let
+  // the measured row counts of the prior run size the partitioning.
+  std::unique_ptr<diablo::runtime::ProfileData> profile;
+  bool partitions_recommended = false;
+  if (!profile_in.empty()) {
+    auto parsed_profile =
+        diablo::runtime::ProfileData::Parse(ReadFile(profile_in));
+    if (!parsed_profile.ok()) DieStatus(parsed_profile.status());
+    profile = std::make_unique<diablo::runtime::ProfileData>(
+        std::move(parsed_profile.value()));
+    run_options.profile = profile.get();
+    if (!partitions_set) {
+      int recommended = diablo::runtime::RecommendPartitions(
+          *profile, engine_config.cluster.num_workers,
+          engine_config.num_partitions);
+      if (recommended != engine_config.num_partitions) {
+        std::fprintf(stderr,
+                     "diablo_run: profile feedback: partitions %d -> %d\n",
+                     engine_config.num_partitions, recommended);
+        engine_config.num_partitions = recommended;
+        partitions_recommended = true;
+      }
+    }
+  }
+
   diablo::runtime::Engine engine(engine_config);
+  if (partitions_recommended) engine.RecordCostDecision();
   auto run = diablo::Run(*compiled, &engine, inputs, run_options);
   if (!run.ok()) DieStatus(run.status());
 
