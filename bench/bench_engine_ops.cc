@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.h"
 #include "runtime/column_batch.h"
 #include "runtime/engine.h"
 #include "runtime/operators.h"
@@ -172,6 +173,33 @@ void BM_ReduceByKeyHotTraced(benchmark::State& state) {
 BENCHMARK(BM_ReduceByKeyHotTraced)
     ->Args({200000, 20000, 0})
     ->Args({200000, 20000, 1})
+    ->ArgNames({"rows", "keys", "trace"});
+
+// The cluster-telemetry overhead gate: the same reduceByKey executed
+// over forked worker processes, with tracing (and therefore the
+// per-task kTelemetry frames the workers ship back) off vs on.
+// tools/check_trace_overhead.py holds the traced variant within the
+// same 5% budget as the local pair above — spans ride an
+// already-open socket just ahead of each result frame, so the frame
+// overhead, not the span bookkeeping, is what this measures.
+void BM_DistReduceByKeyTraced(benchmark::State& state) {
+  diablo::dist::DistConfig dist_config;
+  dist_config.num_workers = 2;
+  diablo::dist::Coordinator coordinator(dist_config);
+  diablo::runtime::EngineConfig config;
+  config.remote = &coordinator;
+  config.tracing = state.range(2) != 0;
+  Engine engine(config);
+  Dataset ds = KeyedData(engine, state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto out = engine.ReduceByKey(ds, BinOp::kAdd);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistReduceByKeyTraced)
+    ->Args({100000, 10000, 0})
+    ->Args({100000, 10000, 1})
     ->ArgNames({"rows", "keys", "trace"});
 
 // The AB9 ablation pair CI gates with check_bench_regression.py

@@ -22,6 +22,7 @@
 #include "dist/transport.h"
 #include "dist/wire.h"
 #include "dist/worker.h"
+#include "runtime/events.h"
 
 namespace diablo::dist {
 
@@ -31,6 +32,12 @@ using Clock = std::chrono::steady_clock;
 
 int64_t MsSince(Clock::time_point then, Clock::time_point now) {
   return std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
+      .count();
+}
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             Clock::now().time_since_epoch())
       .count();
 }
 
@@ -48,6 +55,9 @@ struct WorkerState {
   int in_flight = -1;
   Clock::time_point dispatched_at;
   std::deque<int> queue;
+  /// Worker steady clock minus coordinator steady clock (µs), measured
+  /// when the Hello arrived; rebases telemetry span times.
+  double clock_offset_us = 0;
   /// Results installed from this worker id during the current wave,
   /// cumulative across respawns — the chaos-kill trigger coordinate.
   int results_in_wave = 0;
@@ -115,6 +125,10 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
     }
   };
 
+  // Structured event sink; every emission is gated on the null test so
+  // runs without --events-out stay byte-identical.
+  runtime::EventLog* events = config_.events;
+
   // Forks one child for worker slot `w`. The child sheds every fd it
   // inherited from the coordinator (listener + peers), then serves the
   // wave closures it got for free via copy-on-write. _exit only: the
@@ -127,6 +141,7 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
     params.heartbeat_ms = config_.heartbeat_ms;
     params.connect_attempts = config_.connect_attempts;
     params.connect_backoff_ms = config_.connect_backoff_ms;
+    params.telemetry = wave.want_telemetry;
     if (w == config_.stall_worker) params.stall_ms = config_.stall_ms;
     pid_t pid = fork();
     if (pid < 0) {
@@ -188,6 +203,14 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
                  "after %d results)\n",
                  w, static_cast<long>(ws.pid), wave.stage,
                  ws.results_in_wave);
+    if (events != nullptr) {
+      runtime::Event e;
+      e.name = "chaos_kill";
+      e.stage_id = wave.stage;
+      e.ints.emplace_back("worker", w);
+      e.ints.emplace_back("after_results", ws.results_in_wave);
+      events->Emit(std::move(e));
+    }
     kill(ws.pid, SIGKILL);
     declare_dead(w, "chaos kill");
   };
@@ -285,6 +308,23 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
     ws.queue.clear();
     log(StrCat("worker ", w, " lost (", reason, "); ", owed.size(),
                " tasks re-admitted"));
+    if (events != nullptr) {
+      runtime::Event e;
+      e.name = "worker_lost";
+      e.stage_id = wave.stage;
+      e.ints.emplace_back("worker", w);
+      e.ints.emplace_back("tasks_readmitted",
+                          static_cast<int64_t>(owed.size()));
+      e.strs.emplace_back("reason", reason);
+      events->Emit(std::move(e));
+      if (std::strcmp(reason, "heartbeat timeout") == 0) {
+        runtime::Event hb;
+        hb.name = "heartbeat_loss";
+        hb.stage_id = wave.stage;
+        hb.ints.emplace_back("worker", w);
+        events->Emit(std::move(hb));
+      }
+    }
     wave.on_worker_lost(w, owed, reason);
 
     // Degrade onto survivors, round-robin in id order; respawn is the
@@ -305,6 +345,14 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
         ++respawns_used_;
         log(StrCat("respawning worker ", w, " (", respawns_used_, "/",
                    config_.max_respawns, " respawns used)"));
+        if (events != nullptr) {
+          runtime::Event e;
+          e.name = "worker_respawn";
+          e.stage_id = wave.stage;
+          e.ints.emplace_back("worker", w);
+          e.ints.emplace_back("respawns_used", respawns_used_);
+          events->Emit(std::move(e));
+        }
         Status st = spawn(w);
         if (!st.ok()) {
           fail_wave(std::move(st));
@@ -392,6 +440,20 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
       switch (frame.type) {
         case FrameType::kHeartbeat:
           break;  // last_heard already refreshed
+        case FrameType::kTelemetry: {
+          // Arrives just before its task result (same socket, so order
+          // is guaranteed); splice it while the task is still in
+          // flight so on_complete can see it happened.
+          runtime::WorkerTelemetry telemetry;
+          if (!DecodeTelemetryPayload(frame.payload, &telemetry).ok()) {
+            declare_dead(w, "corrupt telemetry");
+            return;
+          }
+          if (wave.on_telemetry) {
+            wave.on_telemetry(w, ws.clock_offset_us, telemetry);
+          }
+          break;
+        }
         case FrameType::kTaskResult:
           handle_result(w, frame.payload);
           if (!workers[w].alive) return;  // reader is gone
@@ -424,8 +486,10 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
     int worker_id = 0;
     int64_t pid = 0;
     uint64_t hello_token = 0;
+    double worker_steady_us = 0;
     if (frame.type != FrameType::kHello ||
-        !DecodeHelloPayload(frame.payload, &worker_id, &pid, &hello_token)
+        !DecodeHelloPayload(frame.payload, &worker_id, &pid, &hello_token,
+                            &worker_steady_us)
              .ok() ||
         hello_token != token || worker_id < 0 || worker_id >= num_workers ||
         !workers[worker_id].alive || workers[worker_id].connected) {
@@ -433,6 +497,12 @@ Status Coordinator::RunWave(const runtime::RemoteTaskWave& wave,
       return false;
     }
     WorkerState& ws = workers[worker_id];
+    // Clock alignment: the worker stamped its steady clock just before
+    // sending the Hello; subtracting our reading now measures the
+    // offset plus one-way latency. Forked workers on one host share
+    // CLOCK_MONOTONIC, so the residual is pure latency — the engine
+    // collapses sub-threshold offsets to zero when splicing spans.
+    ws.clock_offset_us = worker_steady_us - SteadyNowUs();
     if (!SendFrame(conn.fd, FrameType::kHelloAck, std::string()).ok()) {
       CloseFd(conn.fd);
       return false;

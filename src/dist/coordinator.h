@@ -7,6 +7,10 @@
 #include "dist/chaos.h"
 #include "runtime/remote.h"
 
+namespace diablo::runtime {
+class EventLog;
+}  // namespace diablo::runtime
+
 namespace diablo::dist {
 
 /// Knobs of the multi-process distributed backend.
@@ -42,6 +46,9 @@ struct DistConfig {
   ChaosConfig chaos;
   /// Log kills/deaths/respawns to stderr.
   bool verbose = false;
+  /// Structured event sink (chaos_kill / worker_lost / heartbeat_loss /
+  /// worker_respawn events); null disables emission. Not owned.
+  runtime::EventLog* events = nullptr;
 };
 
 /// Multi-process wave executor: forks `num_workers` children per wave

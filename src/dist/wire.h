@@ -40,6 +40,10 @@ enum class FrameType : uint8_t {
   kTaskResult = 5,
   /// Coordinator -> worker: exit cleanly (empty payload).
   kShutdown = 6,
+  /// Worker -> coordinator: task telemetry (spans + process counters),
+  /// sent immediately before the matching kTaskResult when the
+  /// coordinator requested telemetry in the task frame.
+  kTelemetry = 7,
 };
 
 /// True for the frame types above; anything else on the wire is corrupt.

@@ -23,6 +23,9 @@ struct WorkerParams {
   /// deadline/heartbeat test can make one worker pathologically slow
   /// without real clock dependence in assertions.
   int stall_ms = 0;
+  /// Record task spans + process counters and ship them in a kTelemetry
+  /// frame before every successful task result.
+  bool telemetry = false;
 };
 
 /// Body of a forked worker child. Connects back to the coordinator,
@@ -35,10 +38,15 @@ struct WorkerParams {
                              const runtime::RemoteTaskWave& wave);
 
 /// Payload builders/parsers shared by worker and coordinator (and
-/// exercised directly in tests).
-std::string EncodeHelloPayload(int worker_id, int64_t pid, uint64_t token);
+/// exercised directly in tests). The hello carries the worker's
+/// absolute steady-clock reading (µs) taken just before the send; the
+/// coordinator subtracts its own reading at receive to measure the
+/// clock offset used to rebase telemetry span times.
+std::string EncodeHelloPayload(int worker_id, int64_t pid, uint64_t token,
+                               double steady_now_us);
 Status DecodeHelloPayload(const std::string& payload, int* worker_id,
-                          int64_t* pid, uint64_t* token);
+                          int64_t* pid, uint64_t* token,
+                          double* steady_now_us);
 std::string EncodeTaskPayload(int p, int attempt);
 Status DecodeTaskPayload(const std::string& payload, int* p, int* attempt);
 std::string EncodeTaskResultPayload(int p, int attempt, const Status& status,
@@ -46,6 +54,12 @@ std::string EncodeTaskResultPayload(int p, int attempt, const Status& status,
 Status DecodeTaskResultPayload(const std::string& payload, int* p,
                                int* attempt, Status* task_status,
                                std::string* slots);
+/// kTelemetry payload: task + attempt it accompanies, worker peak RSS,
+/// and the spans recorded while running the task (absolute worker
+/// steady-clock times; see runtime::WorkerTelemetry).
+std::string EncodeTelemetryPayload(const runtime::WorkerTelemetry& telemetry);
+Status DecodeTelemetryPayload(const std::string& payload,
+                              runtime::WorkerTelemetry* telemetry);
 
 }  // namespace diablo::dist
 

@@ -164,6 +164,15 @@ Status TargetExecutor::ExecStmt(const comp::TargetStmtPtr& stmt) {
   runtime::ScopedSpan stmt_span(engine_->trace(),
                                 runtime::SpanKind::kStatement, label);
   stmt_span.SetLocation(program_name_, stmt->loc.line, stmt->loc.column);
+  if (runtime::EventLog* events = engine_->config().events) {
+    runtime::Event e;
+    e.name = "statement";
+    e.src_file = program_name_;
+    e.src_line = stmt->loc.line;
+    e.src_column = stmt->loc.column;
+    e.strs.emplace_back("label", label);
+    events->Emit(std::move(e));
+  }
   ProvenanceScope provenance(
       engine_, runtime::EngineProvenance{program_name_, stmt->loc.line,
                                          stmt->loc.column, std::move(label)});

@@ -277,6 +277,18 @@ class TypedReduceAccumulator {
   void AddHashedBits(size_t hash, int64_t key_bits, int64_t pay_int,
                      double pay_double);
 
+  /// Estimated footprint of the typed table (probe slots, hashes, key
+  /// bits, payload columns — capacities, since the reservation is the
+  /// cost). Mirrors KeyedAccumulator::MemoryBytes for the telemetry
+  /// watermark; dictionary string storage is not chased.
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(uint32_t) +
+           hashes_.capacity() * sizeof(size_t) +
+           key_bits_.capacity() * sizeof(int64_t) +
+           pay_ints_.capacity() * sizeof(int64_t) +
+           pay_doubles_.capacity() * sizeof(double);
+  }
+
  private:
   using KeyMode = TypedKeyMode;
   using PayloadMode = TypedPayloadMode;

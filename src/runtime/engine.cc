@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "runtime/metrics_registry.h"
 #include "runtime/remote.h"
 #include "runtime/serialize.h"
 #include "runtime/worker_pool.h"
@@ -53,6 +54,15 @@ std::vector<int64_t> RowCounts(const Dataset& ds) {
 double RetryBackoff(const FaultConfig& fc, int attempt) {
   return fc.retry_backoff_seconds * std::ldexp(1.0, std::min(attempt, 16));
 }
+
+/// Worker clock offsets below this are treated as zero when splicing
+/// worker telemetry spans into the driver trace: forked workers share
+/// the driver's CLOCK_MONOTONIC, so the Hello-measured offset is pure
+/// scheduling noise, and collapsing it keeps worker spans nested inside
+/// their dispatch window. Larger offsets (a worker with a genuinely
+/// different clock base) are applied; the measured value is recorded on
+/// the span either way.
+constexpr double kClockAlignThresholdUs = 10'000.0;
 
 int HashDestination(size_t hash, int out_parts) {
   return static_cast<int>(hash % static_cast<size_t>(out_parts));
@@ -115,6 +125,25 @@ SaltPlan PlanSalt(const std::vector<int64_t>& rows, const SkewConfig& cfg) {
     }
   }
   return plan;
+}
+
+/// Emits the skew_salting event for an active salt plan (no-op when the
+/// plan split nothing or no log is attached): how many hot tasks were
+/// split and how many extra sub-tasks the split added.
+void EmitSkewSalting(EventLog* events, int stage, const char* wave,
+                     const SaltPlan& salt) {
+  if (events == nullptr || !salt.active) return;
+  Event e;
+  e.name = "skew_salting";
+  e.stage_id = stage;
+  int64_t hot = 0;
+  for (int f : salt.fanout) {
+    if (f > 1) ++hot;
+  }
+  e.ints.emplace_back("hot_tasks", hot);
+  e.ints.emplace_back("extra_tasks", salt.extra);
+  e.strs.emplace_back("wave", wave);
+  events->Emit(std::move(e));
 }
 
 /// Row range [lo, hi) of chunk `index` of `fanout` over `n` rows:
@@ -449,6 +478,19 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
   }
   const FaultConfig& fc = config_.faults;
   const int budget = fc.max_task_attempts;
+  // One structured event per failed attempt. EventLog::Emit locks, so
+  // the wave threads may race here without ordering guarantees beyond
+  // the log's own timestamping.
+  auto emit_retry = [&](int p, int attempt, const char* reason) {
+    if (config_.events == nullptr) return;
+    Event e;
+    e.name = "task_retry";
+    e.stage_id = stage;
+    e.ints.emplace_back("partition", p);
+    e.ints.emplace_back("attempt", attempt);
+    e.strs.emplace_back("reason", reason);
+    config_.events->Emit(std::move(e));
+  };
   // Per-task tallies, merged in index order below so the floating-point
   // sums are identical for every host_threads setting.
   std::vector<int64_t> attempts(n, 0);
@@ -462,6 +504,7 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
         // The attempt dies partway through: its work is wasted and the
         // scheduler waits out a backoff before relaunching.
         recovery[p] += task_seconds + RetryBackoff(fc, attempt);
+        emit_retry(p, attempt, "sim_kill");
         continue;
       }
       Status run = invoke(p, attempt);
@@ -474,6 +517,7 @@ Status Engine::RunTaskWave(const std::string& label, int stage,
       // aborts the stage unchanged.
       if (run.code() != StatusCode::kTaskLost) return run;
       recovery[p] += task_seconds + RetryBackoff(fc, attempt);
+      emit_retry(p, attempt, "task_lost");
     }
     return Status::RuntimeError(
         StrCat("stage #", stage, " '", label, "': partition ", p,
@@ -506,10 +550,18 @@ Status Engine::RunTaskWaveRemote(const std::string& label, int stage,
            config_.cluster.seconds_per_work_unit;
   };
 
+  // Tasks whose worker shipped a kTelemetry frame before the result:
+  // their worker-side span replaces the coordinator's synthesized
+  // dispatch→result span (keeping both would double-count the task in
+  // AggregateTaskTimes). Telemetry frames precede their kTaskResult on
+  // the wire, so the flag is always set before on_complete fires.
+  std::vector<char> telemetry_seen(static_cast<size_t>(n), 0);
+
   RemoteTaskWave wave;
   wave.label = label;
   wave.stage = stage;
   wave.task_work = task_work;
+  wave.want_telemetry = tr != nullptr || config_.registry != nullptr;
   wave.max_sim_attempts = faults_on ? fc.max_task_attempts : 1;
   wave.run = fn;
   wave.encode = [&slots](int p) { return EncodeTaskSlots(slots, p); };
@@ -522,8 +574,17 @@ Status Engine::RunTaskWaveRemote(const std::string& label, int stage,
   wave.sim_kill = [this, faults_on, stage](int p, int attempt) {
     return faults_on && injector_.TaskAttemptFails(stage, p, attempt);
   };
-  wave.charge_failure = [&](int p, int attempt) {
+  wave.charge_failure = [&, this, stage](int p, int attempt) {
     recovery[p] += task_seconds(p) + RetryBackoff(fc, attempt);
+    if (config_.events != nullptr) {
+      Event e;
+      e.name = "task_retry";
+      e.stage_id = stage;
+      e.ints.emplace_back("partition", p);
+      e.ints.emplace_back("attempt", attempt);
+      e.strs.emplace_back("reason", "sim_kill");
+      config_.events->Emit(std::move(e));
+    }
   };
   wave.charge_success = [&, this](int p, int attempt) {
     if (!faults_on) return;
@@ -542,9 +603,60 @@ Status Engine::RunTaskWaveRemote(const std::string& label, int stage,
   wave.on_dispatch = [&dispatch_t0, tr](int p, int, int) {
     if (tr != nullptr) dispatch_t0[p] = tr->NowUs();
   };
+  wave.on_telemetry = [&, this, tr, wave_span_id, stage](
+                          int worker, double clock_offset_us,
+                          const WorkerTelemetry& telemetry) {
+    if (telemetry.task >= 0 && telemetry.task < n) {
+      telemetry_seen[static_cast<size_t>(telemetry.task)] = 1;
+    }
+    // Worker-side memory watermark: attributed to the consuming stage
+    // at the next FinishStage (same drain pattern as pool task
+    // tallies), and published per worker in the registry.
+    if (telemetry.peak_rss_bytes > worker_rss_pending_) {
+      worker_rss_pending_ = telemetry.peak_rss_bytes;
+    }
+    if (config_.registry != nullptr) {
+      config_.registry->GaugeMax("diablo_worker_peak_rss_bytes",
+                                 static_cast<double>(telemetry.peak_rss_bytes),
+                                 {{"worker", StrCat(worker)}});
+      for (const WorkerSpan& ws : telemetry.spans) {
+        config_.registry->HistogramObserve("diablo_task_duration_us",
+                                           ws.dur_us,
+                                           {{"process", StrCat(worker + 1)}});
+      }
+    }
+    if (tr == nullptr) return;
+    // Clock alignment: worker span times are absolute steady-clock
+    // readings from the worker process; the Hello handshake measured
+    // worker_now - driver_now, so subtracting the offset (then the
+    // trace epoch) rebases them onto the driver timeline. Offsets
+    // below the threshold collapse to zero — see kClockAlignThresholdUs.
+    const double applied = std::abs(clock_offset_us) < kClockAlignThresholdUs
+                               ? 0.0
+                               : clock_offset_us;
+    for (const WorkerSpan& ws : telemetry.spans) {
+      TraceSpan span;
+      span.kind = SpanKind::kTask;
+      span.name = "task";
+      span.start_us = ws.start_abs_us - applied - tr->EpochUs();
+      span.dur_us = ws.dur_us;
+      // Remote worker w is trace worker w+1 (0 = driver) and Chrome
+      // process lane w+1 (0 = coordinator).
+      span.worker = worker + 1;
+      span.partition = ws.partition;
+      span.attempt = ws.attempt;
+      span.stage_id = ws.stage_id;
+      span.rows = ws.rows;
+      span.process = worker + 1;
+      span.clock_offset_us = clock_offset_us;
+      tr->AddRemoteSpan(wave_span_id, std::move(span));
+    }
+  };
   wave.on_complete = [&, tr, wave_span_id, stage](int p, int attempt,
                                                   int worker) {
-    if (tr != nullptr) {
+    // Skip the synthesized span when the worker's own telemetry span
+    // for this task was already spliced in (see wave.on_telemetry).
+    if (tr != nullptr && !telemetry_seen[static_cast<size_t>(p)]) {
       // Worker-process rows in the Chrome trace: remote worker w runs
       // as trace worker w+1 (0 is the driver), same convention as the
       // in-process thread pool.
@@ -561,6 +673,17 @@ Status Engine::RunTaskWaveRemote(const std::string& label, int stage,
                              pending.size(), " task",
                              pending.size() == 1 ? "" : "s", " re-admitted"));
       span.SetStageId(stage);
+    }
+    if (config_.events != nullptr) {
+      for (int p : pending) {
+        Event e;
+        e.name = "task_retry";
+        e.stage_id = stage;
+        e.ints.emplace_back("partition", p);
+        e.ints.emplace_back("worker", worker);
+        e.strs.emplace_back("reason", "worker_lost");
+        config_.events->Emit(std::move(e));
+      }
     }
     if (config_.dist_lose_on_kill) {
       // Register the dead worker's partitions for lineage recovery at
@@ -607,6 +730,14 @@ StatusOr<Dataset> Engine::RecoverInput(const Dataset& in, int stage,
       StrCat("recover input ", input_index, " (", lost.size(),
              " lost partition", lost.size() == 1 ? "" : "s", ")"));
   recovery_span.SetStageId(stage);
+  if (config_.events != nullptr) {
+    Event e;
+    e.name = "lineage_recovery";
+    e.stage_id = stage;
+    e.ints.emplace_back("input_index", input_index);
+    e.ints.emplace_back("partitions", static_cast<int64_t>(lost.size()));
+    config_.events->Emit(std::move(e));
+  }
   std::vector<ValueVec> parts = in.partitions();
   if (lineage == nullptr || lineage->durable) {
     // Durable data (source or checkpoint): re-read from stable
@@ -664,10 +795,36 @@ void Engine::FinishStage(StageStats stats, const StageRecovery& rec) {
   pool_tasks_pending_ = 0;
   stats.cost_decisions += cost_decisions_pending_;
   cost_decisions_pending_ = 0;
+  // Per-stage memory high-water mark: the driver's own peak RSS, raised
+  // by any worker-process peak shipped in telemetry frames since the
+  // last stage boundary (drained like pool task tallies). RSS is
+  // monotone, so the per-stage series shows which stage first pushed
+  // the process high-water mark.
+  stats.peak_rss_bytes = std::max(MetricsRegistry::ProcessPeakRssBytes(),
+                                  worker_rss_pending_);
+  worker_rss_pending_ = 0;
   if (provenance_.line > 0) {
     stats.src_file = provenance_.file;
     stats.src_line = provenance_.line;
     stats.src_column = provenance_.column;
+  }
+  if (config_.registry != nullptr) {
+    const MetricLabels stage_labels = {
+        {"stage", StrCat(metrics_.stages().size())}, {"label", stats.label}};
+    config_.registry->CounterAdd("diablo_stages_total", 1);
+    config_.registry->CounterAdd("diablo_task_attempts_total", stats.attempts);
+    config_.registry->CounterAdd("diablo_shuffle_bytes_total",
+                                 stats.shuffle_bytes);
+    config_.registry->GaugeSet("diablo_stage_peak_rss_bytes",
+                               static_cast<double>(stats.peak_rss_bytes),
+                               stage_labels);
+    if (stats.accumulator_bytes_peak > 0) {
+      config_.registry->GaugeSet(
+          "diablo_stage_accumulator_bytes_peak",
+          static_cast<double>(stats.accumulator_bytes_peak), stage_labels);
+    }
+    config_.registry->HistogramObserve(
+        "diablo_stage_shuffle_bytes", static_cast<double>(stats.shuffle_bytes));
   }
   if (TraceRecorder* t = trace()) {
     // The innermost open stage span belongs to the operator finishing
@@ -1502,6 +1659,7 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   // byte-identical to what the unsplit task would have built.
   const std::vector<int64_t> shuffled_counts = RowCounts(shuffled);
   const SaltPlan salt = PlanSalt(shuffled_counts, config_.skew);
+  EmitSkewSalting(config_.events, reduce_stage, "reduce", salt);
   const int num_virtual = static_cast<int>(salt.task_of.size());
   std::vector<int64_t> sub_work(num_virtual);
   for (int t = 0; t < num_virtual; ++t) {
@@ -1511,12 +1669,15 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
     sub_work[t] = static_cast<int64_t>(hi - lo);
   }
   std::vector<ValueVec> sub_out(num_virtual);
+  std::vector<ChainTally> reduce_tallies(num_virtual);
   WaveSlots reduce_slots;
   reduce_slots.rows = &sub_out;
+  reduce_slots.tallies = &reduce_tallies;
   Status st = RunTaskWave(
       label, reduce_stage, sub_work,
       [&](int t, int) -> Status {
         sub_out[t].clear();
+        reduce_tallies[t].Reset(0);
         const int p = salt.task_of[t];
         const HashedVec& part = shuffled[p];
         const auto [lo, hi] =
@@ -1530,6 +1691,8 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
             const ValueVec& kv = hr.row.tuple();
             groups.FindOrCreate(hr.hash, kv[0]).payload.push_back(kv[1]);
           }
+          reduce_tallies[t].accumulator_bytes =
+              static_cast<int64_t>(groups.MemoryBytes());
           groups.SortByKey();
           sub_out[t].reserve(groups.size());
           for (auto& e : groups.entries()) {
@@ -1577,6 +1740,7 @@ StatusOr<Dataset> Engine::GroupByKey(const Dataset& in,
   stats.partition_rows = RowCounts(out);
   stats.salted_keys = salted_keys;
   stats.salt_fanout = salt.extra;
+  for (const ChainTally& t : reduce_tallies) t.MergeInto(&stats);
   if (hash_agg) {
     for (int64_t c : shuffled_counts) stats.hash_agg_rows += c;
     for (int64_t c : stats.partition_rows) stats.hash_agg_keys += c;
@@ -1696,6 +1860,7 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
   SkewConfig combine_cfg = config_.skew;
   combine_cfg.mitigate = combine_cfg.mitigate && combine_splittable;
   const SaltPlan combine_salt = PlanSalt(RowCounts(src), combine_cfg);
+  EmitSkewSalting(config_.events, combine_stage, "combine", combine_salt);
   const int num_combine = static_cast<int>(combine_salt.task_of.size());
   std::vector<int64_t> combine_work(num_combine);
   for (int t = 0; t < num_combine; ++t) {
@@ -1760,6 +1925,12 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
               ApplyChain(chain, 0, part[i], &tallies[slot], combine));
         }
       }
+      // Task-level accumulator watermark (the boxed accumulator always
+      // reserves its capacity, so both live footprints are summed);
+      // ChainTally carries it across the dist wire into
+      // StageStats::accumulator_bytes_peak.
+      tallies[slot].accumulator_bytes = static_cast<int64_t>(
+          acc.MemoryBytes() + (typed.has_value() ? typed->MemoryBytes() : 0));
       if (typed.has_value()) {
         typed_combined[slot] = TypedRows();
         if (!typed_shuffle_ok ||
@@ -1929,6 +2100,7 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
   // order is untouched for ANY reduce function. The driver's un-salt is
   // a plain sorted merge of disjoint key sets.
   const SaltPlan reduce_salt = PlanSalt(shuffled_counts, config_.skew);
+  EmitSkewSalting(config_.events, reduce_stage, "reduce", reduce_salt);
   const int num_reduce = static_cast<int>(reduce_salt.task_of.size());
   std::vector<TypedRows> typed_parts;
   std::vector<HashedVec> hashed_parts;
@@ -1991,6 +2163,8 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
                                 ints ? tr.pay_ints[i] : 0,
                                 ints ? 0.0 : tr.pay_doubles[i]);
           }
+          reduce_tallies[t].accumulator_bytes =
+              static_cast<int64_t>(typed.MemoryBytes());
           typed.EmitSortedRows(&sub_out[t]);
           if (typed.rows() > 0) reduce_tallies[t].columnar_batches += 1;
           return Status::OK();
@@ -2009,6 +2183,8 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
               if (!typed->AddHashed(hr.hash, hr.row)) break;
             }
             if (i == part.size()) {
+              reduce_tallies[t].accumulator_bytes = static_cast<int64_t>(
+                  acc.MemoryBytes() + typed->MemoryBytes());
               typed->EmitSortedRows(&sub_out[t]);
               if (typed->rows() > 0) reduce_tallies[t].columnar_batches += 1;
               return Status::OK();
@@ -2027,6 +2203,9 @@ StatusOr<Dataset> Engine::ReduceByKeyImpl(const Dataset& in, const ReduceFn& fn,
             }
           }
           reduce_tallies[t].columnar_rows_fallback += boxed_rows;
+          reduce_tallies[t].accumulator_bytes = static_cast<int64_t>(
+              acc.MemoryBytes() +
+              (typed.has_value() ? typed->MemoryBytes() : 0));
           acc.SortByKey();
           sub_out[t].reserve(acc.size());
           for (auto& e : acc.entries()) {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "runtime/column_batch.h"
 #include "runtime/dataset.h"
+#include "runtime/events.h"
 #include "runtime/fault.h"
 #include "runtime/keyed_accumulator.h"
 #include "runtime/metrics.h"
@@ -22,6 +23,7 @@ namespace diablo::runtime {
 
 class WorkerPool;
 class RemoteExecutor;
+class MetricsRegistry;
 
 /// Runtime skew mitigation (DESIGN.md §17). When one task of a combine
 /// or reduce wave would receive far more rows than its peers — a hot
@@ -147,6 +149,15 @@ struct EngineConfig {
   /// partitions are bit-identical — PR 1's fault-injection invariant is
   /// the correctness oracle for real SIGKILLs.
   bool dist_lose_on_kill = false;
+  /// Cluster telemetry sinks (DESIGN.md §18), both nullable and not
+  /// owned. `registry` receives named counters/gauges/histograms
+  /// (per-stage peak RSS, accumulator watermarks, task durations) for
+  /// --metrics-out; `events` receives the structured event stream
+  /// (task_retry, lineage_recovery, skew_salting, cost_decision, plus
+  /// the dist backend's worker-lifecycle events) for --events-out.
+  /// Null sinks cost one pointer test per site and change no output.
+  MetricsRegistry* registry = nullptr;
+  EventLog* events = nullptr;
 };
 
 /// Source provenance the engine stamps into every finished stage (and
@@ -254,7 +265,17 @@ class Engine {
   /// partition count chosen from --profile-in evidence); drained into
   /// the next finished stage's StageStats::cost_decisions, mirroring
   /// how pool task tallies are attributed.
-  void RecordCostDecision() { ++cost_decisions_pending_; }
+  void RecordCostDecision() {
+    ++cost_decisions_pending_;
+    if (config_.events != nullptr) {
+      Event e;
+      e.name = "cost_decision";
+      e.src_file = provenance_.file;
+      e.src_line = provenance_.line;
+      e.src_column = provenance_.column;
+      config_.events->Emit(std::move(e));
+    }
+  }
 
   /// Clears recorded metrics and restarts stage numbering, so a fresh
   /// run on this engine sees the same fault schedule as the previous one
@@ -265,6 +286,7 @@ class Engine {
     next_stage_id_ = 0;
     pool_tasks_pending_ = 0;
     cost_decisions_pending_ = 0;
+    worker_rss_pending_ = 0;
     if (TraceRecorder* t = trace()) t->Clear();
   }
 
@@ -527,6 +549,11 @@ class Engine {
   /// Profile-informed decisions since the last FinishStage (see
   /// RecordCostDecision).
   int64_t cost_decisions_pending_ = 0;
+  /// Largest worker-process peak RSS shipped in telemetry frames since
+  /// the last FinishStage, which folds it into the finishing stage's
+  /// StageStats::peak_rss_bytes (max with the driver's own getrusage
+  /// reading) — same drain pattern as pool_tasks_pending_.
+  int64_t worker_rss_pending_ = 0;
   /// Persistent worker pool (EngineConfig::persistent_pool), created
   /// lazily on the first multi-threaded wave and reused for the
   /// engine's whole lifetime. Mutable: creating it does not change

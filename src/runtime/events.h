@@ -1,0 +1,90 @@
+#ifndef DIABLO_RUNTIME_EVENTS_H_
+#define DIABLO_RUNTIME_EVENTS_H_
+
+// Structured event log for cluster telemetry (DESIGN.md §18).
+//
+// Execution emits discrete, machine-readable events — the things a trace
+// span cannot express as an interval: a task retry, a worker SIGKILL, a
+// lineage recomputation, a skew-salting decision. `diablo_run
+// --events-out` writes them as schema-versioned JSONL (one event per
+// line), each stamped with a monotonic timestamp and, where known, the
+// source provenance (`file:line:col`) and engine stage id.
+//
+// Stable event catalog (names are part of the schema; validated by
+// tools/check_events.py and documented in docs/distributed.md):
+//
+//   statement         target executor entered a program statement
+//   task_retry        a task attempt failed and will be retried
+//   lineage_recovery  lost input partitions recomputed from lineage
+//   skew_salting      a hot partition was split into salted sub-tasks
+//   cost_decision     a plan choice consulted a prior-run profile
+//   chaos_kill        the chaos schedule SIGKILLed a worker process
+//   worker_lost       a worker was declared dead (any reason)
+//   heartbeat_loss    the death reason was a heartbeat timeout
+//   worker_respawn    a dead worker was re-forked
+//
+// Emission never changes engine behavior: the log is append-only under a
+// mutex, and every emission site is gated on a null-pointer test, so
+// runs with and without an event log stay byte-identical.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diablo::runtime {
+
+/// One event, before timestamping. `ints` and `strs` carry the
+/// event-specific payload (e.g. {"worker", 1} for chaos_kill) and are
+/// rendered as top-level JSON fields in order.
+struct Event {
+  std::string name;
+  int stage_id = -1;  ///< engine stage id; -1 when not stage-scoped
+  /// Source provenance; src_line == 0 means unknown.
+  std::string src_file;
+  int src_line = 0;
+  int src_column = 0;
+  std::vector<std::pair<std::string, int64_t>> ints;
+  std::vector<std::pair<std::string, std::string>> strs;
+};
+
+/// An event as recorded: payload plus microseconds since the log's
+/// construction (monotonic, nondecreasing in log order).
+struct StampedEvent {
+  double ts_us = 0;
+  Event event;
+};
+
+/// Thread-safe append-only event log. Timestamps are taken under the
+/// append lock, so the JSONL output is sorted by ts_us by construction.
+class EventLog {
+ public:
+  /// Bumped when the JSONL line shape or the event catalog changes
+  /// incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  EventLog();
+
+  void Emit(Event event);
+
+  std::vector<StampedEvent> Snapshot() const;
+  int64_t size() const;
+  /// Number of recorded events with the given catalog name.
+  int64_t CountOf(const std::string& name) const;
+
+  /// One JSON object per line:
+  /// {"schema_version":1,"event":"...","ts_us":...,"stage":...,
+  ///  "location":{...}|null, <ints...>, <strs...>}
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  double epoch_us_ = 0;
+  std::vector<StampedEvent> events_;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_EVENTS_H_

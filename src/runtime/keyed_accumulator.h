@@ -98,6 +98,15 @@ class KeyedAccumulator {
     }
   }
 
+  /// Estimated footprint of the table itself: probe slots plus the entry
+  /// vector (capacities, not sizes — the reservation is the cost). Does
+  /// not chase heap payloads behind Value keys, so it is a lower bound;
+  /// the telemetry watermark only needs a consistent, cheap estimate.
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(uint32_t) +
+           entries_.capacity() * sizeof(Entry);
+  }
+
   /// Reorders entries by Value::Compare on the key, canonicalizing the
   /// output of a terminal aggregation. The probe table is rebuilt from
   /// the cached hashes, so the accumulator stays usable (keys are

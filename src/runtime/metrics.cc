@@ -149,6 +149,18 @@ int64_t Metrics::total_cost_decisions() const {
   return n;
 }
 
+int64_t Metrics::max_peak_rss_bytes() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n = std::max(n, s.peak_rss_bytes);
+  return n;
+}
+
+int64_t Metrics::max_accumulator_bytes_peak() const {
+  int64_t n = 0;
+  for (const auto& s : stages_) n = std::max(n, s.accumulator_bytes_peak);
+  return n;
+}
+
 double Metrics::SimulatedFaultFreeSeconds(const ClusterModel& model) const {
   double total = 0;
   for (const auto& s : stages_) {

@@ -99,6 +99,17 @@ struct StageStats {
   /// Shuffle bytes received per destination partition (empty for narrow
   /// stages; sums to shuffle_bytes for shuffling stages).
   std::vector<int64_t> partition_bytes;
+  /// Memory watermarks (cluster telemetry, DESIGN.md §18).
+  /// `peak_rss_bytes` is the coordinator process's peak RSS (getrusage
+  /// ru_maxrss) sampled when the stage finished — monotone over the run,
+  /// so the per-stage series shows which stage first pushed the
+  /// high-water mark. `accumulator_bytes_peak` is the largest estimated
+  /// footprint of a single KeyedAccumulator / TypedReduceAccumulator any
+  /// task of this stage filled (max across tasks; under the distributed
+  /// backend it crosses the wire with the task's ChainTally, so it
+  /// reflects worker-side memory).
+  int64_t peak_rss_bytes = 0;
+  int64_t accumulator_bytes_peak = 0;
 };
 
 /// Parameters of the deterministic cluster cost model.
@@ -172,6 +183,10 @@ class Metrics {
   int64_t total_salt_fanout() const;
   /// Profile-informed plan decisions taken across all stages.
   int64_t total_cost_decisions() const;
+  /// High-water marks across all stages (memory watermarks are maxima,
+  /// not sums: RSS is monotone and accumulators are per-task peaks).
+  int64_t max_peak_rss_bytes() const;
+  int64_t max_accumulator_bytes_peak() const;
 
   /// Simulated wall-clock seconds on a cluster described by `model`,
   /// recovery overhead included.

@@ -1,0 +1,117 @@
+#ifndef DIABLO_RUNTIME_METRICS_REGISTRY_H_
+#define DIABLO_RUNTIME_METRICS_REGISTRY_H_
+
+// Named-metric registry for cluster telemetry (DESIGN.md §18).
+//
+// The Metrics class (runtime/metrics.h) is the engine's *per-stage*
+// accounting and feeds the deterministic cost model; this registry is
+// the run-level *operational* surface: named counters, gauges, and
+// histograms with label sets, exported as Prometheus text exposition or
+// JSON via `diablo_run --metrics-out`. It also owns the memory
+// accounting the stage stats cannot see — process peak RSS (getrusage)
+// and byte watermarks for partitions and accumulators — so a
+// distributed run's coordinator can publish per-stage high-water marks
+// for every process in the cluster.
+//
+// Semantics (unit-tested in tests/metrics_test.cc):
+//  - A metric name is bound to one kind (counter/gauge/histogram) at
+//    first use; later calls under a different kind are ignored.
+//  - Counters are monotone: negative deltas are ignored.
+//  - GaugeSet overwrites; GaugeMax keeps the high-water mark.
+//  - Histograms use fixed decade buckets (1, 10, ..., 1e12, +Inf) with
+//    cumulative counts, a sum, and a count, matching the Prometheus
+//    histogram exposition.
+//  - Output ordering is deterministic: metric families sorted by name,
+//    series sorted by their label string.
+//
+// Thread-safe; every mutation takes one mutex (telemetry is recorded at
+// stage granularity, never inside task inner loops).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diablo::runtime {
+
+/// Label set of one metric series, e.g. {{"stage", "3"}, {"label",
+/// "reduceByKey"}}. Order is preserved in the output.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (created at 0). Negative deltas
+  /// are ignored — counters are monotone by contract.
+  void CounterAdd(const std::string& name, int64_t delta,
+                  const MetricLabels& labels = {});
+  /// Sets the named gauge to `value`.
+  void GaugeSet(const std::string& name, double value,
+                const MetricLabels& labels = {});
+  /// Raises the named gauge to `value` if above its current reading —
+  /// the high-water-mark form used for memory watermarks.
+  void GaugeMax(const std::string& name, double value,
+                const MetricLabels& labels = {});
+  /// Records one observation into the named histogram.
+  void HistogramObserve(const std::string& name, double value,
+                        const MetricLabels& labels = {});
+
+  /// Upper bounds of the histogram buckets (exclusive of the implicit
+  /// +Inf bucket): 1, 10, 100, ..., 1e12.
+  static const std::vector<double>& HistogramBuckets();
+
+  /// Peak resident set size of the calling process in bytes
+  /// (getrusage RUSAGE_SELF; monotone over the process lifetime).
+  static int64_t ProcessPeakRssBytes();
+
+  /// Prometheus text exposition format (one # TYPE line per family).
+  void WritePrometheus(std::ostream& os) const;
+  /// The same registry as JSON: {"counters":[...],"gauges":[...],
+  /// "histograms":[...]}.
+  void WriteJson(std::ostream& os) const;
+
+  void Clear();
+
+  /// Test/inspection accessors; 0 / negative infinity when the series
+  /// does not exist under the expected kind.
+  int64_t CounterValue(const std::string& name,
+                       const MetricLabels& labels = {}) const;
+  double GaugeValue(const std::string& name,
+                    const MetricLabels& labels = {}) const;
+  int64_t HistogramCount(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;
+    int64_t counter = 0;
+    double gauge = 0;
+    std::vector<int64_t> bucket_counts;  ///< per HistogramBuckets() + Inf
+    double hist_sum = 0;
+    int64_t hist_count = 0;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    /// Keyed by the canonical label string for deterministic output.
+    std::map<std::string, Series> series;
+  };
+
+  /// Returns the series for (name, labels), creating it; null when the
+  /// name is already bound to a different kind.
+  Series* Upsert(const std::string& name, Kind kind,
+                 const MetricLabels& labels);
+  const Series* Find(const std::string& name, Kind kind,
+                     const MetricLabels& labels) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace diablo::runtime
+
+#endif  // DIABLO_RUNTIME_METRICS_REGISTRY_H_

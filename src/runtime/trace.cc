@@ -232,6 +232,14 @@ void TraceRecorder::AddTask(int64_t parent, double start_us, double dur_us,
   spans_.push_back(std::move(span));
 }
 
+int64_t TraceRecorder::AddRemoteSpan(int64_t parent, TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  span.id = static_cast<int64_t>(spans_.size());
+  span.parent = parent;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
 std::vector<TraceSpan> TraceRecorder::Snapshot() const {
   const double now = NowUs();
   std::lock_guard<std::mutex> lock(mu_);
@@ -255,13 +263,24 @@ void SetCurrentTraceWorker(int worker) { g_trace_worker = worker; }
 void WriteChromeTrace(const std::vector<TraceSpan>& spans, std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   // Thread-name metadata: the driver timeline plus one row per worker
-  // thread that ran a task.
+  // thread that ran a task in the coordinator process.
   std::vector<int> workers;
+  // Process-lane metadata: one Chrome process group per worker PROCESS
+  // (distributed runs). Single-process traces have no process > 0 spans
+  // and emit no process metadata at all, keeping their bytes identical
+  // to the pre-distributed format.
+  std::vector<int> processes;
   for (const auto& s : spans) {
-    if (s.kind == SpanKind::kTask && s.worker > 0) workers.push_back(s.worker);
+    if (s.kind == SpanKind::kTask && s.worker > 0 && s.process == 0) {
+      workers.push_back(s.worker);
+    }
+    if (s.process > 0) processes.push_back(s.process);
   }
   std::sort(workers.begin(), workers.end());
   workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  std::sort(processes.begin(), processes.end());
+  processes.erase(std::unique(processes.begin(), processes.end()),
+                  processes.end());
   bool first = true;
   auto comma = [&first, &os]() {
     if (!first) os << ",";
@@ -277,10 +296,23 @@ void WriteChromeTrace(const std::vector<TraceSpan>& spans, std::ostream& os) {
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " << w
        << "\"}}";
   }
+  if (!processes.empty()) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"coordinator\"}}";
+    for (int p : processes) {
+      comma();
+      os << "{\"ph\":\"M\",\"pid\":" << p
+         << ",\"tid\":0,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"worker process "
+         << (p - 1) << "\"}}";
+    }
+  }
   for (const auto& s : spans) {
     comma();
     const int tid = s.kind == SpanKind::kTask ? s.worker : 0;
-    os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"name\":\""
+    os << "{\"ph\":\"X\",\"pid\":" << s.process << ",\"tid\":" << tid
+       << ",\"name\":\""
        << EscapeJson(s.name) << "\",\"cat\":\"" << SpanKindName(s.kind)
        << "\",\"ts\":" << FmtUs(s.start_us) << ",\"dur\":" << FmtUs(s.dur_us)
        << ",\"args\":{\"span\":" << s.id << ",\"parent\":" << s.parent;
@@ -385,7 +417,7 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
     }
     if (s.kind == SpanKind::kRun) run_wall_us += s.dur_us;
   }
-  os << "{\"schema_version\":3,\"program\":\"" << EscapeJson(program)
+  os << "{\"schema_version\":4,\"program\":\"" << EscapeJson(program)
      << "\",\"tracing\":" << (spans.empty() ? "false" : "true")
      << ",\"run_wall_us\":" << FmtDouble(run_wall_us) << ",\"totals\":{"
      << "\"stages\":" << metrics.num_stages()
@@ -407,9 +439,37 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
      << ",\"salted_keys\":" << metrics.total_salted_keys()
      << ",\"salt_fanout\":" << metrics.total_salt_fanout()
      << ",\"cost_decisions\":" << metrics.total_cost_decisions()
+     << ",\"dist_tasks\":" << metrics.total_dist_tasks()
+     << ",\"dist_retries\":" << metrics.total_dist_retries()
+     << ",\"dist_workers_lost\":" << metrics.total_dist_workers_lost()
+     << ",\"peak_rss_bytes\":" << metrics.max_peak_rss_bytes()
+     << ",\"accumulator_bytes_peak\":" << metrics.max_accumulator_bytes_peak()
      << ",\"simulated_seconds\":" << FmtDouble(metrics.SimulatedSeconds(model))
      << ",\"simulated_fault_free_seconds\":"
-     << FmtDouble(metrics.SimulatedFaultFreeSeconds(model)) << "},\"stages\":[";
+     << FmtDouble(metrics.SimulatedFaultFreeSeconds(model))
+     << "},\"processes\":[";
+  // One entry per process lane observed among task spans (0 =
+  // coordinator; distributed runs add one per worker process).
+  std::map<int, std::pair<int64_t, double>> proc_tasks;  // tasks, time
+  std::map<int, double> proc_offset;
+  for (const auto& s : spans) {
+    if (s.kind != SpanKind::kTask) continue;
+    auto& [count, time_us] = proc_tasks[s.process];
+    ++count;
+    time_us += s.dur_us;
+    if (s.clock_offset_us != 0) proc_offset[s.process] = s.clock_offset_us;
+  }
+  {
+    bool first_proc = true;
+    for (const auto& [proc, stats] : proc_tasks) {
+      os << (first_proc ? "" : ",") << "{\"process\":" << proc
+         << ",\"tasks\":" << stats.first
+         << ",\"task_time_us\":" << FmtDouble(stats.second)
+         << ",\"clock_offset_us\":" << FmtDouble(proc_offset[proc]) << "}";
+      first_proc = false;
+    }
+  }
+  os << "],\"stages\":[";
   const auto& stages = metrics.stages();
   for (size_t i = 0; i < stages.size(); ++i) {
     const auto& s = stages[i];
@@ -436,6 +496,8 @@ void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,
        << ",\"salted_keys\":" << s.salted_keys
        << ",\"salt_fanout\":" << s.salt_fanout
        << ",\"cost_decisions\":" << s.cost_decisions
+       << ",\"peak_rss_bytes\":" << s.peak_rss_bytes
+       << ",\"accumulator_bytes_peak\":" << s.accumulator_bytes_peak
        << ",\"partitions\":{\"rows\":";
     WriteIntArray(s.partition_rows, os);
     os << ",\"bytes\":";

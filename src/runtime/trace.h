@@ -65,6 +65,14 @@ struct TraceSpan {
   /// Stage spans: index of the matching StageStats in Metrics::stages(),
   /// stamped when the stage finishes; -1 otherwise.
   int metrics_index = -1;
+  /// Process lane for distributed runs: 0 = coordinator, 1.. = worker
+  /// process id + 1. Chrome export maps it to `pid`, so a multi-process
+  /// run renders one process group per worker under a single timeline.
+  int process = 0;
+  /// Worker-process spans: the clock offset (worker steady clock minus
+  /// coordinator steady clock, µs) measured at the Hello handshake and
+  /// already applied to start_us. 0 for coordinator-side spans.
+  double clock_offset_us = 0;
   /// Source provenance; src_line == 0 means unknown.
   std::string src_file;
   int src_line = 0;
@@ -100,6 +108,18 @@ class TraceRecorder {
   /// span). Safe to call concurrently from worker threads.
   void AddTask(int64_t parent, double start_us, double dur_us, int worker,
                int partition, int attempt, int stage_id, int64_t rows);
+
+  /// Splices a span shipped from another process (dist telemetry) under
+  /// `parent`, assigning it a fresh id. `span.start_us` must already be
+  /// in this recorder's timebase (caller subtracts EpochUs() and applies
+  /// the clock offset); `span.process` selects its Chrome process lane.
+  int64_t AddRemoteSpan(int64_t parent, TraceSpan span);
+
+  /// The absolute steady-clock reading (µs) this recorder's span
+  /// timestamps are relative to. Remote telemetry ships absolute
+  /// steady-clock times; the splice converts with
+  /// `abs_us - EpochUs() + clock_offset`.
+  double EpochUs() const { return epoch_us_; }
 
   /// Copy of all spans recorded so far (open spans have dur_us extended
   /// to now).
@@ -156,7 +176,7 @@ void SetCurrentTraceWorker(int worker);
 /// Chrome trace_event JSON ("X" complete events + thread names).
 void WriteChromeTrace(const std::vector<TraceSpan>& spans, std::ostream& os);
 
-/// Schema-stable profile JSON (schema_version 1). Works with an empty
+/// Schema-stable profile JSON (schema_version 4). Works with an empty
 /// span vector (tracing off): per-stage counters still come from
 /// `metrics`, wall-clock task stats are simply absent.
 void WriteProfileJson(const Metrics& metrics, const ClusterModel& model,

@@ -134,6 +134,7 @@ StatusOr<std::string> EncodeTaskSlots(const WaveSlots& slots, int task) {
     PutNumVec(tally.sample_bytes, &out);
     PutWireU64(static_cast<uint64_t>(tally.columnar_batches), &out);
     PutWireU64(static_cast<uint64_t>(tally.columnar_rows_fallback), &out);
+    PutWireU64(static_cast<uint64_t>(tally.accumulator_bytes), &out);
   } else {
     out.push_back(kAbsent);
   }
@@ -236,8 +237,10 @@ Status DecodeTaskSlots(const WaveSlots& slots, int task,
     DIABLO_ASSIGN_OR_RETURN(tally.sample_bytes, GetNumVec(bytes, &offset));
     DIABLO_ASSIGN_OR_RETURN(uint64_t cb, GetWireU64(bytes, &offset));
     DIABLO_ASSIGN_OR_RETURN(uint64_t cf, GetWireU64(bytes, &offset));
+    DIABLO_ASSIGN_OR_RETURN(uint64_t ab, GetWireU64(bytes, &offset));
     tally.columnar_batches = static_cast<int64_t>(cb);
     tally.columnar_rows_fallback = static_cast<int64_t>(cf);
+    tally.accumulator_bytes = static_cast<int64_t>(ab);
     (*slots.tallies)[task] = std::move(tally);
   }
   DIABLO_ASSIGN_OR_RETURN(

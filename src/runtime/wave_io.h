@@ -1,6 +1,7 @@
 #ifndef DIABLO_RUNTIME_WAVE_IO_H_
 #define DIABLO_RUNTIME_WAVE_IO_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -28,6 +29,11 @@ struct ChainTally {
   /// per-task outputs.
   int64_t columnar_batches = 0;
   int64_t columnar_rows_fallback = 0;
+  /// Peak estimated bytes of the task's keyed accumulator
+  /// (KeyedAccumulator / TypedReduceAccumulator MemoryBytes() sampled
+  /// after the fold). Crosses the dist wire so worker-side memory
+  /// reaches StageStats::accumulator_bytes_peak.
+  int64_t accumulator_bytes = 0;
 
   /// Restartable: called at the top of every task attempt.
   void Reset(size_t boundaries) {
@@ -35,6 +41,7 @@ struct ChainTally {
     sample_bytes.assign(boundaries, 0);
     columnar_batches = 0;
     columnar_rows_fallback = 0;
+    accumulator_bytes = 0;
   }
   void Record(size_t boundary, const Value& v) {
     if (boundary >= rows.size()) return;
@@ -47,6 +54,8 @@ struct ChainTally {
     }
     stats->columnar_batches += columnar_batches;
     stats->columnar_rows_fallback += columnar_rows_fallback;
+    stats->accumulator_bytes_peak =
+        std::max(stats->accumulator_bytes_peak, accumulator_bytes);
   }
 };
 

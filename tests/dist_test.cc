@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,10 @@
 #include "dist/wire.h"
 #include "dist/worker.h"
 #include "runtime/engine.h"
+#include "runtime/events.h"
+#include "runtime/metrics_registry.h"
 #include "runtime/serialize.h"
+#include "runtime/trace.h"
 #include "runtime/wave_io.h"
 
 namespace diablo::dist {
@@ -162,17 +166,67 @@ TEST(WireTest, ReaderErrorIsSticky) {
 // --------------------------- control payloads --------------------------
 
 TEST(PayloadTest, HelloRoundTrip) {
-  std::string payload = EncodeHelloPayload(7, 12345, 0xdeadbeefcafef00dull);
+  std::string payload =
+      EncodeHelloPayload(7, 12345, 0xdeadbeefcafef00dull, 3.25e9);
   int worker_id = 0;
   int64_t pid = 0;
   uint64_t token = 0;
-  ASSERT_TRUE(DecodeHelloPayload(payload, &worker_id, &pid, &token).ok());
+  double steady_now_us = 0;
+  ASSERT_TRUE(
+      DecodeHelloPayload(payload, &worker_id, &pid, &token, &steady_now_us)
+          .ok());
   EXPECT_EQ(worker_id, 7);
   EXPECT_EQ(pid, 12345);
   EXPECT_EQ(token, 0xdeadbeefcafef00dull);
-  EXPECT_FALSE(DecodeHelloPayload(payload + "x", &worker_id, &pid, &token).ok());
-  EXPECT_FALSE(
-      DecodeHelloPayload(payload.substr(0, 10), &worker_id, &pid, &token).ok());
+  EXPECT_EQ(steady_now_us, 3.25e9);
+  EXPECT_FALSE(DecodeHelloPayload(payload + "x", &worker_id, &pid, &token,
+                                  &steady_now_us)
+                   .ok());
+  EXPECT_FALSE(DecodeHelloPayload(payload.substr(0, 10), &worker_id, &pid,
+                                  &token, &steady_now_us)
+                   .ok());
+}
+
+TEST(PayloadTest, TelemetryRoundTrip) {
+  runtime::WorkerTelemetry telemetry;
+  telemetry.task = 5;
+  telemetry.attempt = 2;
+  telemetry.peak_rss_bytes = 123456789;
+  runtime::WorkerSpan span;
+  span.start_abs_us = 1.5e12;
+  span.dur_us = 250.25;
+  span.partition = 5;
+  span.attempt = 2;
+  span.stage_id = 7;
+  span.rows = 4096;
+  telemetry.spans.push_back(span);
+
+  std::string payload = EncodeTelemetryPayload(telemetry);
+  runtime::WorkerTelemetry got;
+  ASSERT_TRUE(DecodeTelemetryPayload(payload, &got).ok());
+  EXPECT_EQ(got.task, 5);
+  EXPECT_EQ(got.attempt, 2);
+  EXPECT_EQ(got.peak_rss_bytes, 123456789);
+  ASSERT_EQ(got.spans.size(), 1u);
+  EXPECT_EQ(got.spans[0].start_abs_us, 1.5e12);
+  EXPECT_EQ(got.spans[0].dur_us, 250.25);
+  EXPECT_EQ(got.spans[0].partition, 5);
+  EXPECT_EQ(got.spans[0].attempt, 2);
+  EXPECT_EQ(got.spans[0].stage_id, 7);
+  EXPECT_EQ(got.spans[0].rows, 4096);
+
+  // Trailing bytes and truncation at every split point are rejected.
+  EXPECT_FALSE(DecodeTelemetryPayload(payload + "x", &got).ok());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeTelemetryPayload(payload.substr(0, len), &got).ok())
+        << "prefix of length " << len << " accepted";
+  }
+  // Oversized span count must fail fast without allocating (the count
+  // field follows task, attempt, and the RSS reading: offset 16).
+  std::string oversized = payload;
+  oversized[16] = oversized[17] = oversized[18] = oversized[19] =
+      static_cast<char>(0xFF);
+  EXPECT_FALSE(DecodeTelemetryPayload(oversized, &got).ok());
 }
 
 TEST(PayloadTest, TaskAndResultRoundTrip) {
@@ -518,6 +572,67 @@ TEST(DistEndToEndTest, SimulatedFaultsAccountIdenticallyOverDist) {
   EXPECT_EQ(dist.metrics().total_attempts(), local.metrics().total_attempts());
   EXPECT_EQ(dist.metrics().total_recovery_seconds(),
             local.metrics().total_recovery_seconds());
+}
+
+TEST(DistEndToEndTest, ChaosOutputIdenticalWithTracingOnAndOff) {
+  // Telemetry frames flow only when tracing (or a registry) is on; the
+  // program output must be byte-identical either way, even while chaos
+  // is killing workers mid-wave.
+  DistConfig config = FastDist(3);
+  config.chaos.kills.push_back({/*stage=*/2, /*worker=*/1, 1});
+  auto run = [&](bool tracing) {
+    Coordinator coordinator(config);
+    EngineConfig engine_config = DistConfigured(&coordinator);
+    engine_config.tracing = tracing;
+    Engine dist(engine_config);
+    auto got = RunIterativeRanks(dist);
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    return got.ok() ? Bytes(*got) : std::string();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(DistEndToEndTest, ChaosTelemetryMergesWorkerSpansAndEvents) {
+  Engine local((EngineConfig()));
+  auto expected = RunIterativeRanks(local);
+  ASSERT_TRUE(expected.ok());
+
+  runtime::EventLog events;
+  runtime::MetricsRegistry registry;
+  DistConfig config = FastDist(3);
+  config.chaos.kills.push_back({/*stage=*/1, /*worker=*/0, 0});
+  config.events = &events;
+  Coordinator coordinator(config);
+  EngineConfig engine_config = DistConfigured(&coordinator);
+  engine_config.events = &events;
+  engine_config.registry = &registry;
+  Engine dist(engine_config);
+  auto got = RunIterativeRanks(dist);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(Bytes(*got), Bytes(*expected));
+
+  // Every SIGKILL produced a chaos_kill event, every declared death a
+  // worker_lost event, and the lost partitions a lineage_recovery.
+  EXPECT_EQ(events.CountOf("chaos_kill"), coordinator.chaos_kills());
+  EXPECT_GE(events.CountOf("worker_lost"),
+            dist.metrics().total_dist_workers_lost());
+  EXPECT_GE(events.CountOf("lineage_recovery"), 1);
+
+  // Surviving workers' telemetry spans were spliced into the driver
+  // trace as distinct process lanes.
+  ASSERT_NE(dist.trace(), nullptr);
+  std::vector<runtime::TraceSpan> spans = dist.trace()->Snapshot();
+  std::set<int> processes;
+  for (const auto& s : spans) {
+    if (s.kind == runtime::SpanKind::kTask && s.process > 0) {
+      processes.insert(s.process);
+    }
+  }
+  EXPECT_GE(processes.size(), 2u)
+      << "expected task spans from at least two surviving worker processes";
+  // Worker-side counters reached the registry and the stage stats.
+  EXPECT_GT(registry.CounterValue("diablo_stages_total"), 0);
+  EXPECT_GT(dist.metrics().max_peak_rss_bytes(), 0);
 }
 
 TEST(DistEndToEndTest, ExhaustedRespawnBudgetFailsCleanly) {

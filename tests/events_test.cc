@@ -1,0 +1,117 @@
+// Unit tests for the structured event log (runtime/events.h): emit
+// ordering, timestamp monotonicity, counting, and the JSONL line shape
+// consumed by tools/check_events.py.
+
+#include "runtime/events.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace diablo::runtime {
+namespace {
+
+Event Named(const std::string& name) {
+  Event e;
+  e.name = name;
+  return e;
+}
+
+TEST(EventLogTest, EmitPreservesOrderAndCounts) {
+  EventLog log;
+  log.Emit(Named("task_retry"));
+  log.Emit(Named("worker_lost"));
+  log.Emit(Named("task_retry"));
+  EXPECT_EQ(log.size(), 3);
+  EXPECT_EQ(log.CountOf("task_retry"), 2);
+  EXPECT_EQ(log.CountOf("worker_lost"), 1);
+  EXPECT_EQ(log.CountOf("nonexistent"), 0);
+  std::vector<StampedEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].event.name, "task_retry");
+  EXPECT_EQ(events[1].event.name, "worker_lost");
+  EXPECT_EQ(events[2].event.name, "task_retry");
+}
+
+TEST(EventLogTest, TimestampsAreNondecreasingInLogOrder) {
+  EventLog log;
+  for (int i = 0; i < 100; ++i) log.Emit(Named("statement"));
+  std::vector<StampedEvent> events = log.Snapshot();
+  double prev = 0;
+  for (const StampedEvent& se : events) {
+    EXPECT_GE(se.ts_us, prev);
+    prev = se.ts_us;
+  }
+}
+
+TEST(EventLogTest, ConcurrentEmitsAllLand) {
+  // Emission sites fire from wave worker threads; the log must not
+  // drop or tear events under contention.
+  EventLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < 250; ++i) log.Emit(Named("task_retry"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), 1000);
+  EXPECT_EQ(log.CountOf("task_retry"), 1000);
+}
+
+TEST(EventLogTest, JsonlLineShape) {
+  EventLog log;
+  Event e;
+  e.name = "task_retry";
+  e.stage_id = 3;
+  e.src_file = "wordcount.diablo";
+  e.src_line = 12;
+  e.src_column = 5;
+  e.ints.emplace_back("partition", 7);
+  e.ints.emplace_back("attempt", 1);
+  e.strs.emplace_back("reason", "sim_kill");
+  log.Emit(std::move(e));
+  log.Emit(Named("worker_respawn"));
+
+  std::ostringstream out;
+  log.WriteJsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"task_retry\""), std::string::npos);
+  EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"stage\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"location\":{\"file\":\"wordcount.diablo\","
+                      "\"line\":12,\"column\":5}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"partition\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"attempt\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"sim_kill\""), std::string::npos);
+
+  // An event with no stage or provenance renders explicit nulls, so
+  // every line has the same keys.
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"event\":\"worker_respawn\""), std::string::npos);
+  EXPECT_NE(line.find("\"stage\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"location\":null"), std::string::npos);
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(EventLogTest, JsonlEscapesStrings) {
+  EventLog log;
+  Event e;
+  e.name = "statement";
+  e.strs.emplace_back("label", "say \"hi\"\nback\\slash");
+  log.Emit(std::move(e));
+  std::ostringstream out;
+  log.WriteJsonl(out);
+  EXPECT_NE(out.str().find("\"label\":\"say \\\"hi\\\"\\nback\\\\slash\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace diablo::runtime

@@ -1,9 +1,14 @@
-// Unit tests for the cluster cost model: LPT makespan, stage accounting
-// and scaling behaviour of SimulatedSeconds.
+// Unit tests for the cluster cost model (LPT makespan, stage accounting
+// and scaling behaviour of SimulatedSeconds) and for the MetricsRegistry
+// (counter/gauge/histogram semantics and the Prometheus exposition).
 
 #include "runtime/metrics.h"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/metrics_registry.h"
 
 namespace diablo::runtime {
 namespace {
@@ -132,6 +137,132 @@ TEST(Metrics, Report) {
   std::string report = metrics.Report();
   EXPECT_NE(report.find("join"), std::string::npos);
   EXPECT_NE(report.find("shuffle_bytes=42"), std::string::npos);
+}
+
+TEST(Metrics, MemoryWatermarksAreMaximaNotSums) {
+  // RSS is a process high-water mark and accumulator bytes are per-task
+  // peaks: the run-level figures are maxima over stages, never sums.
+  Metrics metrics;
+  StageStats a;
+  a.label = "map";
+  a.peak_rss_bytes = 1000;
+  a.accumulator_bytes_peak = 50;
+  StageStats b;
+  b.label = "reduce";
+  b.peak_rss_bytes = 3000;
+  b.accumulator_bytes_peak = 20;
+  metrics.AddStage(std::move(a));
+  metrics.AddStage(std::move(b));
+  EXPECT_EQ(metrics.max_peak_rss_bytes(), 3000);
+  EXPECT_EQ(metrics.max_accumulator_bytes_peak(), 50);
+  metrics.Clear();
+  EXPECT_EQ(metrics.max_peak_rss_bytes(), 0);
+  EXPECT_EQ(metrics.max_accumulator_bytes_peak(), 0);
+}
+
+// ----------------------------- MetricsRegistry --------------------------
+
+TEST(MetricsRegistryTest, CountersAreMonotoneAndKindBindsAtFirstUse) {
+  MetricsRegistry reg;
+  reg.CounterAdd("requests", 2);
+  reg.CounterAdd("requests", 3);
+  reg.CounterAdd("requests", -5);  // ignored: counters are monotone
+  EXPECT_EQ(reg.CounterValue("requests"), 5);
+  // The name is bound to the counter kind now; other kinds are ignored.
+  reg.GaugeSet("requests", 99);
+  reg.HistogramObserve("requests", 1);
+  EXPECT_EQ(reg.CounterValue("requests"), 5);
+  EXPECT_EQ(reg.GaugeValue("requests"), 0);
+  EXPECT_EQ(reg.HistogramCount("requests"), 0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetOverwritesAndGaugeMaxKeepsHighWater) {
+  MetricsRegistry reg;
+  reg.GaugeSet("level", 10);
+  reg.GaugeSet("level", 3);
+  EXPECT_EQ(reg.GaugeValue("level"), 3);
+  reg.GaugeMax("peak", 10);
+  reg.GaugeMax("peak", 3);
+  reg.GaugeMax("peak", 12);
+  EXPECT_EQ(reg.GaugeValue("peak"), 12);
+}
+
+TEST(MetricsRegistryTest, LabelsSeparateSeries) {
+  MetricsRegistry reg;
+  reg.CounterAdd("tasks", 1, {{"stage", "0"}});
+  reg.CounterAdd("tasks", 2, {{"stage", "1"}});
+  reg.CounterAdd("tasks", 3, {{"stage", "0"}});
+  EXPECT_EQ(reg.CounterValue("tasks", {{"stage", "0"}}), 4);
+  EXPECT_EQ(reg.CounterValue("tasks", {{"stage", "1"}}), 2);
+  EXPECT_EQ(reg.CounterValue("tasks"), 0);
+}
+
+TEST(MetricsRegistryTest, HistogramUsesDecadeBuckets) {
+  MetricsRegistry reg;
+  reg.HistogramObserve("lat", 0.5);
+  reg.HistogramObserve("lat", 50);
+  reg.HistogramObserve("lat", 5e12);  // beyond the last bound: +Inf
+  EXPECT_EQ(reg.HistogramCount("lat"), 3);
+  EXPECT_EQ(MetricsRegistry::HistogramBuckets().front(), 1.0);
+  EXPECT_EQ(MetricsRegistry::HistogramBuckets().back(), 1e12);
+}
+
+TEST(MetricsRegistryTest, ProcessPeakRssIsPositiveAndMonotone) {
+  const int64_t first = MetricsRegistry::ProcessPeakRssBytes();
+  EXPECT_GT(first, 0);
+  EXPECT_GE(MetricsRegistry::ProcessPeakRssBytes(), first);
+}
+
+TEST(MetricsRegistryTest, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.CounterAdd("tasks_total", 3, {{"stage", "0"}});
+  reg.GaugeSet("rss_bytes", 1024);
+  reg.HistogramObserve("dur_us", 5);
+  reg.HistogramObserve("dur_us", 5000);
+  std::ostringstream out;
+  reg.WritePrometheus(out);
+  const std::string kExpected =
+      "# TYPE dur_us histogram\n"
+      "dur_us_bucket{le=\"1\"} 0\n"
+      "dur_us_bucket{le=\"10\"} 1\n"
+      "dur_us_bucket{le=\"100\"} 1\n"
+      "dur_us_bucket{le=\"1000\"} 1\n"
+      "dur_us_bucket{le=\"10000\"} 2\n"
+      "dur_us_bucket{le=\"100000\"} 2\n"
+      "dur_us_bucket{le=\"1000000\"} 2\n"
+      "dur_us_bucket{le=\"10000000\"} 2\n"
+      "dur_us_bucket{le=\"100000000\"} 2\n"
+      "dur_us_bucket{le=\"1000000000\"} 2\n"
+      "dur_us_bucket{le=\"10000000000\"} 2\n"
+      "dur_us_bucket{le=\"100000000000\"} 2\n"
+      "dur_us_bucket{le=\"1000000000000\"} 2\n"
+      "dur_us_bucket{le=\"+Inf\"} 2\n"
+      "dur_us_sum 5005\n"
+      "dur_us_count 2\n"
+      "# TYPE rss_bytes gauge\n"
+      "rss_bytes 1024\n"
+      "# TYPE tasks_total counter\n"
+      "tasks_total{stage=\"0\"} 3\n";
+  EXPECT_EQ(out.str(), kExpected);
+}
+
+TEST(MetricsRegistryTest, JsonExportAndClear) {
+  MetricsRegistry reg;
+  reg.CounterAdd("c", 7);
+  reg.GaugeSet("g", 2.5, {{"k", "v"}});
+  reg.HistogramObserve("h", 42);
+  std::ostringstream out;
+  reg.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"c\",\"labels\":{},\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"k\":\"v\"},\"value\":2.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sum\":42,\"count\":1"), std::string::npos);
+  reg.Clear();
+  EXPECT_EQ(reg.CounterValue("c"), 0);
+  EXPECT_EQ(reg.HistogramCount("h"), 0);
 }
 
 }  // namespace

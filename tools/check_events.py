@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a structured event log emitted by diablo_run --events-out=FILE.
+
+Usage:
+    check_events.py EVENTS.jsonl [--require-min EVENT=N]...
+
+Checks the schema contract of runtime/events.cc:WriteJsonl
+(schema_version 1): every line is a standalone JSON object carrying
+schema_version / event / ts_us / stage / location, the event name is in
+the published catalog, timestamps are nondecreasing in log order (the
+log stamps under its append lock), stage is a nonnegative integer or
+null, and location is null or a {file, line, column} object with a
+positive line. --require-min EVENT=N (repeatable) additionally demands
+at least N occurrences of EVENT — e.g. a chaos run must have logged the
+kills it injected.
+
+Stdlib only; runs on any python3.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# The published catalog (docs/distributed.md): consumers key dashboards
+# off these names, so an unknown name is a producer bug, not forward
+# compatibility.
+EVENT_NAMES = {
+    "task_retry",
+    "worker_respawn",
+    "heartbeat_loss",
+    "lineage_recovery",
+    "skew_salting",
+    "cost_decision",
+    "statement",
+    "chaos_kill",
+    "worker_lost",
+}
+
+REQUIRED_KEYS = ("schema_version", "event", "ts_us", "stage", "location")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, what):
+    if not cond:
+        raise SchemaError(what)
+
+
+def check_line(lineno, line, prev_ts):
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise SchemaError(f"line {lineno}: not valid JSON ({e})")
+    require(isinstance(doc, dict), f"line {lineno}: not a JSON object")
+    for key in REQUIRED_KEYS:
+        require(key in doc, f"line {lineno}: missing key '{key}'")
+    require(doc["schema_version"] == SCHEMA_VERSION,
+            f"line {lineno}: schema_version is "
+            f"{doc['schema_version']!r}, want {SCHEMA_VERSION}")
+    name = doc["event"]
+    require(name in EVENT_NAMES,
+            f"line {lineno}: unknown event name {name!r}")
+    ts = doc["ts_us"]
+    require(isinstance(ts, (int, float)) and ts >= 0,
+            f"line {lineno}: bad ts_us {ts!r}")
+    require(ts >= prev_ts,
+            f"line {lineno}: ts_us {ts} went backwards (prev {prev_ts})")
+    stage = doc["stage"]
+    require(stage is None or (isinstance(stage, int) and stage >= 0),
+            f"line {lineno}: bad stage {stage!r}")
+    loc = doc["location"]
+    if loc is not None:
+        require(isinstance(loc, dict) and set(loc) == {"file", "line",
+                                                       "column"},
+                f"line {lineno}: malformed location {loc!r}")
+        require(isinstance(loc["line"], int) and loc["line"] > 0,
+                f"line {lineno}: location without a positive line")
+    return name, ts
+
+
+def parse_require_min(specs):
+    mins = {}
+    for spec in specs:
+        event, sep, count = spec.partition("=")
+        if not sep or not count.isdigit():
+            raise SystemExit(f"bad --require-min spec {spec!r}, "
+                             f"want EVENT=N")
+        if event not in EVENT_NAMES:
+            raise SystemExit(f"--require-min: unknown event {event!r}")
+        mins[event] = int(count)
+    return mins
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("events")
+    parser.add_argument("--require-min", action="append", default=[],
+                        metavar="EVENT=N",
+                        help="fail unless EVENT occurs at least N times "
+                             "(repeatable)")
+    args = parser.parse_args()
+    mins = parse_require_min(args.require_min)
+
+    counts = {}
+    prev_ts = 0.0
+    lineno = 0
+    try:
+        with open(args.events) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                name, prev_ts = check_line(lineno, line, prev_ts)
+                counts[name] = counts.get(name, 0) + 1
+        for event, want in sorted(mins.items()):
+            have = counts.get(event, 0)
+            require(have >= want,
+                    f"only {have} '{event}' event(s), want >= {want}")
+    except SchemaError as e:
+        print(f"FAILED: {args.events}: {e}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    breakdown = ", ".join(f"{name}={n}" for name, n in sorted(counts.items()))
+    print(f"OK: {args.events}: {total} event(s)"
+          + (f" ({breakdown})" if breakdown else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

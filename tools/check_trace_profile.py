@@ -4,14 +4,19 @@
 Usage:
     check_trace_profile.py PROFILE.json [--require-tracing]
                            [--require-locations]
+                           [--min-worker-processes N]
 
 Checks the schema contract of runtime/trace.cc:WriteProfileJson
-(schema_version 3): required top-level keys and totals counters, every
-stage entry carrying label / location / counters / per-partition
-histograms, and — when tracing was on — task stats whose percentiles
-are ordered (p50 <= p90 <= max), whose skew ratio is max/mean, and
-whose straggler partitions exist in the stage's histogram. Fails
-(exit 1) on the first structural violation.
+(schema_version 4): required top-level keys and totals counters
+(including the distributed-run and memory-watermark figures), the
+per-process task breakdown, every stage entry carrying label /
+location / counters / per-partition histograms, and — when tracing was
+on — task stats whose percentiles are ordered (p50 <= p90 <= max),
+whose skew ratio is max/mean, and whose straggler partitions exist in
+the stage's histogram. --min-worker-processes N additionally demands
+that at least N worker lanes (process > 0, i.e. spliced telemetry from
+forked workers) appear in the processes array. Fails (exit 1) on the
+first structural violation.
 
 Stdlib only; runs on any python3.
 """
@@ -26,8 +31,9 @@ TOTALS_KEYS = [
     "rows_not_materialized", "bytes_not_materialized", "hash_agg_rows",
     "hash_agg_keys", "pool_tasks", "columnar_batches",
     "columnar_rows_fallback", "salted_keys", "salt_fanout",
-    "cost_decisions", "simulated_seconds",
-    "simulated_fault_free_seconds",
+    "cost_decisions", "dist_tasks", "dist_retries",
+    "dist_workers_lost", "peak_rss_bytes", "accumulator_bytes_peak",
+    "simulated_seconds", "simulated_fault_free_seconds",
 ]
 STAGE_KEYS = [
     "index", "label", "wide", "location", "map_work", "reduce_work",
@@ -36,8 +42,10 @@ STAGE_KEYS = [
     "bytes_not_materialized", "hash_agg_rows", "hash_agg_keys",
     "pool_tasks", "columnar_batches", "columnar_rows_fallback",
     "salted_keys", "salt_fanout", "cost_decisions",
+    "peak_rss_bytes", "accumulator_bytes_peak",
     "partitions", "tasks",
 ]
+PROCESS_KEYS = ["process", "tasks", "task_time_us", "clock_offset_us"]
 TASK_KEYS = [
     "count", "total_us", "mean_us", "p50_us", "p90_us", "max_us",
     "skew_ratio", "stragglers",
@@ -100,10 +108,37 @@ def check_stage(stage, i, require_locations):
                                   f"out of range (have {n_parts})")
 
 
-def check_profile(doc, require_tracing, require_locations):
-    require(doc.get("schema_version") == 3,
-            f"schema_version is {doc.get('schema_version')!r}, want 3")
-    for key in ("program", "tracing", "run_wall_us", "totals", "stages"):
+def check_processes(doc, min_worker_processes):
+    procs = doc["processes"]
+    require(isinstance(procs, list), "processes is not a list")
+    seen = set()
+    workers = 0
+    for i, proc in enumerate(procs):
+        for key in PROCESS_KEYS:
+            require(key in proc, f"processes[{i}]: missing key '{key}'")
+        pid = proc["process"]
+        require(isinstance(pid, int) and pid >= 0,
+                f"processes[{i}]: bad process id {pid!r}")
+        require(pid not in seen, f"processes[{i}]: duplicate lane {pid}")
+        seen.add(pid)
+        require(proc["tasks"] > 0,
+                f"processes[{i}]: lane {pid} recorded with no tasks")
+        require(proc["task_time_us"] >= 0,
+                f"processes[{i}]: negative task_time_us")
+        if pid > 0:
+            workers += 1
+    require(workers >= min_worker_processes,
+            f"only {workers} worker lane(s) in processes, "
+            f"want >= {min_worker_processes}")
+    return workers
+
+
+def check_profile(doc, require_tracing, require_locations,
+                  min_worker_processes):
+    require(doc.get("schema_version") == 4,
+            f"schema_version is {doc.get('schema_version')!r}, want 4")
+    for key in ("program", "tracing", "run_wall_us", "totals", "processes",
+                "stages"):
         require(key in doc, f"missing top-level key '{key}'")
     if require_tracing:
         require(doc["tracing"] is True, "tracing is off in this profile")
@@ -117,6 +152,7 @@ def check_profile(doc, require_tracing, require_locations):
     require(totals["wide_stages"] == wide,
             f"totals.wide_stages={totals['wide_stages']} but "
             f"{wide} stages marked wide")
+    check_processes(doc, min_worker_processes)
     with_tasks = 0
     for i, stage in enumerate(doc["stages"]):
         check_stage(stage, i, require_locations)
@@ -137,19 +173,26 @@ def main():
                         help="fail on stages with no source location "
                              "(setup stages have none, so only use on "
                              "profiles known to be fully attributed)")
+    parser.add_argument("--min-worker-processes", type=int, default=0,
+                        metavar="N",
+                        help="fail unless at least N worker lanes "
+                             "(process > 0) appear in the processes "
+                             "array — i.e. spliced worker telemetry")
     args = parser.parse_args()
 
     with open(args.profile) as f:
         doc = json.load(f)
     try:
         with_tasks = check_profile(doc, args.require_tracing,
-                                   args.require_locations)
+                                   args.require_locations,
+                                   args.min_worker_processes)
     except SchemaError as e:
         print(f"FAILED: {args.profile}: {e}", file=sys.stderr)
         return 1
+    workers = sum(1 for p in doc["processes"] if p["process"] > 0)
     print(f"OK: {args.profile}: {len(doc['stages'])} stage(s), "
-          f"{with_tasks} with task stats, program "
-          f"'{doc['program']}'")
+          f"{with_tasks} with task stats, {workers} worker lane(s), "
+          f"program '{doc['program']}'")
     return 0
 
 

@@ -20,6 +20,15 @@
 //                            (open in chrome://tracing or Perfetto)
 //   --profile-out=FILE       write the schema-stable profile JSON
 //                            (validated by tools/check_trace_profile.py)
+//   --metrics-out=FILE       write the metrics registry (named counters,
+//                            gauges, histograms; per-stage peak RSS and
+//                            accumulator watermarks) after the run, as
+//                            Prometheus text exposition — or JSON when
+//                            FILE ends in .json
+//   --events-out=FILE        write the structured event log as JSONL
+//                            (task_retry, worker_respawn, lineage
+//                            recovery, skew salting, ...; validated by
+//                            tools/check_events.py)
 //   --profile-in=FILE        feed a prior run's --profile-out JSON back
 //                            into the planner: broadcast-vs-hash join and
 //                            the partition count (unless --partitions is
@@ -109,6 +118,8 @@
 #include "diablo/diablo.h"
 #include "dist/coordinator.h"
 #include "parser/parser.h"
+#include "runtime/events.h"
+#include "runtime/metrics_registry.h"
 #include "runtime/trace.h"
 
 namespace {
@@ -289,6 +300,7 @@ int main(int argc, char** argv) {
   bool use_local = false, explain_analyze = false;
   bool partitions_set = false;
   std::string trace_out, profile_out, profile_in;
+  std::string metrics_out, events_out;
   int dist_workers = 0;
   bool chaos_seed_set = false;
   diablo::dist::DistConfig dist_config;
@@ -324,6 +336,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--profile-in" ||
                arg.rfind("--profile-in=", 0) == 0) {
       profile_in = arg.size() > 13 ? arg.substr(13) : next();
+    } else if (arg == "--metrics-out" ||
+               arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.size() > 14 ? arg.substr(14) : next();
+    } else if (arg == "--events-out" ||
+               arg.rfind("--events-out=", 0) == 0) {
+      events_out = arg.size() > 13 ? arg.substr(13) : next();
     } else if (arg == "--no-skew") {
       engine_config.skew.mitigate = false;
     } else if (arg == "--no-trace") {
@@ -514,6 +532,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Telemetry sinks (stack-allocated: both outlive the engine and the
+  // coordinator, which borrow pointers). Wired in only when an output
+  // was requested, so runs without the flags take the null fast paths.
+  diablo::runtime::MetricsRegistry registry;
+  diablo::runtime::EventLog events;
+  if (!metrics_out.empty()) engine_config.registry = &registry;
+  if (!events_out.empty()) {
+    engine_config.events = &events;
+    dist_config.events = &events;
+  }
+
   std::unique_ptr<diablo::dist::Coordinator> coordinator;
   if (dist_workers > 0) {
     dist_config.num_workers = dist_workers;
@@ -626,6 +655,47 @@ int main(int argc, char** argv) {
                                            report);
       std::printf("%s", report.str().c_str());
     }
+  }
+
+  if (!metrics_out.empty()) {
+    // Run-level rollups next to the per-stage series the engine fed in
+    // during the run.
+    const diablo::runtime::Metrics& metrics = engine.metrics();
+    registry.GaugeMax("diablo_run_peak_rss_bytes",
+                      static_cast<double>(metrics.max_peak_rss_bytes()));
+    registry.GaugeMax(
+        "diablo_run_accumulator_bytes_peak",
+        static_cast<double>(metrics.max_accumulator_bytes_peak()));
+    registry.CounterAdd("diablo_dist_tasks_total",
+                        metrics.total_dist_tasks());
+    registry.CounterAdd("diablo_dist_retries_total",
+                        metrics.total_dist_retries());
+    registry.CounterAdd("diablo_dist_workers_lost_total",
+                        metrics.total_dist_workers_lost());
+    if (coordinator != nullptr) {
+      registry.CounterAdd("diablo_chaos_kills_total",
+                          coordinator->chaos_kills());
+      registry.CounterAdd("diablo_worker_respawns_total",
+                          coordinator->respawns_used());
+    }
+    std::ofstream out(metrics_out);
+    if (!out) Die("cannot write " + metrics_out);
+    const bool as_json =
+        metrics_out.size() >= 5 &&
+        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+    if (as_json) {
+      registry.WriteJson(out);
+    } else {
+      registry.WritePrometheus(out);
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!events_out.empty()) {
+    std::ofstream out(events_out);
+    if (!out) Die("cannot write " + events_out);
+    events.WriteJsonl(out);
+    std::fprintf(stderr, "wrote %lld events to %s\n",
+                 static_cast<long long>(events.size()), events_out.c_str());
   }
   return 0;
 }
